@@ -1,0 +1,95 @@
+// Appendix A — grid-wide synchronisation: GPU lock-free barrier (Xiao &
+// Feng 2010, what GOTHIC uses) vs a Cooperative-Groups-style centralised
+// barrier. The paper measures the calcNode-class kernel at 4.0e-3 s
+// (lock-free), 4.9e-3 s (Cooperative Groups) and 4.4e-3 s (CG-compiled but
+// lock-free), attributing ~2.3e-5 s to each of the 21 grid syncs per step,
+// and notes the CG compilation path costs registers (56 -> 64 per thread,
+// 9 -> 8 blocks/SM).
+//
+// We re-run the algorithmic comparison with std::thread workers, each
+// driving several "blocks" through the split arrive()/wait() interface so
+// block counts beyond the core count are measured without oversubscribed
+// spinning: the centralised barrier read-modify-writes one hot counter per
+// arrival while the lock-free barrier touches per-block cache lines only.
+#include "perfmodel/occupancy.hpp"
+#include "simt/barrier.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace gothic;
+using namespace gothic::simt;
+
+/// ns per barrier episode with `blocks` participants multiplexed over
+/// `threads` workers. Thread t owns blocks {t, t+threads, ...}; it arrives
+/// all of them, then waits on all of them (block 0 first, since block 0's
+/// wait performs the lock-free release).
+double measure(InterBlockBarrier& bar, int blocks, int threads, int rounds) {
+  std::vector<std::thread> ts;
+  ts.reserve(threads);
+  Stopwatch sw;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&bar, t, blocks, threads, rounds] {
+      for (int r = 0; r < rounds; ++r) {
+        for (int b = t; b < blocks; b += threads) bar.arrive(b);
+        for (int b = t; b < blocks; b += threads) bar.wait(b);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  return sw.seconds() / rounds * 1e9;
+}
+
+} // namespace
+
+int main() {
+  const int hw =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  const int threads = std::min(hw, 4);
+  const int rounds = 20000;
+
+  Table t("Appendix A - inter-block barrier cost [ns/episode]",
+          {"blocks", "lock-free (Xiao&Feng)", "CG-style centralized",
+           "CG/lock-free"});
+  double big_ratio = 0.0;
+  for (const int blocks : {2, 16, 80, 160}) {
+    LockFreeBarrier lf(blocks);
+    CentralizedBarrier cg(blocks);
+    (void)measure(lf, blocks, threads, rounds / 10); // warm-up
+    (void)measure(cg, blocks, threads, rounds / 10);
+    double t_lf = 1e300, t_cg = 1e300;
+    for (int rep = 0; rep < 3; ++rep) { // min-of-3 to suppress OS noise
+      t_lf = std::min(t_lf, measure(lf, blocks, threads, rounds));
+      t_cg = std::min(t_cg, measure(cg, blocks, threads, rounds));
+    }
+    big_ratio = t_cg / t_lf;
+    t.add_row({Table::num(blocks), Table::fix(t_lf, 0), Table::fix(t_cg, 0),
+               Table::fix(big_ratio, 2)});
+  }
+  t.print(std::cout);
+
+  // The register/occupancy side of Appendix A.
+  const auto v100 = perfmodel::tesla_v100();
+  perfmodel::KernelResources res;
+  res.threads_per_block = 128;
+  res.regs_per_thread = 56;
+  const int blocks56 = perfmodel::compute_occupancy(v100, res).blocks_per_sm;
+  res.regs_per_thread = 64;
+  const int blocks64 = perfmodel::compute_occupancy(v100, res).blocks_per_sm;
+  std::cout << "occupancy model: calcNode at 56 regs/thread -> " << blocks56
+            << " blocks/SM; the CG compilation path at 64 regs -> "
+            << blocks64 << " (paper: 9 -> 8).\n";
+  std::cout << "paper: GOTHIC keeps the lock-free barrier because it beats "
+               "Cooperative-Groups global sync; at V100-scale block counts "
+               "(80+) the centralized barrier costs "
+            << Table::fix(big_ratio, 2)
+            << "x the lock-free one per episode here, on top of the "
+               "occupancy loss above.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 1 — execution time per step as a function of the accuracy
+// controlling parameter dacc, for Tesla V100 (Pascal and Volta modes),
+// Tesla P100, GeForce GTX TITAN X, Tesla K20X and Tesla M2090.
+//
+// The paper's headline row (dacc = 2^-9, N = 2^23): 3.3e-2 s (V100
+// compute_60), 3.8e-2 s (V100 compute_70), 7.4e-2 s (P100). Our counts
+// are measured at bench scale; shapes and ratios are the reproduction
+// target (EXPERIMENTS.md).
+#include "support/experiment.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace gothic;
+  using namespace gothic::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const auto init = m31_workload(scale.n);
+  const auto gpus = perfmodel::all_gpus();
+
+  std::cout << "# M31 model, N = " << scale.n
+            << " (paper: 8388608), steps = " << scale.steps << "\n";
+  Table t("Fig 1 - elapsed time per step [s] vs dacc",
+          {"dacc", "V100 c60", "V100 c70", "P100", "TITAN X", "K20X",
+           "M2090"});
+  for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
+    const StepProfile p = profile_step(init, dacc, scale.steps);
+    std::vector<std::string> row{dacc_label(dacc)};
+    // V100 Pascal mode, V100 Volta mode.
+    row.push_back(Table::sci(predict_step_time(p, gpus[0], false).total()));
+    row.push_back(Table::sci(predict_step_time(p, gpus[0], true).total()));
+    for (std::size_t g = 1; g < gpus.size(); ++g) {
+      row.push_back(Table::sci(predict_step_time(p, gpus[g], false).total()));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "expected shape: later GPUs always faster; V100 c60 always "
+               "below c70; time rises steeply as dacc shrinks.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 2 — speed-up of Tesla V100 (Pascal mode) over (a) Tesla V100 in
+// Volta mode and (b) Tesla P100, as a function of dacc.
+//
+// Paper: (a) is flat at 1.1-1.2; (b) runs 1.4-2.2 with the >2 region at
+// dacc <~ 1e-3 and a decline toward large dacc.
+#include "support/experiment.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace gothic;
+  using namespace gothic::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const auto init = m31_workload(scale.n);
+  const auto v100 = perfmodel::tesla_v100();
+  const auto p100 = perfmodel::tesla_p100();
+
+  std::cout << "# M31 model, N = " << scale.n << "\n";
+  Table t("Fig 2 - speed-up of V100 (compute_60)",
+          {"dacc", "vs V100 compute_70", "vs P100"});
+  double min_mode = 1e30, max_mode = 0, min_p100 = 1e30, max_p100 = 0;
+  for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
+    const StepProfile p = profile_step(init, dacc, scale.steps);
+    const double t60 = predict_step_time(p, v100, false).total();
+    const double t70 = predict_step_time(p, v100, true).total();
+    const double tp = predict_step_time(p, p100, false).total();
+    const double s_mode = t70 / t60;
+    const double s_p100 = tp / t60;
+    min_mode = std::min(min_mode, s_mode);
+    max_mode = std::max(max_mode, s_mode);
+    min_p100 = std::min(min_p100, s_p100);
+    max_p100 = std::max(max_p100, s_p100);
+    t.add_row({dacc_label(dacc), Table::fix(s_mode, 3),
+               Table::fix(s_p100, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "paper: mode speed-up 1.1-1.2 (measured "
+            << Table::fix(min_mode, 2) << "-" << Table::fix(max_mode, 2)
+            << "); P100 speed-up 1.4-2.2 (measured "
+            << Table::fix(min_p100, 2) << "-" << Table::fix(max_p100, 2)
+            << "), peak-performance ratio = 1.48\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3 — dependence of the elapsed time per step on the total number
+// of particles Ntot, with the per-function breakdown (V100, Pascal mode,
+// dacc = 2^-9).
+//
+// Paper shape: walkTree dominates everywhere; calcNode is non-negligible
+// at small Ntot; all curves flatten into the launch-latency floor below
+// Ntot ~ 1e4. (Paper reaches 25*2^20 particles; bench scale is capped by
+// the container, override with GOTHIC_BENCH_NMAX.)
+#include "support/experiment.hpp"
+
+#include "perfmodel/capacity.hpp"
+#include "util/env.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace gothic;
+  using namespace gothic::bench;
+
+  const auto v100 = perfmodel::tesla_v100();
+  const double dacc = 1.0 / 512.0; // the paper's fiducial 2^-9
+  const std::size_t n_max = env_size("GOTHIC_BENCH_NMAX", 131072);
+
+  Table t("Fig 3 - elapsed time per step [s] vs Ntot (V100 compute_60, "
+          "dacc=2^-9)",
+          {"Ntot", "total", "walkTree", "calcNode", "makeTree", "pred/corr"});
+  double prev_total = 0.0;
+  bool monotone = true;
+  for (std::size_t n = 1024; n <= n_max; n *= 4) {
+    const auto init = m31_workload(n);
+    const StepProfile p = profile_step(init, dacc, 1);
+    const GpuStepTime gt = predict_step_time(p, v100, false);
+    t.add_row({Table::num(static_cast<long long>(n)),
+               Table::sci(gt.total()), Table::sci(gt.walk),
+               Table::sci(gt.calc), Table::sci(gt.make),
+               Table::sci(gt.pred)});
+    if (gt.total() < prev_total) monotone = false;
+    prev_total = gt.total();
+  }
+  t.print(std::cout);
+  std::cout << "expected shape: gravity dominates; total "
+            << (monotone ? "grows monotonically with Ntot"
+                         : "NON-MONOTONE (unexpected)")
+            << "; small-N region sits on the launch-latency floor.\n";
+
+  // The capacity side of §3: fewer SMs leave more HBM2 for particles.
+  std::cout << "capacity model (per-SM traversal buffers, §3): "
+            << "V100 16GB -> " << perfmodel::max_particles(v100)
+            << " particles (paper 26214400); P100 16GB -> "
+            << perfmodel::max_particles(perfmodel::tesla_p100())
+            << " (paper 31457280); V100 32GB -> "
+            << perfmodel::max_particles(perfmodel::tesla_v100_32gb())
+            << ".\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6 — number of instructions per step executed in walkTree, by
+// nvprof metric category (inst_integer, flop_count_sp_{fma,mul,add,
+// special}), as a function of dacc.
+//
+// Paper shape: all categories fall as dacc grows; FMA stays highest,
+// special (rsqrt) lowest (~10x below FMA); the integer count falls more
+// slowly than the FP32 counts, converging toward them at dacc ~ 2^-1.
+#include "support/experiment.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace gothic;
+  using namespace gothic::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const auto init = m31_workload(scale.n);
+
+  std::cout << "# walkTree instruction counts per step, M31, N = " << scale.n
+            << " (paper: N = 2^23, nvprof)\n";
+  Table t("Fig 6 - instructions per step in walkTree",
+          {"dacc", "integer", "FP32 FMA", "FP32 mul", "FP32 add", "FP32 sp",
+           "int/FP32"});
+  for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
+    const StepProfile p = profile_step(init, dacc, scale.steps);
+    const auto& w = p.walk;
+    const double ratio =
+        static_cast<double>(w.int_ops) /
+        static_cast<double>(std::max<std::uint64_t>(
+            w.fp32_core_instructions(), 1));
+    t.add_row({dacc_label(dacc), Table::sci(static_cast<double>(w.int_ops)),
+               Table::sci(static_cast<double>(w.fp32_fma)),
+               Table::sci(static_cast<double>(w.fp32_mul)),
+               Table::sci(static_cast<double>(w.fp32_add)),
+               Table::sci(static_cast<double>(w.fp32_special)),
+               Table::fix(ratio, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "expected shape: FMA > mul/add > special (~10x below FMA); "
+               "integer share rises as dacc grows.\n";
+  return 0;
+}

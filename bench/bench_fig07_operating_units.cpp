@@ -1,0 +1,41 @@
+// Figure 7 — instruction counts grouped by operating unit: integer,
+// FP32 (= FMA + mul + add), max(integer, FP32) and integer + FP32.
+//
+// Paper: FP32 always exceeds integer, so max == FP32 — the Volta pipe
+// split hides the entire integer column; the sum is what a pre-Volta GPU
+// must execute.
+#include "support/experiment.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace gothic;
+  using namespace gothic::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const auto init = m31_workload(scale.n);
+
+  std::cout << "# walkTree per step, M31, N = " << scale.n << "\n";
+  Table t("Fig 7 - instructions by operating unit",
+          {"dacc", "integer", "FP32", "max(int,FP32)", "int+FP32",
+           "hiding ratio"});
+  bool fp_always_max = true;
+  for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
+    const StepProfile p = profile_step(init, dacc, scale.steps);
+    const std::uint64_t fp = p.walk.fp32_core_instructions();
+    const std::uint64_t in = p.walk.int_ops;
+    const std::uint64_t mx = std::max(fp, in);
+    if (mx != fp) fp_always_max = false;
+    t.add_row({dacc_label(dacc), Table::sci(static_cast<double>(in)),
+               Table::sci(static_cast<double>(fp)),
+               Table::sci(static_cast<double>(mx)),
+               Table::sci(static_cast<double>(fp + in)),
+               Table::fix(static_cast<double>(fp + in) /
+                              static_cast<double>(mx), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "paper: FP32 counts always above integer => max(int,FP32) "
+               "== FP32: " << (fp_always_max ? "holds" : "VIOLATED")
+            << " in this run.\n";
+  return 0;
+}

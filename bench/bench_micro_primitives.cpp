@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) of the substrate primitives: warp
+// collectives in both scheduling modes, sub-warp scans/reductions, Morton
+// keys, the radix sort (cub stand-in) and the force flush loop. These are
+// host-side throughputs of the simulation substrate, not device numbers —
+// they guard against performance regressions of the harness itself.
+#include "gravity/direct.hpp"
+#include "octree/morton.hpp"
+#include "octree/radix_sort.hpp"
+#include "simt/scan.hpp"
+#include "simt/warp.hpp"
+#include "util/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace gothic;
+using namespace gothic::simt;
+
+void BM_WarpShflXor(benchmark::State& state) {
+  const auto mode = static_cast<ExecMode>(state.range(0));
+  OpCounts c;
+  Warp w(mode, c);
+  LaneArray<float> v{};
+  std::iota(v.begin(), v.end(), 1.0f);
+  for (auto _ : state) {
+    w.shfl_xor(v, 16);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kWarpSize);
+}
+BENCHMARK(BM_WarpShflXor)
+    ->Arg(static_cast<int>(ExecMode::Pascal))
+    ->Arg(static_cast<int>(ExecMode::Volta));
+
+void BM_WarpReduceAdd(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  OpCounts c;
+  Warp w(ExecMode::Pascal, c);
+  for (auto _ : state) {
+    LaneArray<float> v{};
+    std::iota(v.begin(), v.end(), 1.0f);
+    reduce_add(w, v, width);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kWarpSize);
+}
+BENCHMARK(BM_WarpReduceAdd)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WarpInclusiveScan(benchmark::State& state) {
+  OpCounts c;
+  Warp w(ExecMode::Pascal, c);
+  for (auto _ : state) {
+    LaneArray<int> v{};
+    std::iota(v.begin(), v.end(), 0);
+    inclusive_scan_add(w, v, kWarpSize);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kWarpSize);
+}
+BENCHMARK(BM_WarpInclusiveScan);
+
+void BM_MortonKeys(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(1);
+  std::vector<real> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.uniform());
+    y[i] = static_cast<real>(rng.uniform());
+    z[i] = static_cast<real>(rng.uniform());
+  }
+  const auto box = octree::compute_bounding_cube(x, y, z);
+  std::vector<std::uint64_t> keys(n);
+  for (auto _ : state) {
+    octree::morton_keys(box, x, y, z, keys);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MortonKeys)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(2);
+  std::vector<std::uint64_t> master(n);
+  for (auto& k : master) k = rng.next() & ((1ull << 63) - 1);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<index_t> payload(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    keys = master;
+    std::iota(payload.begin(), payload.end(), index_t{0});
+    state.ResumeTiming();
+    octree::radix_sort_pairs(keys, payload, 63);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixSortPairs)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_DirectForceKernel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(3);
+  std::vector<real> x(n), y(n), z(n), m(n, real(1.0 / n));
+  std::vector<real> ax(n), ay(n), az(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.normal());
+    y[i] = static_cast<real>(rng.normal());
+    z[i] = static_cast<real>(rng.normal());
+  }
+  for (auto _ : state) {
+    gravity::direct_forces(x, y, z, m, real(0.05), real(1), ax, ay, az);
+    benchmark::DoNotOptimize(ax.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n); // pair interactions
+}
+BENCHMARK(BM_DirectForceKernel)->Arg(1024)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1 — the evaluation environments. The paper lists the two host
+// systems; our substitute is the set of GPU descriptors the performance
+// model runs on, so this bench prints every descriptor next to the values
+// quoted in §1/Table 1 and fails loudly if a descriptor drifts.
+#include "perfmodel/gpu_spec.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace gothic;
+  using namespace gothic::perfmodel;
+
+  Table t("Table 1 - modelled GPU environments (paper: Tesla V100 SXM2 vs "
+          "Tesla P100 SXM2)",
+          {"GPU", "arch", "SMs", "FP32/SM", "INT32/SM", "clock[GHz]",
+           "peak[TFlop/s]", "BW meas[GB/s]", "HBM2[GiB]"});
+  for (const GpuSpec& g : all_gpus()) {
+    t.add_row({g.name, arch_name(g.arch), Table::num(g.num_sm),
+               Table::num(g.fp32_cores_per_sm),
+               Table::num(g.int32_units_per_sm), Table::fix(g.clock_ghz, 3),
+               Table::fix(g.fp32_peak_tflops(), 1),
+               Table::fix(g.mem_bw_measured_gbs, 0),
+               Table::fix(g.global_mem_gib, 0)});
+  }
+  t.print(std::cout);
+
+  const GpuSpec v = tesla_v100();
+  const GpuSpec p = tesla_p100();
+  std::cout << "paper S1: peak(V100) = 15.7 TFlop/s, model = "
+            << Table::fix(v.fp32_peak_tflops(), 1) << "\n";
+  std::cout << "paper S1: peak ratio V100/P100 = 1.5, model = "
+            << Table::fix(v.fp32_peak_tflops() / p.fp32_peak_tflops(), 2)
+            << "\n";
+  std::cout << "paper Fig 8: measured-bandwidth ratio ~1.55, model = "
+            << Table::fix(v.mem_bw_measured_gbs / p.mem_bw_measured_gbs, 2)
+            << "\n";
+  return 0;
+}

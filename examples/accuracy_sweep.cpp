@@ -1,0 +1,125 @@
+// MAC comparison — the §1 claim: the acceleration MAC (Eq. 2) reaches a
+// given force accuracy with less work than geometric criteria
+// (opening-angle and GADGET-style cell-edge MACs), as reported by
+// Nelson et al. 2009 and Miki & Umemura 2017.
+//
+//   ./accuracy_sweep [n_particles]
+#include "galaxy/spherical_sampler.hpp"
+#include "gravity/direct.hpp"
+#include "gravity/walk_tree.hpp"
+#include "octree/calc_node.hpp"
+#include "octree/tree_build.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+namespace {
+
+using namespace gothic;
+
+struct Workload {
+  nbody::Particles p;
+  octree::Octree tree;
+  std::vector<real> amag;
+  std::vector<double> rx, ry, rz; // double-precision reference forces
+};
+
+Workload prepare(std::size_t n) {
+  Workload w;
+  w.p = galaxy::make_plummer(n, 1.0, 1.0, 11);
+  std::vector<index_t> perm;
+  octree::build_tree(w.p.x, w.p.y, w.p.z, w.tree, perm,
+                     octree::BuildConfig{});
+  w.p.apply_permutation(perm);
+  octree::calc_node(w.tree, w.p.x, w.p.y, w.p.z, w.p.m);
+
+  // Bootstrap |a| for the acceleration MAC.
+  gravity::WalkConfig boot;
+  boot.eps = real(0.02);
+  boot.mac.type = gravity::MacType::OpeningAngle;
+  std::vector<real> ax(n), ay(n), az(n);
+  gravity::walk_tree(w.tree, w.p.x, w.p.y, w.p.z, w.p.m, {}, boot, ax, ay,
+                     az);
+  w.amag.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.amag[i] = std::sqrt(ax[i] * ax[i] + ay[i] * ay[i] + az[i] * az[i]);
+  }
+
+  w.rx.resize(n);
+  w.ry.resize(n);
+  w.rz.resize(n);
+  gravity::direct_forces_ref(w.p.x, w.p.y, w.p.z, w.p.m, 0.02, 1.0, w.rx,
+                             w.ry, w.rz);
+  return w;
+}
+
+struct Sample {
+  double error;          ///< 99th-percentile relative force error
+  double interactions;   ///< per particle
+};
+
+Sample run(const Workload& w, const gravity::MacParams& mac) {
+  const std::size_t n = w.p.size();
+  gravity::WalkConfig cfg;
+  cfg.eps = real(0.02);
+  cfg.mac = mac;
+  std::vector<real> ax(n), ay(n), az(n);
+  gravity::WalkStats stats;
+  gravity::walk_tree(w.tree, w.p.x, w.p.y, w.p.z, w.p.m, w.amag, cfg, ax, ay,
+                     az, {}, nullptr, &stats);
+  std::vector<double> err(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = ax[i] - w.rx[i];
+    const double dy = ay[i] - w.ry[i];
+    const double dz = az[i] - w.rz[i];
+    const double ref = std::sqrt(w.rx[i] * w.rx[i] + w.ry[i] * w.ry[i] +
+                                 w.rz[i] * w.rz[i]);
+    err[i] = std::sqrt(dx * dx + dy * dy + dz * dz) / std::max(ref, 1e-12);
+  }
+  const auto q = static_cast<std::size_t>(0.99 * n);
+  std::nth_element(err.begin(), err.begin() + static_cast<long>(q), err.end());
+  return {err[q], static_cast<double>(stats.interactions) / n};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16384;
+  const Workload w = prepare(n);
+
+  Table t("force accuracy vs work per MAC (Plummer, N=" + std::to_string(n) +
+              ")",
+          {"MAC", "parameter", "99% error", "interactions/particle"});
+  for (const double dacc : {1.0 / 8, 1.0 / 64, 1.0 / 512, 1.0 / 4096}) {
+    gravity::MacParams mac;
+    mac.type = gravity::MacType::Acceleration;
+    mac.dacc = static_cast<real>(dacc);
+    const Sample s = run(w, mac);
+    t.add_row({"acceleration", Table::sci(dacc), Table::sci(s.error),
+               Table::fix(s.interactions, 0)});
+  }
+  for (const double theta : {1.0, 0.7, 0.5, 0.3}) {
+    gravity::MacParams mac;
+    mac.type = gravity::MacType::OpeningAngle;
+    mac.theta = static_cast<real>(theta);
+    const Sample s = run(w, mac);
+    t.add_row({"opening-angle", Table::fix(theta, 2), Table::sci(s.error),
+               Table::fix(s.interactions, 0)});
+  }
+  for (const double dacc : {1.0 / 8, 1.0 / 64, 1.0 / 512, 1.0 / 4096}) {
+    gravity::MacParams mac;
+    mac.type = gravity::MacType::Gadget;
+    mac.dacc = static_cast<real>(dacc);
+    const Sample s = run(w, mac);
+    t.add_row({"gadget (cell edge)", Table::sci(dacc), Table::sci(s.error),
+               Table::fix(s.interactions, 0)});
+  }
+  t.print(std::cout);
+  std::cout << "reading: at matched error levels the acceleration MAC "
+               "needs the fewest interactions (the S1 rationale for "
+               "GOTHIC's choice).\n";
+  return 0;
+}

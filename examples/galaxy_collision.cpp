@@ -1,0 +1,112 @@
+// Two Plummer spheres on a head-on collision orbit — the classic
+// interacting-galaxies scenario the tree method exists for (no symmetry
+// to exploit, deep force hierarchies, violent relaxation).
+//
+//   ./galaxy_collision [n_per_galaxy] [n_steps]
+#include "galaxy/spherical_sampler.hpp"
+#include "nbody/simulation.hpp"
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+namespace {
+
+using namespace gothic;
+
+/// Merge two particle sets, offsetting the second in phase space.
+nbody::Particles collide(nbody::Particles a, const nbody::Particles& b,
+                         real dx, real dvx) {
+  const std::size_t na = a.size();
+  const std::size_t n = na + b.size();
+  auto grow = [n](std::vector<real>& v) { v.resize(n, real(0)); };
+  grow(a.x); grow(a.y); grow(a.z);
+  grow(a.vx); grow(a.vy); grow(a.vz);
+  grow(a.ax); grow(a.ay); grow(a.az);
+  grow(a.pot); grow(a.m); grow(a.aold_mag);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    a.x[na + i] = b.x[i] + dx;
+    a.y[na + i] = b.y[i] + real(0.5); // small impact parameter
+    a.z[na + i] = b.z[i];
+    a.vx[na + i] = b.vx[i] - dvx;
+    a.vy[na + i] = b.vy[i];
+    a.vz[na + i] = b.vz[i];
+    a.m[na + i] = b.m[i];
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    a.x[i] -= dx;
+    a.vx[i] += dvx;
+  }
+  return a;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_each =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8192;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 128;
+
+  // Two equal Plummer galaxies approaching at half the mutual parabolic
+  // speed: a bound merger.
+  nbody::Particles g1 = galaxy::make_plummer(n_each, 1.0, 1.0, 1);
+  nbody::Particles g2 = galaxy::make_plummer(n_each, 1.0, 1.0, 2);
+  const real sep = real(6);
+  const real vapp = real(0.5) * std::sqrt(real(2) * real(2.0) / (2 * sep));
+  nbody::Particles ic = collide(std::move(g1), g2, sep / 2, vapp / 2);
+
+  nbody::SimConfig cfg;
+  cfg.walk.mac.dacc = real(1.0 / 512);
+  cfg.walk.eps = real(0.02);
+  cfg.eta = 0.2;
+  cfg.dt_max = 1.0 / 8;
+  cfg.max_level = 6;
+  nbody::Simulation sim(std::move(ic), cfg);
+
+  // Track the separation of the two galaxies' centres of mass.
+  auto separation = [&sim, n_each] {
+    const auto& p = sim.particles();
+    // Particles were permuted into tree order; track by mass-weighted
+    // half-split is no longer possible, so tag by initial x sign instead:
+    // use the bulk velocity split — simplest robust proxy: centroid of the
+    // third of particles with most-negative vs most-positive x.
+    double c1x = 0, c2x = 0, c1n = 0, c2n = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p.vx[i] > 0) {
+        c1x += p.x[i];
+        ++c1n;
+      } else {
+        c2x += p.x[i];
+        ++c2n;
+      }
+    }
+    return std::fabs(c1x / std::max(c1n, 1.0) - c2x / std::max(c2n, 1.0));
+  };
+
+  sim.refresh_forces();
+  const nbody::Energies e0 = sim.energies();
+  std::cout << "two Plummer galaxies, N = " << 2 * n_each
+            << ", initial separation " << sep << ", E = " << e0.total()
+            << (e0.total() < 0 ? " (bound: will merge)\n" : "\n");
+
+  Table t("merger progress", {"t", "COM separation", "E drift"});
+  const int report_every = std::max(steps / 8, 1);
+  for (int s = 1; s <= steps; ++s) {
+    (void)sim.step();
+    if (s % report_every == 0) {
+      sim.refresh_forces();
+      const nbody::Energies e = sim.energies();
+      t.add_row({Table::fix(sim.time(), 2), Table::fix(separation(), 3),
+                 Table::sci(std::fabs((e.total() - e0.total()) /
+                                      e0.total()))});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "tree rebuilds: " << sim.rebuild_count()
+            << "; gravity time share: "
+            << sim.timers().seconds(Kernel::WalkTree) /
+                   sim.timers().total_seconds()
+            << "\n";
+  return 0;
+}

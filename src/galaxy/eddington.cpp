@@ -1,0 +1,114 @@
+#include "galaxy/eddington.hpp"
+
+#include "mathx/quadrature.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic::galaxy {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+const double kEddNorm = 1.0 / (std::sqrt(8.0) * kPi * kPi);
+} // namespace
+
+EddingtonModel::EddingtonModel(const SphericalProfile& component,
+                               const CompositePotential& total, double r_min,
+                               double r_max, int grid_points)
+    : total_(&total), r_min_(r_min), r_max_(r_max) {
+  if (!(r_min > 0.0) || !(r_max > r_min) || grid_points < 32) {
+    throw std::invalid_argument("EddingtonModel: bad grid");
+  }
+  const int n = grid_points;
+
+  // Parametric tabulation over radius: Psi decreases with r, rho too.
+  std::vector<double> psi_tab(n), rho_tab(n);
+  const double dl = std::log(r_max / r_min) / (n - 1);
+  for (int i = 0; i < n; ++i) {
+    const double r = r_min * std::exp(i * dl);
+    // Reverse so psi_tab is increasing (required by the spline).
+    psi_tab[n - 1 - i] = total.psi(r);
+    rho_tab[n - 1 - i] = component.density(r);
+  }
+  psi_max_ = psi_tab.back();
+  // Guard monotonicity (potential of a positive-mass system is strictly
+  // decreasing in r, but numerical flats can appear in the far field).
+  for (int i = 1; i < n; ++i) {
+    if (psi_tab[i] <= psi_tab[i - 1]) {
+      psi_tab[i] = psi_tab[i - 1] * (1.0 + 1e-12) + 1e-300;
+    }
+  }
+  CubicSpline rho_of_psi(psi_tab, rho_tab);
+
+  // First derivative on the same grid, then spline it to differentiate
+  // once more inside the integral.
+  std::vector<double> drho(n);
+  for (int i = 0; i < n; ++i) drho[i] = rho_of_psi.derivative(psi_tab[i]);
+  CubicSpline drho_of_psi(psi_tab, drho);
+
+  const double psi_lo = psi_tab.front();
+  auto d2rho = [&drho_of_psi](double psi) {
+    return drho_of_psi.derivative(psi);
+  };
+
+  // f(E) on a grid of binding energies spanning the tabulated range.
+  std::vector<double> e_grid(n), f_grid(n);
+  const double e_min = psi_lo * 1.02 + 1e-12;
+  e_min_ = e_min;
+  const double e_max = psi_max_ * 0.999999;
+  const double de = std::log(e_max / e_min) / (n - 1);
+  for (int i = 0; i < n; ++i) {
+    const double E = e_min * std::exp(i * de);
+    // Psi = E - t^2 removes the 1/sqrt(E - Psi) singularity.
+    const double t_hi = std::sqrt(std::max(E - psi_lo, 0.0));
+    auto integrand = [&](double t) { return 2.0 * d2rho(E - t * t); };
+    double val = gauss_legendre(integrand, 0.0, t_hi, 4);
+    // Boundary term: drho/dPsi at the outer edge (Psi ~ psi_lo) over
+    // sqrt(E) — vanishes for truncated profiles but kept for generality.
+    val += drho_of_psi(psi_lo) / std::sqrt(E);
+    e_grid[i] = E;
+    f_grid[i] = std::max(kEddNorm * val, 0.0);
+  }
+  f_of_e_ = CubicSpline(std::move(e_grid), std::move(f_grid));
+}
+
+double EddingtonModel::f(double energy) const {
+  if (energy <= e_min_ || energy <= 0.0) return 0.0;
+  const double fe = f_of_e_(std::min(energy, f_of_e_.x_max()));
+  return std::max(fe, 0.0);
+}
+
+double EddingtonModel::psi(double r) const { return total_->psi(r); }
+
+double EddingtonModel::sample_speed(double r, Xoshiro256& rng) const {
+  const double psir = psi(r);
+  const double v_esc = std::sqrt(2.0 * psir);
+  // Envelope: scan for the maximum of f(Psi - v^2/2) v^2.
+  double fmax = 0.0;
+  constexpr int kScan = 64;
+  for (int i = 1; i <= kScan; ++i) {
+    const double v = v_esc * static_cast<double>(i) / kScan;
+    fmax = std::max(fmax, f(psir - 0.5 * v * v) * v * v);
+  }
+  if (fmax <= 0.0) return 0.0;
+  fmax *= 1.1; // head-room against scan misses
+  for (int iter = 0; iter < 10000; ++iter) {
+    const double v = v_esc * rng.uniform();
+    const double y = fmax * rng.uniform();
+    ++proposals_;
+    if (y <= f(psir - 0.5 * v * v) * v * v) {
+      ++accepts_;
+      return v;
+    }
+  }
+  return 0.0; // pathological; callers treat as at-rest particle
+}
+
+double EddingtonModel::acceptance_rate() const {
+  return proposals_ == 0
+             ? 0.0
+             : static_cast<double>(accepts_) / static_cast<double>(proposals_);
+}
+
+} // namespace gothic::galaxy

@@ -1,0 +1,58 @@
+// Eddington inversion: the isotropic distribution function f(E) of a
+// spherical density component embedded in a composite potential.
+//
+// MAGI (Miki & Umemura 2018), which generated the paper's M31 initial
+// conditions, realises each spherical component in dynamical equilibrium
+// by sampling velocities from
+//
+//   f(E) = 1/(sqrt(8) pi^2) [ int_0^E d^2rho/dPsi^2 dPsi / sqrt(E - Psi)
+//                             + (drho/dPsi)|_{Psi=0} / sqrt(E) ],
+//
+// where Psi = -Phi_total is the relative potential. We tabulate rho(Psi)
+// parametrically on a log-radius grid, spline the derivatives, and
+// integrate with the sqrt-singularity-removing substitution
+// Psi = E - t^2.
+#pragma once
+
+#include "galaxy/profiles.hpp"
+#include "mathx/spline.hpp"
+#include "util/rng.hpp"
+
+namespace gothic::galaxy {
+
+class EddingtonModel {
+public:
+  /// `component` supplies the density; `total` the potential all species
+  /// move in (self-consistent when every component is added to it).
+  EddingtonModel(const SphericalProfile& component,
+                 const CompositePotential& total, double r_min, double r_max,
+                 int grid_points = 256);
+
+  /// Distribution function (clamped at 0; tiny negative values from
+  /// numerical differentiation are zeroed).
+  [[nodiscard]] double f(double energy) const;
+
+  /// Relative potential at radius r.
+  [[nodiscard]] double psi(double r) const;
+
+  /// Maximum binding energy of the tabulation (Psi at r_min).
+  [[nodiscard]] double psi_max() const { return psi_max_; }
+
+  /// Draw an equilibrium speed at radius r by rejection sampling of
+  /// p(v) ~ f(Psi - v^2/2) v^2 on [0, v_esc].
+  [[nodiscard]] double sample_speed(double r, Xoshiro256& rng) const;
+
+  /// Fraction of rejection-sampling proposals accepted so far (test hook).
+  [[nodiscard]] double acceptance_rate() const;
+
+private:
+  const CompositePotential* total_;
+  double r_min_, r_max_;
+  double psi_max_ = 0.0;
+  CubicSpline f_of_e_;       ///< log f vs E (monotone grids)
+  double e_min_ = 0.0;
+  mutable std::uint64_t proposals_ = 0;
+  mutable std::uint64_t accepts_ = 0;
+};
+
+} // namespace gothic::galaxy

@@ -1,0 +1,74 @@
+#include "galaxy/m31.hpp"
+
+#include "galaxy/eddington.hpp"
+#include "galaxy/spherical_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic::galaxy {
+
+M31Model::M31Model(M31Parameters params)
+    : params_(params),
+      halo_(make_truncated_nfw(params.halo_mass, params.halo_scale,
+                               params.halo_r_cut, params.halo_taper)),
+      stellar_halo_(make_sersic(params.stellar_halo_mass,
+                                params.stellar_halo_reff,
+                                params.stellar_halo_n)),
+      bulge_(params.bulge_mass, params.bulge_scale),
+      disk_sphere_(params.disk.mass, params.disk.r_scale) {
+  total_.add(halo_.get());
+  total_.add(stellar_halo_.get());
+  total_.add(&bulge_);
+  total_.add(&disk_sphere_);
+
+  // Distribution functions of the spheroids in the full potential.
+  halo_df_ = std::make_unique<EddingtonModel>(*halo_, total_, 1e-2, 400.0);
+  stellar_halo_df_ =
+      std::make_unique<EddingtonModel>(*stellar_halo_, total_, 1e-2, 400.0);
+  bulge_df_ =
+      std::make_unique<EddingtonModel>(bulge_, total_, 1e-3, 400.0);
+
+  // The disk's rotational support comes from the true (flattened) disk
+  // plus the spheroids. DiskModel tabulates everything it needs during
+  // construction, so a local spheroid-only composite suffices.
+  CompositePotential spheroids;
+  spheroids.add(halo_.get());
+  spheroids.add(stellar_halo_.get());
+  spheroids.add(&bulge_);
+  disk_model_ = std::make_unique<DiskModel>(params.disk, spheroids);
+}
+
+nbody::Particles M31Model::realize(std::size_t n_total,
+                                   std::uint64_t seed) const {
+  if (n_total < 64) {
+    throw std::invalid_argument("M31Model: need at least 64 particles");
+  }
+  const double m_part = params_.total_mass() / static_cast<double>(n_total);
+
+  // Equal particle masses: counts proportional to component masses; the
+  // disk absorbs the rounding remainder.
+  const auto n_halo = static_cast<std::size_t>(
+      std::floor(params_.halo_mass / m_part));
+  const auto n_shalo = static_cast<std::size_t>(
+      std::floor(params_.stellar_halo_mass / m_part));
+  const auto n_bulge = static_cast<std::size_t>(
+      std::floor(params_.bulge_mass / m_part));
+  const std::size_t n_disk = n_total - n_halo - n_shalo - n_bulge;
+
+  Xoshiro256 rng(seed);
+  nbody::Particles p;
+  sample_spherical(p, *halo_, *halo_df_, 1e-2, 400.0, n_halo, m_part, rng);
+  sample_spherical(p, *stellar_halo_, *stellar_halo_df_, 1e-2, 400.0,
+                   n_shalo, m_part, rng);
+  sample_spherical(p, bulge_, *bulge_df_, 1e-3, 400.0, n_bulge, m_part, rng);
+  disk_model_->sample(p, n_disk, m_part, rng);
+  return p;
+}
+
+nbody::Particles build_m31(std::size_t n_total, std::uint64_t seed) {
+  const M31Model model;
+  return model.realize(n_total, seed);
+}
+
+} // namespace gothic::galaxy

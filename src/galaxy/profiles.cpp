@@ -1,0 +1,222 @@
+#include "galaxy/profiles.hpp"
+
+#include "mathx/quadrature.hpp"
+#include "mathx/special.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic::galaxy {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kFourPi = 4.0 * kPi;
+} // namespace
+
+// --- Plummer -----------------------------------------------------------------
+
+PlummerProfile::PlummerProfile(double mass, double scale)
+    : mass_(mass), a_(scale) {
+  if (!(mass > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("PlummerProfile: mass and scale must be > 0");
+  }
+}
+
+double PlummerProfile::density(double r) const {
+  const double q = 1.0 + (r * r) / (a_ * a_);
+  return 3.0 * mass_ / (kFourPi * a_ * a_ * a_) * std::pow(q, -2.5);
+}
+
+double PlummerProfile::enclosed_mass(double r) const {
+  const double x = r / a_;
+  const double x2 = x * x;
+  return mass_ * x2 * x / std::pow(1.0 + x2, 1.5);
+}
+
+double PlummerProfile::potential(double r) const {
+  return -mass_ / std::sqrt(r * r + a_ * a_);
+}
+
+// --- Hernquist ---------------------------------------------------------------
+
+HernquistProfile::HernquistProfile(double mass, double scale)
+    : mass_(mass), a_(scale) {
+  if (!(mass > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("HernquistProfile: mass and scale must be > 0");
+  }
+}
+
+double HernquistProfile::density(double r) const {
+  if (r <= 0.0) return 0.0;
+  return mass_ * a_ / (2.0 * kPi * r) / std::pow(r + a_, 3.0);
+}
+
+double HernquistProfile::enclosed_mass(double r) const {
+  const double q = r / (r + a_);
+  return mass_ * q * q;
+}
+
+double HernquistProfile::potential(double r) const {
+  return -mass_ / (r + a_);
+}
+
+// --- tabulated ---------------------------------------------------------------
+
+TabulatedProfile::TabulatedProfile(std::string name,
+                                   std::function<double(double)> rho,
+                                   double r_min, double r_max,
+                                   int grid_points)
+    : name_(std::move(name)), rho_(std::move(rho)), r_min_(r_min),
+      r_max_(r_max) {
+  if (!(r_min > 0.0) || !(r_max > r_min) || grid_points < 16) {
+    throw std::invalid_argument("TabulatedProfile: bad grid");
+  }
+  const int n = grid_points;
+  std::vector<double> logr(n), mass(n), outer(n), pot(n);
+  const double dl = std::log(r_max / r_min) / (n - 1);
+  for (int i = 0; i < n; ++i) logr[i] = std::log(r_min) + i * dl;
+
+  // Enclosed mass: panel-wise Gauss-Legendre of 4 pi r^2 rho, in log r.
+  auto shell = [this](double lr) {
+    const double r = std::exp(lr);
+    return kFourPi * r * r * rho_(r) * r; // extra r from d(ln r)
+  };
+  // Central sphere below the grid assumes a power-law-ish density; use a
+  // direct integral with the substitution r = r_min * t.
+  mass[0] = gauss_legendre(
+      [this](double r) { return kFourPi * r * r * rho_(r); }, 0.0, r_min, 8);
+  for (int i = 1; i < n; ++i) {
+    mass[i] = mass[i - 1] + gauss_legendre(shell, logr[i - 1], logr[i], 1);
+  }
+  total_mass_ = mass[n - 1];
+  if (!(total_mass_ > 0.0)) {
+    throw std::invalid_argument("TabulatedProfile: zero total mass");
+  }
+
+  // Outer potential term W(r) = int_r^rmax 4 pi r' rho dr'.
+  outer[n - 1] = 0.0;
+  auto ring = [this](double lr) {
+    const double r = std::exp(lr);
+    return kFourPi * r * rho_(r) * r; // extra r from d(ln r)
+  };
+  for (int i = n - 2; i >= 0; --i) {
+    outer[i] = outer[i + 1] + gauss_legendre(ring, logr[i], logr[i + 1], 1);
+  }
+  for (int i = 0; i < n; ++i) {
+    const double r = std::exp(logr[i]);
+    pot[i] = -(mass[i] / r + outer[i]);
+  }
+  mass_of_logr_ = CubicSpline(logr, mass);
+  pot_of_logr_ = CubicSpline(std::move(logr), pot);
+}
+
+double TabulatedProfile::density(double r) const {
+  return r <= 0.0 ? rho_(r_min_) : rho_(r);
+}
+
+double TabulatedProfile::enclosed_mass(double r) const {
+  if (r <= r_min_) {
+    // Scale the innermost sphere as r^3 times the local density ratio.
+    const double frac = r / r_min_;
+    return mass_of_logr_(std::log(r_min_)) * frac * frac * frac;
+  }
+  if (r >= r_max_) return total_mass_;
+  return mass_of_logr_(std::log(r));
+}
+
+double TabulatedProfile::potential(double r) const {
+  if (r <= r_min_) return pot_of_logr_(std::log(r_min_));
+  if (r >= r_max_) return -total_mass_ / r;
+  return pot_of_logr_(std::log(r));
+}
+
+std::unique_ptr<TabulatedProfile> make_truncated_nfw(double mass,
+                                                     double scale,
+                                                     double r_cut,
+                                                     double taper) {
+  if (!(r_cut > scale) || !(taper > 0.0)) {
+    throw std::invalid_argument("make_truncated_nfw: bad truncation");
+  }
+  // Un-normalised NFW with an exponential taper beyond r_cut.
+  auto raw = [scale, r_cut, taper](double r) {
+    const double x = std::max(r, 1e-12) / scale;
+    double rho = 1.0 / (x * (1.0 + x) * (1.0 + x));
+    if (r > r_cut) rho *= std::exp(-(r - r_cut) / taper);
+    return rho;
+  };
+  const double r_min = scale * 1e-4;
+  const double r_max = r_cut + 12.0 * taper;
+  TabulatedProfile probe("nfw-probe", raw, r_min, r_max);
+  const double norm = mass / probe.total_mass();
+  auto rho = [raw, norm](double r) { return norm * raw(r); };
+  return std::make_unique<TabulatedProfile>("nfw", rho, r_min, r_max);
+}
+
+std::unique_ptr<TabulatedProfile> make_sersic(double mass, double r_eff,
+                                              double n) {
+  if (!(n > 0.2) || !(r_eff > 0.0)) {
+    throw std::invalid_argument("make_sersic: bad parameters");
+  }
+  const double b = sersic_b(n);
+  // Prugniel & Simien (1997) deprojection exponent.
+  const double p = 1.0 - 0.6097 / n + 0.05463 / (n * n);
+  auto raw = [r_eff, n, b, p](double r) {
+    const double x = std::max(r, 1e-12) / r_eff;
+    return std::pow(x, -p) * std::exp(-b * std::pow(x, 1.0 / n));
+  };
+  const double r_min = r_eff * 1e-4;
+  const double r_max = r_eff * 50.0;
+  TabulatedProfile probe("sersic-probe", raw, r_min, r_max);
+  const double norm = mass / probe.total_mass();
+  auto rho = [raw, norm](double r) { return norm * raw(r); };
+  return std::make_unique<TabulatedProfile>("sersic", rho, r_min, r_max);
+}
+
+// --- sphericalised disk --------------------------------------------------------
+
+SphericalizedDisk::SphericalizedDisk(double mass, double r_scale)
+    : mass_(mass), rd_(r_scale) {
+  if (!(mass > 0.0) || !(r_scale > 0.0)) {
+    throw std::invalid_argument("SphericalizedDisk: bad parameters");
+  }
+}
+
+double SphericalizedDisk::density(double r) const {
+  // dM/dr / (4 pi r^2) of the exponential cumulative mass.
+  if (r <= 0.0) return 0.0;
+  const double x = r / rd_;
+  return mass_ * x * std::exp(-x) / (kFourPi * rd_ * r * r);
+}
+
+double SphericalizedDisk::enclosed_mass(double r) const {
+  const double x = r / rd_;
+  return mass_ * (1.0 - (1.0 + x) * std::exp(-x));
+}
+
+double SphericalizedDisk::potential(double r) const {
+  if (r <= 0.0) return -mass_ / rd_;
+  // Phi = -[M(r)/r + W(r)], W = int_r^inf 4 pi r rho dr = M exp(-x)/rd
+  const double x = r / rd_;
+  return -(enclosed_mass(r) / r + mass_ * std::exp(-x) / rd_);
+}
+
+// --- composite ---------------------------------------------------------------
+
+double CompositePotential::psi(double r) const {
+  double phi = 0.0;
+  for (const auto* p : parts_) phi += p->potential(r);
+  return -phi;
+}
+
+double CompositePotential::enclosed_mass(double r) const {
+  double m = 0.0;
+  for (const auto* p : parts_) m += p->enclosed_mass(r);
+  return m;
+}
+
+double CompositePotential::vcirc(double r) const {
+  if (r <= 0.0) return 0.0;
+  return std::sqrt(enclosed_mass(r) / r);
+}
+
+} // namespace gothic::galaxy

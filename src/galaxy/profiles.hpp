@@ -1,0 +1,132 @@
+// Spherical density profiles of the M31 model (§2.2) and test systems.
+//
+// Analytic profiles (Plummer, Hernquist) carry closed forms; the NFW halo
+// (exponentially truncated so the mass converges to the quoted value) and
+// the deprojected Sersic stellar halo (Prugniel & Simien 1997
+// approximation) are realised through a common numerically tabulated
+// machinery (mass and potential by quadrature on a log grid).
+//
+// All quantities are in simulation units (G = 1, units.hpp).
+#pragma once
+
+#include "mathx/spline.hpp"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gothic::galaxy {
+
+/// Interface: spherically symmetric mass component.
+class SphericalProfile {
+public:
+  virtual ~SphericalProfile() = default;
+  [[nodiscard]] virtual double density(double r) const = 0;
+  [[nodiscard]] virtual double enclosed_mass(double r) const = 0;
+  /// Gravitational potential Phi(r) <= 0, -> 0 at infinity.
+  [[nodiscard]] virtual double potential(double r) const = 0;
+  [[nodiscard]] virtual double total_mass() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Plummer (1911) sphere — the standard test system.
+class PlummerProfile final : public SphericalProfile {
+public:
+  PlummerProfile(double mass, double scale);
+  [[nodiscard]] double density(double r) const override;
+  [[nodiscard]] double enclosed_mass(double r) const override;
+  [[nodiscard]] double potential(double r) const override;
+  [[nodiscard]] double total_mass() const override { return mass_; }
+  [[nodiscard]] std::string name() const override { return "plummer"; }
+  [[nodiscard]] double scale() const { return a_; }
+
+private:
+  double mass_, a_;
+};
+
+/// Hernquist (1990) sphere — the M31 bulge.
+class HernquistProfile final : public SphericalProfile {
+public:
+  HernquistProfile(double mass, double scale);
+  [[nodiscard]] double density(double r) const override;
+  [[nodiscard]] double enclosed_mass(double r) const override;
+  [[nodiscard]] double potential(double r) const override;
+  [[nodiscard]] double total_mass() const override { return mass_; }
+  [[nodiscard]] std::string name() const override { return "hernquist"; }
+  [[nodiscard]] double scale() const { return a_; }
+
+private:
+  double mass_, a_;
+};
+
+/// Numerically tabulated profile: density given as a callable; enclosed
+/// mass and potential integrated on a log-radius grid and splined.
+class TabulatedProfile : public SphericalProfile {
+public:
+  TabulatedProfile(std::string name, std::function<double(double)> rho,
+                   double r_min, double r_max, int grid_points = 512);
+  [[nodiscard]] double density(double r) const override;
+  [[nodiscard]] double enclosed_mass(double r) const override;
+  [[nodiscard]] double potential(double r) const override;
+  [[nodiscard]] double total_mass() const override { return total_mass_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double r_min() const { return r_min_; }
+  [[nodiscard]] double r_max() const { return r_max_; }
+
+private:
+  std::string name_;
+  std::function<double(double)> rho_;
+  double r_min_, r_max_;
+  double total_mass_ = 0.0;
+  CubicSpline mass_of_logr_;   ///< M(<r) vs ln r
+  CubicSpline pot_of_logr_;    ///< Phi(r) vs ln r
+};
+
+/// NFW halo with an exponential taper beyond r_cut so the total mass is
+/// finite; the amplitude is normalised to the requested total mass
+/// (the M31 dark halo quotes a mass, not a concentration).
+std::unique_ptr<TabulatedProfile> make_truncated_nfw(double mass,
+                                                     double scale,
+                                                     double r_cut,
+                                                     double taper);
+
+/// Deprojected Sersic sphere (Prugniel & Simien 1997): the M31 stellar
+/// halo (n = 2.2, Re = 9 kpc).
+std::unique_ptr<TabulatedProfile> make_sersic(double mass, double r_eff,
+                                              double n);
+
+/// Spherically averaged exponential disk (for the composite potential in
+/// which the spheroids' distribution functions are computed): enclosed
+/// mass M(r) = M [1 - (1 + r/Rd) exp(-r/Rd)].
+class SphericalizedDisk final : public SphericalProfile {
+public:
+  SphericalizedDisk(double mass, double r_scale);
+  [[nodiscard]] double density(double r) const override;
+  [[nodiscard]] double enclosed_mass(double r) const override;
+  [[nodiscard]] double potential(double r) const override;
+  [[nodiscard]] double total_mass() const override { return mass_; }
+  [[nodiscard]] std::string name() const override {
+    return "sphericalized-disk";
+  }
+
+private:
+  double mass_, rd_;
+};
+
+/// Sum of components: the psi(r) the Eddington inversion runs in.
+class CompositePotential {
+public:
+  void add(const SphericalProfile* p) { parts_.push_back(p); }
+  /// Relative potential Psi = -Phi >= 0.
+  [[nodiscard]] double psi(double r) const;
+  [[nodiscard]] double enclosed_mass(double r) const;
+  /// Circular velocity from the summed monopole.
+  [[nodiscard]] double vcirc(double r) const;
+  [[nodiscard]] std::size_t size() const { return parts_.size(); }
+
+private:
+  std::vector<const SphericalProfile*> parts_;
+};
+
+} // namespace gothic::galaxy

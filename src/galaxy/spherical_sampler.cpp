@@ -1,0 +1,117 @@
+#include "galaxy/spherical_sampler.hpp"
+
+#include "mathx/spline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gothic::galaxy {
+
+namespace {
+void grow_particles(nbody::Particles& p, std::size_t total) {
+  auto grow = [total](std::vector<real>& v) { v.resize(total, real(0)); };
+  grow(p.x);
+  grow(p.y);
+  grow(p.z);
+  grow(p.vx);
+  grow(p.vy);
+  grow(p.vz);
+  grow(p.ax);
+  grow(p.ay);
+  grow(p.az);
+  grow(p.pot);
+  grow(p.m);
+  grow(p.aold_mag);
+}
+} // namespace
+
+void sample_spherical(nbody::Particles& p, const SphericalProfile& component,
+                      const EddingtonModel& df, double r_min, double r_max,
+                      std::size_t count, double particle_mass,
+                      Xoshiro256& rng) {
+  if (!(r_min > 0.0) || !(r_max > r_min)) {
+    throw std::invalid_argument("sample_spherical: bad radial range");
+  }
+  // Radius sampler from the cumulative mass profile on a log grid.
+  const int n = 512;
+  std::vector<double> rr(n), cdf(n);
+  const double dl = std::log(r_max / r_min) / (n - 1);
+  for (int i = 0; i < n; ++i) {
+    rr[i] = r_min * std::exp(i * dl);
+    cdf[i] = component.enclosed_mass(rr[i]);
+  }
+  InverseCdf radius(std::move(rr), std::move(cdf));
+
+  const std::size_t base = p.size();
+  grow_particles(p, base + count);
+  for (std::size_t i = base; i < base + count; ++i) {
+    const double r = radius(rng.uniform());
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    p.x[i] = static_cast<real>(r * ux);
+    p.y[i] = static_cast<real>(r * uy);
+    p.z[i] = static_cast<real>(r * uz);
+    const double v = df.sample_speed(r, rng);
+    rng.unit_vector(ux, uy, uz);
+    p.vx[i] = static_cast<real>(v * ux);
+    p.vy[i] = static_cast<real>(v * uy);
+    p.vz[i] = static_cast<real>(v * uz);
+    p.m[i] = static_cast<real>(particle_mass);
+  }
+}
+
+nbody::Particles make_plummer(std::size_t n, double mass, double scale,
+                              std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_plummer: n must be > 0");
+  Xoshiro256 rng(seed);
+  nbody::Particles p(n);
+  // Standard (Henon) units inside, scaled at the end: G = M = a = 1.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform(1e-10, 1.0 - 1e-10);
+    const double r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    p.x[i] = static_cast<real>(scale * r * ux);
+    p.y[i] = static_cast<real>(scale * r * uy);
+    p.z[i] = static_cast<real>(scale * r * uz);
+
+    // Speed fraction q of the escape speed: p(q) ~ q^2 (1 - q^2)^3.5.
+    double q = 0.0;
+    for (;;) {
+      const double qq = rng.uniform();
+      const double y = rng.uniform() * 0.1; // max of q^2(1-q^2)^3.5 ~ 0.092
+      if (y <= qq * qq * std::pow(1.0 - qq * qq, 3.5)) {
+        q = qq;
+        break;
+      }
+    }
+    const double v_esc = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    const double v = q * v_esc * std::sqrt(mass / scale);
+    rng.unit_vector(ux, uy, uz);
+    p.vx[i] = static_cast<real>(v * ux);
+    p.vy[i] = static_cast<real>(v * uy);
+    p.vz[i] = static_cast<real>(v * uz);
+    p.m[i] = static_cast<real>(mass / static_cast<double>(n));
+  }
+  return p;
+}
+
+nbody::Particles make_uniform_sphere(std::size_t n, double mass,
+                                     double radius, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_uniform_sphere: n must be > 0");
+  Xoshiro256 rng(seed);
+  nbody::Particles p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = radius * std::cbrt(rng.uniform());
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    p.x[i] = static_cast<real>(r * ux);
+    p.y[i] = static_cast<real>(r * uy);
+    p.z[i] = static_cast<real>(r * uz);
+    p.m[i] = static_cast<real>(mass / static_cast<double>(n));
+  }
+  return p;
+}
+
+} // namespace gothic::galaxy

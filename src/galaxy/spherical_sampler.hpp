@@ -1,0 +1,29 @@
+// Realise a spherical component in dynamical equilibrium: positions from
+// the cumulative mass profile, speeds from its Eddington distribution
+// function, directions isotropic.
+#pragma once
+
+#include "galaxy/eddington.hpp"
+#include "galaxy/profiles.hpp"
+#include "nbody/particles.hpp"
+#include "util/rng.hpp"
+
+namespace gothic::galaxy {
+
+/// Append `count` particles of `particle_mass` drawn from `component`
+/// (positions) and `df` (velocities) to `p`.
+void sample_spherical(nbody::Particles& p, const SphericalProfile& component,
+                      const EddingtonModel& df, double r_min, double r_max,
+                      std::size_t count, double particle_mass,
+                      Xoshiro256& rng);
+
+/// Analytic equilibrium Plummer sphere (Aarseth, Henon & Wielen 1974
+/// rejection sampling) — fast path for tests and examples, no tabulation.
+nbody::Particles make_plummer(std::size_t n, double mass, double scale,
+                              std::uint64_t seed);
+
+/// Uniform-density cold sphere (collapse tests).
+nbody::Particles make_uniform_sphere(std::size_t n, double mass,
+                                     double radius, std::uint64_t seed);
+
+} // namespace gothic::galaxy

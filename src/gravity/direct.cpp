@@ -1,0 +1,95 @@
+#include "gravity/direct.hpp"
+
+#include "gravity/cost_model.hpp"
+#include "util/parallel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic::gravity {
+
+void direct_forces(std::span<const real> x, std::span<const real> y,
+                   std::span<const real> z, std::span<const real> m,
+                   real eps, real g, std::span<real> ax, std::span<real> ay,
+                   std::span<real> az, std::span<real> pot,
+                   simt::OpCounts* ops) {
+  const std::size_t n = x.size();
+  if (y.size() != n || z.size() != n || m.size() != n || ax.size() != n ||
+      ay.size() != n || az.size() != n ||
+      (!pot.empty() && pot.size() != n)) {
+    throw std::invalid_argument("direct_forces: span size mismatch");
+  }
+  const real eps2 = eps * eps;
+
+  parallel_for(0, n, [&](std::size_t i) {
+    const real xi = x[i], yi = y[i], zi = z[i];
+    real sx = 0, sy = 0, sz = 0, sp = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const real dx = x[j] - xi;
+      const real dy = y[j] - yi;
+      const real dz = z[j] - zi;
+      const real r2 = eps2 + dx * dx + dy * dy + dz * dz;
+      const real rinv = real(1) / std::sqrt(r2);
+      const real mr = m[j] * rinv;
+      const real s = mr * rinv * rinv;
+      sx += s * dx;
+      sy += s * dy;
+      sz += s * dz;
+      sp -= mr;
+    }
+    // Remove the self-interaction's potential term (its force is zero by
+    // symmetry but -m_i/eps is not).
+    sp += m[i] / eps;
+    ax[i] = g * sx;
+    ay[i] = g * sy;
+    az[i] = g * sz;
+    if (!pot.empty()) pot[i] = g * sp;
+  });
+
+  if (ops != nullptr) {
+    const auto pairs = static_cast<std::uint64_t>(n) * n;
+    ops->fp32_add += pairs * cost::kPairAdd;
+    ops->fp32_fma += pairs * cost::kPairFma;
+    ops->fp32_mul += pairs * cost::kPairMul;
+    ops->fp32_special += pairs * cost::kPairSpecial;
+    // The direct kernel streams the j-array once per tile of i-particles
+    // held in shared memory; charge one float4 load per pair-tile row.
+    ops->bytes_load += static_cast<std::uint64_t>(n) * 16 +
+                       pairs / kWarpSize * 16;
+    ops->bytes_store += static_cast<std::uint64_t>(n) * 16;
+    ops->int_ops += pairs; // loop/address bookkeeping (unrolled on GPU)
+  }
+}
+
+void direct_forces_ref(std::span<const real> x, std::span<const real> y,
+                       std::span<const real> z, std::span<const real> m,
+                       double eps, double g, std::span<double> ax,
+                       std::span<double> ay, std::span<double> az,
+                       std::span<double> pot) {
+  const std::size_t n = x.size();
+  const double eps2 = eps * eps;
+  parallel_for(0, n, [&](std::size_t i) {
+    const double xi = x[i], yi = y[i], zi = z[i];
+    double sx = 0, sy = 0, sz = 0, sp = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dx = x[j] - xi;
+      const double dy = y[j] - yi;
+      const double dz = z[j] - zi;
+      const double r2 = eps2 + dx * dx + dy * dy + dz * dz;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double mr = m[j] * rinv;
+      const double s = mr * rinv * rinv;
+      sx += s * dx;
+      sy += s * dy;
+      sz += s * dz;
+      sp -= mr;
+    }
+    ax[i] = g * sx;
+    ay[i] = g * sy;
+    az[i] = g * sz;
+    if (!pot.empty()) pot[i] = g * sp;
+  });
+}
+
+} // namespace gothic::gravity

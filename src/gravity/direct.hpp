@@ -1,0 +1,32 @@
+// Direct O(N^2) force summation (Eq. 1) — the baseline algorithm the tree
+// method is measured against (§1) and the accuracy reference for the MAC
+// tests and the accuracy_sweep example.
+#pragma once
+
+#include "simt/op_counter.hpp"
+#include "util/types.hpp"
+
+#include <span>
+
+namespace gothic::gravity {
+
+/// Single-precision direct summation with Plummer softening `eps`;
+/// writes accelerations (and, when `pot` is non-empty, specific potential
+/// energies excluding self-interaction). When `ops` is non-null, tallies
+/// the executed instruction mix (the direct method runs floating-point
+/// work almost exclusively, §4.2).
+void direct_forces(std::span<const real> x, std::span<const real> y,
+                   std::span<const real> z, std::span<const real> m,
+                   real eps, real g, std::span<real> ax, std::span<real> ay,
+                   std::span<real> az, std::span<real> pot = {},
+                   simt::OpCounts* ops = nullptr);
+
+/// Double-precision reference used by tests to quantify force errors of
+/// both the FP32 direct sum and the tree walk.
+void direct_forces_ref(std::span<const real> x, std::span<const real> y,
+                       std::span<const real> z, std::span<const real> m,
+                       double eps, double g, std::span<double> ax,
+                       std::span<double> ay, std::span<double> az,
+                       std::span<double> pot = {});
+
+} // namespace gothic::gravity

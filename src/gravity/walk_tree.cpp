@@ -1,0 +1,563 @@
+#include "gravity/walk_tree.hpp"
+
+#include "gravity/cost_model.hpp"
+#include "simt/scan.hpp"
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gothic::gravity {
+
+namespace {
+
+using octree::Octree;
+using simt::LaneArray;
+using simt::Warp;
+
+/// The warp's shared-memory interaction list (SoA so the flush loop
+/// vectorises over entries).
+struct InteractionList {
+  InteractionList(int capacity, bool with_quad)
+      : cap(capacity), sx(capacity), sy(capacity), sz(capacity),
+        sm(capacity) {
+    if (with_quad) {
+      qxx.resize(capacity);
+      qxy.resize(capacity);
+      qxz.resize(capacity);
+      qyy.resize(capacity);
+      qyz.resize(capacity);
+      qzz.resize(capacity);
+    }
+  }
+  int cap;
+  int size = 0;
+  std::vector<real> sx, sy, sz, sm;
+  // Quadrupole moments of pseudo-particle entries (zero for spilled
+  // bodies); allocated only when the walk evaluates them.
+  std::vector<real> qxx, qxy, qxz, qyy, qyz, qzz;
+
+  void push(real px, real py, real pz, real pm) {
+    sx[size] = px;
+    sy[size] = py;
+    sz[size] = pz;
+    sm[size] = pm;
+    if (!qxx.empty()) {
+      qxx[size] = qxy[size] = qxz[size] = real(0);
+      qyy[size] = qyz[size] = qzz[size] = real(0);
+    }
+    ++size;
+  }
+
+  void push_quad(real px, real py, real pz, real pm, real xx, real xy,
+                 real xz, real yy, real yz, real zz) {
+    sx[size] = px;
+    sy[size] = py;
+    sz[size] = pz;
+    sm[size] = pm;
+    qxx[size] = xx;
+    qxy[size] = xy;
+    qxz[size] = xz;
+    qyy[size] = yy;
+    qyz[size] = yz;
+    qzz[size] = zz;
+    ++size;
+  }
+};
+
+/// Per-warp traversal workspace, reused across groups handled by the same
+/// OpenMP worker.
+struct Workspace {
+  std::vector<index_t> cur, nxt;
+};
+
+struct GroupTask {
+  const Octree* tree;
+  std::span<const real> x, y, z, m, aold;
+  const WalkConfig* cfg;
+  std::span<real> ax, ay, az, pot;
+};
+
+/// Bounding radius of a body run about its centroid; also returns the
+/// centroid through (cx, cy, cz).
+float run_radius(std::span<const real> x, std::span<const real> y,
+                 std::span<const real> z, index_t first, index_t count,
+                 double& cx, double& cy, double& cz) {
+  cx = cy = cz = 0;
+  for (index_t i = first; i < first + count; ++i) {
+    cx += x[i];
+    cy += y[i];
+    cz += z[i];
+  }
+  cx /= count;
+  cy /= count;
+  cz /= count;
+  double r2 = 0;
+  for (index_t i = first; i < first + count; ++i) {
+    const double dx = x[i] - cx, dy = y[i] - cy, dz = z[i] - cz;
+    r2 = std::max(r2, dx * dx + dy * dy + dz * dz);
+  }
+  return static_cast<float>(std::sqrt(r2));
+}
+
+/// Compactness rule: a group's sphere must stay small relative to its
+/// distance from the mass concentration (here the global centroid), with
+/// an absolute floor. A sphere overlapping the dense bulk forces every
+/// bulk body through the leaf-spill path (near-direct summation); a wide
+/// group far out in the sparse halo is harmless because everything it
+/// sees is already distant.
+struct CompactRule {
+  double com_x = 0, com_y = 0, com_z = 0;
+  float floor_radius = 0;
+  float eta = 0.2f;
+
+  [[nodiscard]] bool ok(float rgrp, double cx, double cy, double cz) const {
+    const double dx = cx - com_x, dy = cy - com_y, dz = cz - com_z;
+    const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+    return rgrp <= std::max(static_cast<double>(floor_radius), eta * dist);
+  }
+};
+
+/// Emit `run`, recursively halving it while it violates the compactness
+/// rule (Morton-contiguous halves stay spatially coherent).
+void emit_compact(std::span<const real> x, std::span<const real> y,
+                  std::span<const real> z, GroupSpan run,
+                  const CompactRule& rule, std::vector<GroupSpan>& out) {
+  double cx, cy, cz;
+  const float rgrp = run_radius(x, y, z, run.first, run.count, cx, cy, cz);
+  if (run.count <= 1 || rule.ok(rgrp, cx, cy, cz)) {
+    out.push_back(run);
+    return;
+  }
+  const index_t half = run.count / 2;
+  emit_compact(x, y, z, {run.first, half}, rule, out);
+  emit_compact(x, y, z, {run.first + half,
+                         static_cast<index_t>(run.count - half)}, rule, out);
+}
+
+} // namespace
+
+/// GOTHIC derives the 32-body warp groups from the tree structure so a
+/// group never straddles spatially distant cells. We take each leaf as a
+/// seed group, greedily merge Morton-adjacent leaves while the merged
+/// group stays within a warp and within roughly a parent-cell extent, and
+/// finally split any run wider than the compactness cap.
+std::vector<GroupSpan> walk_groups(const Octree& tree,
+                                   std::span<const real> x,
+                                   std::span<const real> y,
+                                   std::span<const real> z,
+                                   real max_radius_fraction) {
+  std::vector<index_t> leaves;
+  leaves.reserve(tree.num_nodes() / 2);
+  for (index_t node = 0; node < tree.num_nodes(); ++node) {
+    if (tree.is_leaf(node) && tree.body_count[node] > 0) {
+      leaves.push_back(node);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [&tree](index_t a, index_t b) {
+              return tree.body_first[a] < tree.body_first[b];
+            });
+
+  std::vector<GroupSpan> raw;
+  raw.reserve(leaves.size());
+  GroupSpan cur{};
+  int cur_depth = 0;
+  for (const index_t leaf : leaves) {
+    index_t first = tree.body_first[leaf];
+    index_t remain = tree.body_count[leaf];
+    // Oversized leaves (identical positions at max depth) split plainly.
+    while (remain > static_cast<index_t>(kWarpSize)) {
+      if (cur.count > 0) {
+        raw.push_back(cur);
+        cur = GroupSpan{};
+      }
+      raw.push_back({first, static_cast<index_t>(kWarpSize)});
+      first += kWarpSize;
+      remain -= kWarpSize;
+    }
+    if (remain == 0) continue;
+    const int depth = tree.depth[leaf];
+    const bool fits = cur.count + remain <= static_cast<index_t>(kWarpSize);
+    // Same-or-adjacent depth keeps the union within ~one parent cell.
+    const bool compact = cur.count == 0 || std::abs(depth - cur_depth) <= 1;
+    if (cur.count > 0 && fits && compact) {
+      cur.count += remain;
+      cur_depth = std::min(cur_depth, depth);
+    } else {
+      if (cur.count > 0) raw.push_back(cur);
+      cur = {first, remain};
+      cur_depth = depth;
+    }
+  }
+  if (cur.count > 0) raw.push_back(cur);
+
+  // Compactness pass (see CompactRule). The global centroid stands in for
+  // the mass concentration; equal particle masses make it the exact COM.
+  CompactRule rule;
+  rule.floor_radius = static_cast<float>(tree.box.edge * max_radius_fraction);
+  double sx = 0, sy = 0, sz = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sz += z[i];
+  }
+  rule.com_x = sx / static_cast<double>(x.size());
+  rule.com_y = sy / static_cast<double>(x.size());
+  rule.com_z = sz / static_cast<double>(x.size());
+
+  std::vector<GroupSpan> groups;
+  groups.reserve(raw.size());
+  for (const GroupSpan& run : raw) {
+    emit_compact(x, y, z, run, rule, groups);
+  }
+  return groups;
+}
+
+namespace {
+
+/// Flush: gravity of all listed sources on the group's bodies.
+void flush_list(const GroupTask& t, InteractionList& list, int gn,
+                std::size_t g0, LaneArray<float>& acc_x,
+                LaneArray<float>& acc_y, LaneArray<float>& acc_z,
+                LaneArray<float>& acc_p, simt::OpCounts& counts,
+                WalkStats& stats) {
+  if (list.size == 0) return;
+  const real eps2 = t.cfg->eps * t.cfg->eps;
+  const int ls = list.size;
+  const bool quad = t.cfg->use_quadrupole;
+  for (int lane = 0; lane < gn; ++lane) {
+    const real xi = t.x[g0 + lane];
+    const real yi = t.y[g0 + lane];
+    const real zi = t.z[g0 + lane];
+    real sx = 0, sy = 0, sz = 0, sp = 0;
+    for (int j = 0; j < ls; ++j) {
+      const real dx = list.sx[j] - xi;
+      const real dy = list.sy[j] - yi;
+      const real dz = list.sz[j] - zi;
+      const real r2 = eps2 + dx * dx + dy * dy + dz * dz;
+      const real rinv = real(1) / std::sqrt(r2);
+      const real rinv2 = rinv * rinv;
+      const real mr = list.sm[j] * rinv;
+      const real s = mr * rinv2;
+      sx += s * dx;
+      sy += s * dy;
+      sz += s * dz;
+      sp -= mr;
+      if (quad) {
+        // a += 2.5 (d.Qd) d / d^7 - Qd / d^5;  pot -= (d.Qd) / (2 d^5).
+        const real qvx =
+            list.qxx[j] * dx + list.qxy[j] * dy + list.qxz[j] * dz;
+        const real qvy =
+            list.qxy[j] * dx + list.qyy[j] * dy + list.qyz[j] * dz;
+        const real qvz =
+            list.qxz[j] * dx + list.qyz[j] * dy + list.qzz[j] * dz;
+        const real dq = dx * qvx + dy * qvy + dz * qvz;
+        const real rinv5 = rinv2 * rinv2 * rinv;
+        const real rinv7 = rinv5 * rinv2;
+        const real coef = real(2.5) * dq * rinv7;
+        sx += coef * dx - qvx * rinv5;
+        sy += coef * dy - qvy * rinv5;
+        sz += coef * dz - qvz * rinv5;
+        sp -= real(0.5) * dq * rinv5;
+      }
+    }
+    acc_x[lane] += sx;
+    acc_y[lane] += sy;
+    acc_z[lane] += sz;
+    acc_p[lane] += sp;
+  }
+  const auto pairs = static_cast<std::uint64_t>(gn) * ls;
+  counts.fp32_add += pairs * cost::kPairAdd;
+  counts.fp32_fma += pairs * cost::kPairFma;
+  counts.fp32_mul += pairs * cost::kPairMul;
+  counts.fp32_special += pairs * cost::kPairSpecial;
+  counts.int_ops += pairs * cost::kPairInt;
+  if (quad) {
+    counts.fp32_fma += pairs * cost::kQuadFma;
+    counts.fp32_mul += pairs * cost::kQuadMul;
+  }
+  stats.interactions += pairs;
+  stats.flushes += 1;
+  list.size = 0;
+}
+
+/// Traverse the tree for one group of up to 32 consecutive bodies.
+void walk_group(const GroupTask& t, std::size_t g0, int gn, Workspace& ws,
+                InteractionList& list, simt::OpCounts& counts,
+                WalkStats& stats) {
+  const Octree& tree = *t.tree;
+  const WalkConfig& cfg = *t.cfg;
+  Warp w(cfg.mode, counts);
+  stats.groups += 1;
+
+  // --- group bounding sphere and minimum old acceleration -----------------
+  LaneArray<float> gx{}, gy{}, gz{};
+  LaneArray<float> amin_l{};
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (lane < gn) {
+      gx[lane] = t.x[g0 + lane];
+      gy[lane] = t.y[g0 + lane];
+      gz[lane] = t.z[g0 + lane];
+      amin_l[lane] = t.aold.empty() ? 0.0f
+                                    : static_cast<float>(t.aold[g0 + lane]);
+    } else {
+      amin_l[lane] = std::numeric_limits<float>::max();
+    }
+  }
+  counts.bytes_load += static_cast<std::uint64_t>(gn) * 20;
+
+  LaneArray<float> cx = gx, cy = gy, cz = gz;
+  simt::reduce_add(w, cx, kWarpSize);
+  simt::reduce_add(w, cy, kWarpSize);
+  simt::reduce_add(w, cz, kWarpSize);
+  const float inv_n = 1.0f / static_cast<float>(gn);
+  const float ctr_x = cx[0] * inv_n;
+  const float ctr_y = cy[0] * inv_n;
+  const float ctr_z = cz[0] * inv_n;
+  counts.fp32_mul += 3;
+  counts.fp32_special += 1;
+
+  LaneArray<float> dist{};
+  for (int lane = 0; lane < gn; ++lane) {
+    const float dx = gx[lane] - ctr_x;
+    const float dy = gy[lane] - ctr_y;
+    const float dz = gz[lane] - ctr_z;
+    dist[lane] = std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+  counts.fp32_add += static_cast<std::uint64_t>(gn) * 3;
+  counts.fp32_fma += static_cast<std::uint64_t>(gn) * 3;
+  counts.fp32_special += static_cast<std::uint64_t>(gn);
+  simt::reduce_max(w, dist, kWarpSize);
+  const float rgrp = dist[0];
+  simt::reduce_min(w, amin_l, kWarpSize);
+  const float amin = amin_l[0];
+
+  // --- breadth-first traversal with the shared interaction list ----------
+  LaneArray<float> acc_x{}, acc_y{}, acc_z{}, acc_p{};
+  ws.cur.clear();
+  ws.nxt.clear();
+  ws.cur.push_back(0); // root
+
+  while (!ws.cur.empty()) {
+    for (std::size_t batch = 0; batch < ws.cur.size(); batch += kWarpSize) {
+      const int bn = static_cast<int>(
+          std::min<std::size_t>(kWarpSize, ws.cur.size() - batch));
+
+      LaneArray<bool> accepted{};
+      LaneArray<bool> spill_leaf{};
+      LaneArray<int> child_n{};
+      for (int lane = 0; lane < bn; ++lane) {
+        const index_t node = ws.cur[batch + lane];
+        const float dx = tree.com_x[node] - ctr_x;
+        const float dy = tree.com_y[node] - ctr_y;
+        const float dz = tree.com_z[node] - ctr_z;
+        const float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+        const float deff = std::max(d - rgrp, 0.0f);
+        // The Gadget MAC opens by cell edge length; the others use bmax.
+        const float bsize =
+            cfg.mac.type == MacType::Gadget
+                ? tree.box.edge / static_cast<float>(1u << tree.depth[node])
+                : tree.bmax[node];
+        const bool ok = mac_accept(cfg.mac, deff, tree.mass[node], bsize,
+                                   amin, cfg.g);
+        accepted[lane] = ok;
+        const bool leaf = tree.is_leaf(node);
+        spill_leaf[lane] = !ok && leaf;
+        child_n[lane] = (!ok && !leaf) ? tree.child_count[node] : 0;
+      }
+      counts.bytes_load += static_cast<std::uint64_t>(
+          static_cast<double>(bn) * cost::kNodeBytes *
+          cost::kNodeDramFraction);
+      counts.fp32_add += static_cast<std::uint64_t>(bn) * cost::kMacAdd;
+      counts.fp32_fma += static_cast<std::uint64_t>(bn) * cost::kMacFma;
+      counts.fp32_mul += static_cast<std::uint64_t>(bn) * cost::kMacMul;
+      counts.fp32_special +=
+          static_cast<std::uint64_t>(bn) * cost::kMacSpecial;
+      counts.int_ops += static_cast<std::uint64_t>(bn) * cost::kMacInt;
+      stats.mac_evals += static_cast<std::uint64_t>(bn);
+
+      // Accepted nodes append their pseudo-particles (warp-compacted).
+      const simt::lane_mask acc_mask = w.ballot(accepted);
+      const int n_acc = simt::popc(acc_mask);
+      if (n_acc > 0) {
+        if (list.size + n_acc > list.cap) {
+          flush_list(t, list, gn, g0, acc_x, acc_y, acc_z, acc_p, counts,
+                     stats);
+        }
+        for (int lane = 0; lane < bn; ++lane) {
+          if (!accepted[lane]) continue;
+          (void)simt::compact_slot(w, acc_mask, lane);
+          const index_t node = ws.cur[batch + lane];
+          if (cfg.use_quadrupole) {
+            list.push_quad(tree.com_x[node], tree.com_y[node],
+                           tree.com_z[node], tree.mass[node],
+                           tree.quad_xx[node], tree.quad_xy[node],
+                           tree.quad_xz[node], tree.quad_yy[node],
+                           tree.quad_yz[node], tree.quad_zz[node]);
+          } else {
+            list.push(tree.com_x[node], tree.com_y[node], tree.com_z[node],
+                      tree.mass[node]);
+          }
+        }
+        counts.int_ops += static_cast<std::uint64_t>(n_acc) * 2;
+        if (cfg.use_quadrupole) {
+          counts.bytes_load += static_cast<std::uint64_t>(n_acc) *
+                               cost::kQuadBytes;
+        }
+        stats.pseudo_appended += static_cast<std::uint64_t>(n_acc);
+      }
+
+      // Rejected leaves spill their bodies into the list (warp-cooperative
+      // copy on the device; may straddle several flushes).
+      const simt::lane_mask spill_mask = w.ballot(spill_leaf);
+      if (spill_mask != 0) {
+        for (int lane = 0; lane < bn; ++lane) {
+          if (!spill_leaf[lane]) continue;
+          const index_t node = ws.cur[batch + lane];
+          index_t b = tree.body_first[node];
+          index_t remain = tree.body_count[node];
+          while (remain > 0) {
+            if (list.size == list.cap) {
+              flush_list(t, list, gn, g0, acc_x, acc_y, acc_z, acc_p, counts,
+                         stats);
+            }
+            const index_t take = std::min<index_t>(
+                remain, static_cast<index_t>(list.cap - list.size));
+            for (index_t k = 0; k < take; ++k) {
+              list.push(t.x[b + k], t.y[b + k], t.z[b + k], t.m[b + k]);
+            }
+            counts.bytes_load += static_cast<std::uint64_t>(
+                static_cast<double>(take) * cost::kListEntryBytes *
+                cost::kBodyDramFraction);
+            counts.int_ops += static_cast<std::uint64_t>(take) * 2;
+            stats.body_appended += take;
+            b += take;
+            remain -= take;
+          }
+        }
+      }
+
+      // Rejected internal nodes enqueue their children; the slot base is a
+      // warp exclusive scan of child counts (the device's frontier
+      // allocation).
+      LaneArray<int> slots = child_n;
+      LaneArray<int> total{};
+      simt::exclusive_scan_add(w, slots, kWarpSize, simt::kFullMask, &total);
+      if (total[0] > 0) {
+        const std::size_t base = ws.nxt.size();
+        ws.nxt.resize(base + static_cast<std::size_t>(total[0]));
+        for (int lane = 0; lane < bn; ++lane) {
+          const int cn = child_n[lane];
+          if (cn == 0) continue;
+          const index_t node = ws.cur[batch + lane];
+          const index_t first = tree.child_first[node];
+          for (int c = 0; c < cn; ++c) {
+            ws.nxt[base + static_cast<std::size_t>(slots[lane] + c)] =
+                first + static_cast<index_t>(c);
+          }
+          stats.nodes_opened += 1;
+        }
+        counts.int_ops += static_cast<std::uint64_t>(total[0]);
+        counts.bytes_store +=
+            static_cast<std::uint64_t>(total[0]) * sizeof(index_t);
+        counts.bytes_load +=
+            static_cast<std::uint64_t>(total[0]) * sizeof(index_t);
+      }
+
+      // GOTHIC re-synchronises the warp before the shared list is reused
+      // (explicit __syncwarp in the Volta mode, §2.1).
+      w.syncwarp();
+    }
+    std::swap(ws.cur, ws.nxt);
+    ws.nxt.clear();
+  }
+
+  flush_list(t, list, gn, g0, acc_x, acc_y, acc_z, acc_p, counts, stats);
+
+  // --- store results -------------------------------------------------------
+  const real g = cfg.g;
+  for (int lane = 0; lane < gn; ++lane) {
+    t.ax[g0 + lane] = g * acc_x[lane];
+    t.ay[g0 + lane] = g * acc_y[lane];
+    t.az[g0 + lane] = g * acc_z[lane];
+    if (!t.pot.empty()) {
+      // Remove the self-interaction potential introduced by the group's
+      // own leaf spill (force contribution is exactly zero).
+      t.pot[g0 + lane] =
+          g * (acc_p[lane] + t.m[g0 + lane] / cfg.eps);
+    }
+  }
+  counts.fp32_mul += static_cast<std::uint64_t>(gn) * 3;
+  counts.bytes_store += static_cast<std::uint64_t>(gn) * 16;
+  if (!t.pot.empty()) {
+    counts.fp32_add += static_cast<std::uint64_t>(gn);
+    counts.fp32_special += static_cast<std::uint64_t>(gn);
+  }
+}
+
+} // namespace
+
+void walk_tree(const Octree& tree, std::span<const real> x,
+               std::span<const real> y, std::span<const real> z,
+               std::span<const real> m, std::span<const real> aold_mag,
+               const WalkConfig& cfg, std::span<real> ax, std::span<real> ay,
+               std::span<real> az, std::span<real> pot,
+               simt::OpCounts* ops, WalkStats* stats,
+               std::span<const std::uint8_t> group_active,
+               std::span<const GroupSpan> groups) {
+  const std::size_t n = x.size();
+  if (y.size() != n || z.size() != n || m.size() != n || ax.size() != n ||
+      ay.size() != n || az.size() != n ||
+      (!pot.empty() && pot.size() != n) ||
+      (!aold_mag.empty() && aold_mag.size() != n)) {
+    throw std::invalid_argument("walk_tree: span size mismatch");
+  }
+  if (cfg.list_capacity < kWarpSize) {
+    throw std::invalid_argument("walk_tree: list capacity below warp size");
+  }
+  if (tree.num_nodes() == 0 || tree.mass.size() != tree.num_nodes()) {
+    throw std::invalid_argument("walk_tree: tree geometry missing (run calc_node)");
+  }
+  if (cfg.use_quadrupole && !tree.has_quadrupole()) {
+    throw std::invalid_argument(
+        "walk_tree: use_quadrupole requires calc_node with "
+        "compute_quadrupole");
+  }
+
+  simt::OpCounterPool pool;
+  struct alignas(64) StatSlot {
+    WalkStats s;
+  };
+  std::vector<StatSlot> stat_slots(static_cast<std::size_t>(num_threads()));
+
+  GroupTask task{&tree, x, y, z, m, aold_mag, &cfg, ax, ay, az, pot};
+
+  std::vector<GroupSpan> own_groups;
+  if (groups.empty()) {
+    own_groups = walk_groups(tree, x, y, z);
+    groups = own_groups;
+  }
+  if (!group_active.empty() && group_active.size() != groups.size()) {
+    throw std::invalid_argument("walk_tree: group_active size mismatch");
+  }
+  parallel_for(0, groups.size(), [&](std::size_t gi) {
+    if (!group_active.empty() && group_active[gi] == 0) return;
+    thread_local Workspace ws;
+    InteractionList list(cfg.list_capacity, cfg.use_quadrupole);
+    walk_group(task, groups[gi].first, static_cast<int>(groups[gi].count),
+               ws, list, pool.local(),
+               stat_slots[static_cast<std::size_t>(thread_id())].s);
+  });
+
+  if (ops != nullptr) *ops += pool.total();
+  if (stats != nullptr) {
+    for (const auto& s : stat_slots) *stats += s.s;
+  }
+}
+
+} // namespace gothic::gravity

@@ -1,0 +1,110 @@
+// walkTree: gravity by warp-cooperative breadth-first tree traversal —
+// GOTHIC's dominant kernel (§1, Figs 3-4) and the subject of the paper's
+// instruction-level analysis (§4.2).
+//
+// A warp owns 32 consecutive bodies of the Morton-sorted order. It builds
+// a small interaction list shared by the 32 lanes (in shared memory on the
+// device): each MAC-accepted node contributes its pseudo-particle; leaves
+// that fail the MAC spill their bodies. When the list reaches capacity the
+// warp computes the gravity of the listed sources on its 32 bodies and
+// flushes (§1). MAC evaluations are dominated by integer work while the
+// flush is dominated by FP32 work — alternating them is what gives the
+// Volta INT/FP overlap its opportunity (§4.2).
+#pragma once
+
+#include "gravity/mac.hpp"
+#include "octree/tree.hpp"
+#include "simt/op_counter.hpp"
+#include "simt/warp.hpp"
+
+#include <span>
+#include <vector>
+
+namespace gothic::gravity {
+
+struct WalkConfig {
+  /// Scheduling mode (§2.1); affects synchronisation counts only.
+  simt::ExecMode mode = simt::ExecMode::Pascal;
+  MacParams mac{};
+  /// Plummer softening of Eq. 1.
+  real eps = real(0.01);
+  /// Gravitational constant (1 in simulation units).
+  real g = real(1);
+  /// Interaction-list entries per warp (sized from the shared-memory
+  /// carve-out, §2.1; 128 float4 = 2 KiB per warp).
+  int list_capacity = 128;
+  /// Accumulate specific potentials alongside accelerations.
+  bool compute_potential = true;
+  /// Evaluate the quadrupole term of MAC-accepted pseudo-particles (the
+  /// tree must have been built with CalcNodeConfig::compute_quadrupole).
+  /// Raises per-interaction cost but lets a coarser dacc reach the same
+  /// force accuracy (bench_ablation_quadrupole).
+  bool use_quadrupole = false;
+};
+
+/// Traversal statistics per walk (drives Figs 6-10 via the cost model).
+struct WalkStats {
+  std::uint64_t groups = 0;
+  std::uint64_t mac_evals = 0;        ///< (group, node) MAC evaluations
+  std::uint64_t nodes_opened = 0;     ///< rejected internal nodes
+  std::uint64_t pseudo_appended = 0;  ///< accepted pseudo-particles
+  std::uint64_t body_appended = 0;    ///< spilled leaf bodies
+  std::uint64_t interactions = 0;     ///< (body, list entry) force pairs
+  std::uint64_t flushes = 0;
+
+  WalkStats& operator+=(const WalkStats& o) {
+    groups += o.groups;
+    mac_evals += o.mac_evals;
+    nodes_opened += o.nodes_opened;
+    pseudo_appended += o.pseudo_appended;
+    body_appended += o.body_appended;
+    interactions += o.interactions;
+    flushes += o.flushes;
+    return *this;
+  }
+};
+
+/// Compute accelerations (and optionally potentials) of all bodies.
+/// Arrays are in tree (Morton-sorted) order; `aold_mag` holds |a_i| of the
+/// previous step for the acceleration MAC (may be empty, in which case the
+/// acceleration MAC degenerates to near-direct summation — callers
+/// bootstrap with MacType::OpeningAngle instead).
+/// A warp's body group: a contiguous run of tree-ordered bodies, at most
+/// 32 long, derived from the tree leaves so groups stay spatially compact
+/// (GOTHIC's tree-driven grouping; a plain 32-consecutive split would
+/// produce huge bounding spheres in sparse regions and defeat the MAC).
+struct GroupSpan {
+  index_t first = 0;
+  index_t count = 0;
+};
+
+/// The deterministic group decomposition walk_tree uses for `tree`:
+/// leaf-seeded runs, merged up to a warp while spatially compact, and
+/// recursively split whenever the bounding radius of a run exceeds
+/// `max_radius_fraction` of the root box edge (sparse regions fall back to
+/// few-body groups; a huge group sphere would force near-direct summation
+/// through the leaf-spill path). Callers that pass `group_active` flags
+/// must index them against this decomposition.
+[[nodiscard]] std::vector<GroupSpan> walk_groups(
+    const octree::Octree& tree, std::span<const real> x,
+    std::span<const real> y, std::span<const real> z,
+    real max_radius_fraction = real(1.0 / 128.0));
+
+/// `group_active`, when non-empty, holds one flag per walk group; the
+/// walk skips inactive groups entirely (their outputs are untouched).
+/// This is how the block time step (§1) reduces per-step gravity work:
+/// only groups containing a particle due for correction are walked.
+/// The flags must be sized to walk_groups(tree).size().
+/// `groups`, when non-empty, supplies the decomposition to traverse
+/// (callers with block-step activity flags compute it once per rebuild via
+/// walk_groups); when empty it is derived internally from the positions.
+void walk_tree(const octree::Octree& tree, std::span<const real> x,
+               std::span<const real> y, std::span<const real> z,
+               std::span<const real> m, std::span<const real> aold_mag,
+               const WalkConfig& cfg, std::span<real> ax, std::span<real> ay,
+               std::span<real> az, std::span<real> pot = {},
+               simt::OpCounts* ops = nullptr, WalkStats* stats = nullptr,
+               std::span<const std::uint8_t> group_active = {},
+               std::span<const GroupSpan> groups = {});
+
+} // namespace gothic::gravity

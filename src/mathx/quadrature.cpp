@@ -1,0 +1,86 @@
+#include "mathx/quadrature.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace gothic {
+namespace {
+
+// 16-point Gauss-Legendre nodes/weights on [-1,1] (Abramowitz & Stegun).
+constexpr std::array<double, 8> kNodes = {
+    0.0950125098376374, 0.2816035507792589, 0.4580167776572274,
+    0.6178762444026438, 0.7554044083550030, 0.8656312023878318,
+    0.9445750230732326, 0.9894009349916499};
+constexpr std::array<double, 8> kWeights = {
+    0.1894506104550685, 0.1826034150449236, 0.1691565193950025,
+    0.1495959888165767, 0.1246289712555339, 0.0951585116824928,
+    0.0622535239386479, 0.0271524594117541};
+
+double gl16(const std::function<double(double)>& f, double a, double b) {
+  const double c = 0.5 * (a + b);
+  const double h = 0.5 * (b - a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    sum += kWeights[i] * (f(c + h * kNodes[i]) + f(c - h * kNodes[i]));
+  }
+  return h * sum;
+}
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa,
+                double b, double fb, double m, double fm, double whole,
+                double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+} // namespace
+
+double gauss_legendre(const std::function<double(double)>& f, double a,
+                      double b, int panels) {
+  if (panels < 1) panels = 1;
+  const double h = (b - a) / panels;
+  double sum = 0.0;
+  for (int p = 0; p < panels; ++p) {
+    sum += gl16(f, a + p * h, a + (p + 1) * h);
+  }
+  return sum;
+}
+
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol, int max_depth) {
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
+}
+
+double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                             double tol) {
+  // x = a + (1-t)/t, dx = -dt/t^2, t in (0,1]
+  auto g = [&](double t) {
+    const double x = a + (1.0 - t) / t;
+    return f(x) / (t * t);
+  };
+  // Avoid the t=0 endpoint; the integrand must vanish there for
+  // convergence, so a tiny cut introduces an error below `tol`.
+  return adaptive_simpson(g, 1e-12, 1.0, tol);
+}
+
+} // namespace gothic

@@ -1,0 +1,25 @@
+// Numerical integration used by the galaxy initial-condition generator
+// (cumulative mass profiles, potentials, Eddington inversion).
+#pragma once
+
+#include <functional>
+
+namespace gothic {
+
+/// Fixed-order Gauss-Legendre quadrature on [a,b]. Orders 8..64 are
+/// supported (internally composite 16-point panels).
+double gauss_legendre(const std::function<double(double)>& f, double a,
+                      double b, int panels = 8);
+
+/// Adaptive Simpson quadrature with absolute+relative tolerance.
+/// `max_depth` bounds recursion; integrable endpoint singularities are
+/// handled by the caller via substitution.
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol = 1e-10, int max_depth = 48);
+
+/// Integrate f on [a, +inf) via the substitution t = 1/(1+x-a),
+/// suitable for integrands decaying at least as fast as x^-2.
+double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                             double tol = 1e-10);
+
+} // namespace gothic

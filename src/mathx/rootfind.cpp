@@ -1,0 +1,87 @@
+#include "mathx/rootfind.hpp"
+
+#include <cmath>
+
+namespace gothic {
+
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 double tol, int max_iter) {
+  RootResult res;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0, true};
+  if (fb == 0.0) return {b, 0, true};
+  if (fa * fb > 0.0) return {0.0, 0, false};
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::fabs(b) + 0.5 * tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) {
+      return {b, iter, true};
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // inverse quadratic interpolation / secant
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      if (2.0 * p < std::fmin(3.0 * xm * q - std::fabs(tol1 * q),
+                              std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol1) ? d : (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return {b, max_iter, false};
+}
+
+RootResult brent_auto_bracket(const std::function<double(double)>& f,
+                              double a, double b, double tol) {
+  double fa = f(a);
+  double fb = f(b);
+  for (int i = 0; i < 64 && fa * fb > 0.0; ++i) {
+    const double w = b - a;
+    if (std::fabs(fa) < std::fabs(fb)) {
+      a -= w;
+      fa = f(a);
+    } else {
+      b += w;
+      fb = f(b);
+    }
+  }
+  if (fa * fb > 0.0) return {0.0, 0, false};
+  return brent(f, a, b, tol);
+}
+
+} // namespace gothic

@@ -1,0 +1,24 @@
+// Scalar root finding (Brent's method) for profile inversions, e.g.
+// solving for the Sersic b_n coefficient or the Toomre-Q radius.
+#pragma once
+
+#include <functional>
+
+namespace gothic {
+
+struct RootResult {
+  double x = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Brent's method on [a,b]; requires f(a) and f(b) of opposite sign.
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-12, int max_iter = 200);
+
+/// Expand the bracket geometrically from [a,b] until the sign changes,
+/// then run Brent. Returns converged=false if no bracket is found.
+RootResult brent_auto_bracket(const std::function<double(double)>& f,
+                              double a, double b, double tol = 1e-12);
+
+} // namespace gothic

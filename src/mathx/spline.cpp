@@ -1,0 +1,93 @@
+#include "mathx/spline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic {
+
+CubicSpline::CubicSpline(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  const std::size_t n = x_.size();
+  if (n < 2 || y_.size() != n) {
+    throw std::invalid_argument("CubicSpline needs >=2 matching points");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!(x_[i] > x_[i - 1])) {
+      throw std::invalid_argument("CubicSpline x must be strictly increasing");
+    }
+  }
+  // Solve the tridiagonal system for natural boundary conditions.
+  m_.assign(n, 0.0);
+  std::vector<double> c(n, 0.0), d(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double h0 = x_[i] - x_[i - 1];
+    const double h1 = x_[i + 1] - x_[i];
+    const double mu = h0 / (h0 + h1);
+    const double lam = 1.0 - mu;
+    const double rhs = 6.0 / (h0 + h1) *
+                       ((y_[i + 1] - y_[i]) / h1 - (y_[i] - y_[i - 1]) / h0);
+    const double p = 2.0 - mu * c[i - 1]; // Thomas pivot
+    c[i] = lam / p;
+    d[i] = (rhs - mu * d[i - 1]) / p;
+  }
+  for (std::size_t i = n - 1; i-- > 1;) {
+    m_[i] = d[i] - c[i] * m_[i + 1];
+  }
+}
+
+std::size_t CubicSpline::interval(double x) const {
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - x_.begin());
+  if (idx == 0) return 0;
+  if (idx >= x_.size()) return x_.size() - 2;
+  return idx - 1;
+}
+
+double CubicSpline::operator()(double x) const {
+  const std::size_t i = interval(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) * h * h / 6.0;
+}
+
+double CubicSpline::derivative(double x) const {
+  const std::size_t i = interval(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return (y_[i + 1] - y_[i]) / h +
+         ((3.0 * b * b - 1.0) * m_[i + 1] - (3.0 * a * a - 1.0) * m_[i]) * h /
+             6.0;
+}
+
+InverseCdf::InverseCdf(std::vector<double> x, std::vector<double> cdf)
+    : x_(std::move(x)), cdf_(std::move(cdf)) {
+  if (x_.size() != cdf_.size() || x_.size() < 2) {
+    throw std::invalid_argument("InverseCdf needs >=2 matching points");
+  }
+  for (std::size_t i = 1; i < cdf_.size(); ++i) {
+    if (cdf_[i] < cdf_[i - 1]) {
+      throw std::invalid_argument("InverseCdf cdf must be non-decreasing");
+    }
+  }
+  total_ = cdf_.back();
+  if (!(total_ > 0.0)) throw std::invalid_argument("InverseCdf total <= 0");
+}
+
+double InverseCdf::operator()(double u) const {
+  const double target = std::clamp(u, 0.0, 1.0) * total_;
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), target);
+  auto hi = static_cast<std::size_t>(it - cdf_.begin());
+  if (hi == 0) return x_.front();
+  if (hi >= cdf_.size()) return x_.back();
+  const std::size_t lo = hi - 1;
+  const double dc = cdf_[hi] - cdf_[lo];
+  if (dc <= 0.0) return x_[lo];
+  const double t = (target - cdf_[lo]) / dc;
+  return x_[lo] + t * (x_[hi] - x_[lo]);
+}
+
+} // namespace gothic

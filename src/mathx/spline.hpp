@@ -1,0 +1,53 @@
+// Cubic spline interpolation on tabulated profiles.
+//
+// The galaxy initialiser tabulates M(r), psi(r) and f(E) on logarithmic
+// grids and interpolates; a natural cubic spline keeps interpolation error
+// far below the sampling noise of the particle realisation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gothic {
+
+/// Natural cubic spline through (x_i, y_i); x must be strictly increasing.
+class CubicSpline {
+public:
+  CubicSpline() = default;
+  CubicSpline(std::vector<double> x, std::vector<double> y);
+
+  /// Interpolated value; clamps to the end intervals outside [x0, xN].
+  [[nodiscard]] double operator()(double x) const;
+
+  /// First derivative of the interpolant.
+  [[nodiscard]] double derivative(double x) const;
+
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+  [[nodiscard]] double x_min() const { return x_.front(); }
+  [[nodiscard]] double x_max() const { return x_.back(); }
+
+private:
+  [[nodiscard]] std::size_t interval(double x) const;
+  std::vector<double> x_, y_, m_; // m_ = second derivatives
+};
+
+/// Monotone piecewise-linear inverse CDF sampler: given a tabulated,
+/// non-decreasing cumulative function F(x) with F(x0)=0, F(xN)=total,
+/// maps u in [0,1] to x with F(x) = u * total. Used to sample radii from
+/// cumulative mass profiles.
+class InverseCdf {
+public:
+  InverseCdf() = default;
+  /// cdf values must be non-decreasing with cdf.front() >= 0.
+  InverseCdf(std::vector<double> x, std::vector<double> cdf);
+
+  [[nodiscard]] double operator()(double u) const;
+  [[nodiscard]] double total() const { return total_; }
+
+private:
+  std::vector<double> x_, cdf_;
+  double total_ = 0.0;
+};
+
+} // namespace gothic

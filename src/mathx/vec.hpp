@@ -1,0 +1,68 @@
+// Small fixed-size vector types used throughout the library.
+//
+// Plain aggregates (no constructors beyond aggregate init) so they stay
+// trivially copyable and the SoA<->AoS conversions vectorise.
+#pragma once
+
+#include <cmath>
+
+namespace gothic {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+};
+
+template <typename T>
+constexpr Vec3<T> operator+(Vec3<T> a, const Vec3<T>& b) { return a += b; }
+template <typename T>
+constexpr Vec3<T> operator-(Vec3<T> a, const Vec3<T>& b) { return a -= b; }
+template <typename T>
+constexpr Vec3<T> operator*(Vec3<T> a, T s) { return a *= s; }
+template <typename T>
+constexpr Vec3<T> operator*(T s, Vec3<T> a) { return a *= s; }
+
+template <typename T>
+constexpr T dot(const Vec3<T>& a, const Vec3<T>& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+template <typename T>
+constexpr Vec3<T> cross(const Vec3<T>& a, const Vec3<T>& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+template <typename T>
+constexpr T norm2(const Vec3<T>& a) { return dot(a, a); }
+
+template <typename T>
+T norm(const Vec3<T>& a) { return std::sqrt(norm2(a)); }
+
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+
+/// Position + mass packed the way GOTHIC stores pseudo-particles
+/// (float4 {x,y,z,m} in device memory).
+template <typename T>
+struct Vec4 {
+  T x{}, y{}, z{}, w{};
+};
+
+using Vec4f = Vec4<float>;
+using Vec4d = Vec4<double>;
+
+} // namespace gothic

@@ -1,0 +1,123 @@
+#include "nbody/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic::nbody {
+
+Energies compute_energies(const Particles& p) {
+  Energies e;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double v2 = static_cast<double>(p.vx[i]) * p.vx[i] +
+                      static_cast<double>(p.vy[i]) * p.vy[i] +
+                      static_cast<double>(p.vz[i]) * p.vz[i];
+    e.kinetic += 0.5 * p.m[i] * v2;
+    e.potential += 0.5 * p.m[i] * p.pot[i];
+  }
+  return e;
+}
+
+Momenta compute_momenta(const Particles& p) {
+  Momenta mm;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double m = p.m[i];
+    mm.px += m * p.vx[i];
+    mm.py += m * p.vy[i];
+    mm.pz += m * p.vz[i];
+    mm.lx += m * (static_cast<double>(p.y[i]) * p.vz[i] -
+                  static_cast<double>(p.z[i]) * p.vy[i]);
+    mm.ly += m * (static_cast<double>(p.z[i]) * p.vx[i] -
+                  static_cast<double>(p.x[i]) * p.vz[i]);
+    mm.lz += m * (static_cast<double>(p.x[i]) * p.vy[i] -
+                  static_cast<double>(p.y[i]) * p.vx[i]);
+  }
+  return mm;
+}
+
+void center_of_mass(const Particles& p, double& cx, double& cy, double& cz) {
+  double m = 0;
+  cx = cy = cz = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m += p.m[i];
+    cx += p.m[i] * p.x[i];
+    cy += p.m[i] * p.y[i];
+    cz += p.m[i] * p.z[i];
+  }
+  if (m > 0) {
+    cx /= m;
+    cy /= m;
+    cz /= m;
+  }
+}
+
+namespace {
+/// Radii about the COM paired with particle masses, ascending.
+std::vector<std::pair<double, double>> radii_about_com(const Particles& p) {
+  double cx, cy, cz;
+  center_of_mass(p, cx, cy, cz);
+  std::vector<std::pair<double, double>> rm(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double dx = p.x[i] - cx, dy = p.y[i] - cy, dz = p.z[i] - cz;
+    rm[i] = {std::sqrt(dx * dx + dy * dy + dz * dz), p.m[i]};
+  }
+  std::sort(rm.begin(), rm.end());
+  return rm;
+}
+} // namespace
+
+std::vector<double> lagrangian_radii(const Particles& p,
+                                     const std::vector<double>& fractions) {
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    if (!(fractions[i] > 0.0) || fractions[i] > 1.0 ||
+        (i > 0 && fractions[i] < fractions[i - 1])) {
+      throw std::invalid_argument(
+          "lagrangian_radii: fractions must be ascending in (0,1]");
+    }
+  }
+  const auto rm = radii_about_com(p);
+  const double total = p.total_mass();
+  std::vector<double> out;
+  out.reserve(fractions.size());
+  double cum = 0.0;
+  std::size_t j = 0;
+  for (const double f : fractions) {
+    const double target = f * total;
+    while (j < rm.size() && cum + rm[j].second < target) {
+      cum += rm[j].second;
+      ++j;
+    }
+    out.push_back(j < rm.size() ? rm[j].first : rm.back().first);
+  }
+  return out;
+}
+
+std::vector<DensityShell> density_profile(const Particles& p, double r_min,
+                                          double r_max, int shells) {
+  if (!(r_min > 0.0) || !(r_max > r_min) || shells < 1) {
+    throw std::invalid_argument("density_profile: bad shell grid");
+  }
+  const auto rm = radii_about_com(p);
+  std::vector<DensityShell> out(static_cast<std::size_t>(shells));
+  const double dl = std::log(r_max / r_min) / shells;
+  for (int s = 0; s < shells; ++s) {
+    auto& shell = out[static_cast<std::size_t>(s)];
+    shell.r_inner = r_min * std::exp(s * dl);
+    shell.r_outer = r_min * std::exp((s + 1) * dl);
+  }
+  for (const auto& [r, m] : rm) {
+    if (r < r_min || r >= r_max) continue;
+    const int s = std::min(shells - 1,
+                           static_cast<int>(std::log(r / r_min) / dl));
+    out[static_cast<std::size_t>(s)].density += m;
+    out[static_cast<std::size_t>(s)].count += 1;
+  }
+  for (auto& shell : out) {
+    const double vol = 4.0 / 3.0 * 3.14159265358979323846 *
+                       (std::pow(shell.r_outer, 3) - std::pow(shell.r_inner, 3));
+    shell.density /= vol;
+  }
+  return out;
+}
+
+} // namespace gothic::nbody

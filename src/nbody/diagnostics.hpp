@@ -1,0 +1,53 @@
+// Conservation diagnostics for validating the integrator and the tree
+// forces over long runs.
+#pragma once
+
+#include "nbody/particles.hpp"
+
+#include <vector>
+
+namespace gothic::nbody {
+
+struct Energies {
+  double kinetic = 0.0;
+  double potential = 0.0; ///< 1/2 sum m_i pot_i (pairwise counted once)
+  [[nodiscard]] double total() const { return kinetic + potential; }
+  /// Virial ratio -2K/W (1 in equilibrium).
+  [[nodiscard]] double virial_ratio() const {
+    return potential != 0.0 ? -2.0 * kinetic / potential : 0.0;
+  }
+};
+
+struct Momenta {
+  double px = 0, py = 0, pz = 0; ///< linear momentum
+  double lx = 0, ly = 0, lz = 0; ///< angular momentum
+};
+
+/// Energies from the stored velocities and potentials (pot must be fresh).
+[[nodiscard]] Energies compute_energies(const Particles& p);
+
+/// Linear and angular momentum about the origin.
+[[nodiscard]] Momenta compute_momenta(const Particles& p);
+
+/// Centre of mass position.
+void center_of_mass(const Particles& p, double& cx, double& cy, double& cz);
+
+/// Radii (about the centre of mass) enclosing the given mass fractions —
+/// the standard structural diagnostic for relaxation/expansion of a
+/// stellar system. `fractions` must be in (0, 1] and ascending.
+[[nodiscard]] std::vector<double> lagrangian_radii(
+    const Particles& p, const std::vector<double>& fractions);
+
+/// One shell of a spherically averaged density profile.
+struct DensityShell {
+  double r_inner = 0, r_outer = 0;
+  double density = 0; ///< mass / shell volume
+  std::size_t count = 0;
+};
+
+/// Spherically averaged mass density in logarithmic shells about the
+/// centre of mass.
+[[nodiscard]] std::vector<DensityShell> density_profile(
+    const Particles& p, double r_min, double r_max, int shells);
+
+} // namespace gothic::nbody

@@ -1,0 +1,52 @@
+#include "nbody/rebuild_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gothic::nbody {
+
+void RebuildPolicy::record_rebuild(double make_seconds) {
+  make_seconds_ = make_seconds;
+  walks_.clear();
+}
+
+void RebuildPolicy::record_walk(double walk_seconds) {
+  walks_.push_back(walk_seconds);
+}
+
+double RebuildPolicy::fitted_slope() const {
+  const std::size_t n = walks_.size();
+  if (n < 3) return 0.0;
+  // Least squares of walk time against step index 0..n-1.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = static_cast<double>(i);
+    sx += xi;
+    sy += walks_[i];
+    sxx += xi * xi;
+    sxy += xi * walks_[i];
+  }
+  const auto dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom <= 0.0) return 0.0;
+  return (dn * sxy - sx * sy) / denom;
+}
+
+int RebuildPolicy::target_interval() const {
+  const double s = fitted_slope();
+  if (make_seconds_ <= 0.0) return cfg_.bootstrap_interval;
+  if (s <= 0.0) {
+    // No measurable decay yet: walk as long as allowed, but if we have few
+    // samples stay on the bootstrap interval.
+    return age() < 3 ? cfg_.bootstrap_interval : cfg_.max_interval;
+  }
+  const double k = std::sqrt(2.0 * make_seconds_ / s);
+  const int ki = static_cast<int>(std::lround(k));
+  return std::clamp(ki, cfg_.min_interval, cfg_.max_interval);
+}
+
+bool RebuildPolicy::should_rebuild() const {
+  return age() >= target_interval();
+}
+
+} // namespace gothic::nbody

@@ -1,0 +1,60 @@
+// Auto-tuning of the tree-rebuild interval.
+//
+// GOTHIC "automatically adjusts the frequency of rebuilding the tree
+// structure to minimize the time-to-solution by monitoring the execution
+// time of the tree construction and the gravity calculation" (§1). As the
+// tree ages, particles drift from the cells they were sorted into and
+// walkTree slows roughly linearly; rebuilding costs one makeTree. For
+// walk-time growth rate s (seconds/step^2) and rebuild cost T_make, the
+// average per-step cost of rebuilding every k steps,
+//     T(k) = T_make/k + walk0 + s (k-1)/2,
+// is minimised at k* = sqrt(2 T_make / s) — the classic trade-off that
+// lands at ~6 steps for accurate (expensive) walks and ~30 for cheap ones
+// (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gothic::nbody {
+
+class RebuildPolicy {
+public:
+  struct Config {
+    int min_interval = 2;
+    int max_interval = 64;
+    /// Interval used until enough walk samples exist to fit the slope.
+    int bootstrap_interval = 8;
+  };
+
+  RebuildPolicy() = default;
+  explicit RebuildPolicy(Config cfg) : cfg_(cfg) {}
+
+  /// Record the cost of a rebuild; resets the walk-time history.
+  void record_rebuild(double make_seconds);
+
+  /// Record one step's gravity time.
+  void record_walk(double walk_seconds);
+
+  /// True when the fitted optimum says the next step should rebuild.
+  [[nodiscard]] bool should_rebuild() const;
+
+  /// The interval the policy is currently steering toward.
+  [[nodiscard]] int target_interval() const;
+
+  /// Steps since the last rebuild.
+  [[nodiscard]] int age() const { return static_cast<int>(walks_.size()); }
+
+  /// Least-squares slope of walk time vs step-since-rebuild
+  /// (seconds/step^2); zero until >= 3 samples.
+  [[nodiscard]] double fitted_slope() const;
+
+  [[nodiscard]] double last_make_seconds() const { return make_seconds_; }
+
+private:
+  Config cfg_{};
+  double make_seconds_ = 0.0;
+  std::vector<double> walks_;
+};
+
+} // namespace gothic::nbody

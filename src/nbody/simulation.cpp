@@ -1,0 +1,192 @@
+#include "nbody/simulation.hpp"
+
+#include "nbody/integrator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic::nbody {
+
+namespace {
+constexpr auto kWalk = static_cast<std::size_t>(Kernel::WalkTree);
+constexpr auto kCalc = static_cast<std::size_t>(Kernel::CalcNode);
+constexpr auto kMake = static_cast<std::size_t>(Kernel::MakeTree);
+constexpr auto kPred = static_cast<std::size_t>(Kernel::PredictCorrect);
+} // namespace
+
+Simulation::Simulation(Particles particles, SimConfig cfg)
+    : particles_(std::move(particles)), cfg_(cfg),
+      steps_(cfg.dt_max, cfg.block_time_steps ? cfg.max_level : 0),
+      policy_(cfg.policy) {
+  if (particles_.size() == 0) {
+    throw std::invalid_argument("Simulation: empty particle set");
+  }
+  const std::size_t n = particles_.size();
+  px_.resize(n);
+  py_.resize(n);
+  pz_.resize(n);
+  nax_.resize(n);
+  nay_.resize(n);
+  naz_.resize(n);
+  npot_.resize(n);
+
+  rebuild_tree(nullptr);
+  bootstrap_forces();
+
+  // Assign initial block levels from the bootstrap accelerations.
+  std::vector<double> dt_req(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dt_req[i] = required_dt(cfg_.eta, cfg_.walk.eps, particles_.aold_mag[i]);
+  }
+  steps_.initialize(dt_req);
+}
+
+void Simulation::rebuild_tree(StepReport* report) {
+  Stopwatch sw;
+  simt::OpCounts ops;
+  std::vector<index_t> perm;
+  octree::build_tree(particles_.x, particles_.y, particles_.z, tree_, perm,
+                     cfg_.build, &ops);
+  particles_.apply_permutation(perm);
+  if (steps_.size() == particles_.size()) steps_.apply_permutation(perm);
+  groups_ = gravity::walk_groups(tree_, particles_.x, particles_.y,
+                                 particles_.z);
+  group_active_.assign(groups_.size(), 1);
+  const double sec = sw.seconds();
+  timers_.add(Kernel::MakeTree, sec);
+  total_ops_[kMake] += ops;
+  policy_.record_rebuild(sec);
+  ++rebuilds_;
+  steps_since_rebuild_ = 0;
+  if (report != nullptr) {
+    report->rebuilt = true;
+    report->seconds[kMake] += sec;
+    report->ops[kMake] += ops;
+  }
+}
+
+void Simulation::bootstrap_forces() {
+  // First force evaluation: no previous acceleration exists, so Eq. 2 is
+  // unusable; GOTHIC seeds with a geometric criterion.
+  simt::OpCounts calc_ops;
+  octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
+                    particles_.m, cfg_.calc, &calc_ops);
+  total_ops_[kCalc] += calc_ops;
+
+  gravity::WalkConfig boot = cfg_.walk;
+  boot.mac.type = gravity::MacType::OpeningAngle;
+  boot.mac.theta = real(0.7);
+  simt::OpCounts walk_ops;
+  gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
+                     particles_.m, {}, boot, particles_.ax, particles_.ay,
+                     particles_.az, particles_.pot, &walk_ops);
+  total_ops_[kWalk] += walk_ops;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_.aold_mag[i] = std::sqrt(
+        particles_.ax[i] * particles_.ax[i] +
+        particles_.ay[i] * particles_.ay[i] +
+        particles_.az[i] * particles_.az[i]);
+  }
+}
+
+StepReport Simulation::step() {
+  StepReport report;
+  const std::size_t n = particles_.size();
+
+  report.dt = steps_.advance();
+
+  // Tree rebuild, either auto-tuned (GOTHIC) or on a fixed cadence.
+  const bool due = cfg_.auto_rebuild
+                       ? policy_.should_rebuild()
+                       : steps_since_rebuild_ >= cfg_.fixed_rebuild_interval;
+  if (due) rebuild_tree(&report);
+
+  // predict: all particles drift to the new time (sources included).
+  {
+    Stopwatch sw;
+    simt::OpCounts ops;
+    predict_positions(particles_, steps_, px_, py_, pz_, &ops);
+    const double sec = sw.seconds();
+    timers_.add(Kernel::PredictCorrect, sec);
+    total_ops_[kPred] += ops;
+    report.seconds[kPred] += sec;
+    report.ops[kPred] += ops;
+  }
+
+  // calcNode on the predicted positions (every step; topology is reused
+  // between rebuilds).
+  {
+    Stopwatch sw;
+    simt::OpCounts ops;
+    octree::calc_node(tree_, px_, py_, pz_, particles_.m, cfg_.calc, &ops);
+    const double sec = sw.seconds();
+    timers_.add(Kernel::CalcNode, sec);
+    total_ops_[kCalc] += ops;
+    report.seconds[kCalc] += sec;
+    report.ops[kCalc] += ops;
+  }
+
+  // Gravity for the groups containing fired particles.
+  report.n_active = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    std::uint8_t any = 0;
+    const std::size_t lo = groups_[g].first;
+    const std::size_t hi = lo + groups_[g].count;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (steps_.active(i)) {
+        any = 1;
+        ++report.n_active;
+      }
+    }
+    group_active_[g] = any;
+  }
+  (void)n;
+  {
+    Stopwatch sw;
+    simt::OpCounts ops;
+    gravity::WalkStats stats;
+    gravity::walk_tree(tree_, px_, py_, pz_, particles_.m,
+                       particles_.aold_mag, cfg_.walk, nax_, nay_, naz_,
+                       npot_, &ops, &stats, group_active_, groups_);
+    const double sec = sw.seconds();
+    timers_.add(Kernel::WalkTree, sec);
+    total_ops_[kWalk] += ops;
+    report.seconds[kWalk] += sec;
+    report.ops[kWalk] += ops;
+    report.walk_stats = stats;
+    policy_.record_walk(sec);
+  }
+
+  // correct the fired particles.
+  {
+    Stopwatch sw;
+    simt::OpCounts ops;
+    correct_active(particles_, steps_, px_, py_, pz_, nax_, nay_, naz_,
+                   npot_, cfg_.eta, cfg_.walk.eps, &ops);
+    const double sec = sw.seconds();
+    timers_.add(Kernel::PredictCorrect, sec);
+    total_ops_[kPred] += ops;
+    report.seconds[kPred] += sec;
+    report.ops[kPred] += ops;
+  }
+
+  ++steps_since_rebuild_;
+  ++step_count_;
+  report.time = steps_.time();
+  return report;
+}
+
+void Simulation::run(int n) {
+  for (int i = 0; i < n; ++i) (void)step();
+}
+
+void Simulation::refresh_forces() {
+  octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
+                    particles_.m, cfg_.calc);
+  gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
+                     particles_.m, particles_.aold_mag, cfg_.walk,
+                     particles_.ax, particles_.ay, particles_.az,
+                     particles_.pot);
+}
+
+} // namespace gothic::nbody

@@ -1,0 +1,125 @@
+// The GOTHIC step loop: makeTree / calcNode / walkTree / predict+correct
+// with block time steps and auto-tuned rebuild intervals — the system
+// whose per-function times the paper measures (Figs 3-5).
+#pragma once
+
+#include "gravity/walk_tree.hpp"
+#include "nbody/block_steps.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/particles.hpp"
+#include "nbody/rebuild_policy.hpp"
+#include "octree/calc_node.hpp"
+#include "octree/tree_build.hpp"
+#include "util/timer.hpp"
+
+#include <array>
+
+namespace gothic::nbody {
+
+struct SimConfig {
+  gravity::WalkConfig walk{};
+  octree::BuildConfig build{};
+  octree::CalcNodeConfig calc{};
+
+  /// Time-step accuracy eta of dt = eta sqrt(eps/|a|).
+  double eta = 0.25;
+  /// Largest (level 0) block time step.
+  double dt_max = 1.0 / 32.0;
+  /// Depth of the block hierarchy (dt_min = dt_max/2^max_level).
+  int max_level = 8;
+  /// false = shared global time step (every particle fires every step).
+  bool block_time_steps = true;
+
+  /// true = GOTHIC's auto-tuned rebuild interval; false = fixed interval.
+  bool auto_rebuild = true;
+  int fixed_rebuild_interval = 8;
+  RebuildPolicy::Config policy{};
+
+  /// Set the simt scheduling mode of every kernel at once.
+  void set_mode(simt::ExecMode mode) {
+    walk.mode = mode;
+    build.mode = mode;
+    calc.mode = mode;
+  }
+};
+
+/// Per-step record: what ran, how long it took (wall clock) and what it
+/// executed (nvprof-style counts) — the raw material of every figure.
+struct StepReport {
+  double time = 0.0; ///< simulation time after the step
+  double dt = 0.0;   ///< physical time advanced
+  std::size_t n_active = 0;
+  bool rebuilt = false;
+  std::array<double, static_cast<std::size_t>(Kernel::Count)> seconds{};
+  std::array<simt::OpCounts, static_cast<std::size_t>(Kernel::Count)> ops{};
+  gravity::WalkStats walk_stats{};
+
+  [[nodiscard]] double total_seconds() const {
+    double s = 0;
+    for (double v : seconds) s += v;
+    return s;
+  }
+};
+
+class Simulation {
+public:
+  /// Takes ownership of the particle set (any order) and runs the initial
+  /// build + bootstrap force evaluation (opening-angle MAC, since no
+  /// previous-step acceleration exists yet for Eq. 2).
+  Simulation(Particles particles, SimConfig cfg);
+
+  /// Advance one block step (or one shared step). Returns the report.
+  StepReport step();
+
+  /// Advance `n` steps; returns the accumulated wall-clock per kernel.
+  void run(int n);
+
+  /// Recompute forces/potentials of all particles at the current state
+  /// (for diagnostics; uses the acceleration MAC with current aold).
+  void refresh_forces();
+
+  [[nodiscard]] const Particles& particles() const { return particles_; }
+  [[nodiscard]] Particles& particles() { return particles_; }
+  [[nodiscard]] const octree::Octree& tree() const { return tree_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] double time() const { return steps_.time(); }
+  [[nodiscard]] const KernelTimers& timers() const { return timers_; }
+  [[nodiscard]] const RebuildPolicy& rebuild_policy() const { return policy_; }
+  [[nodiscard]] int rebuild_count() const { return rebuilds_; }
+  [[nodiscard]] int step_count() const { return step_count_; }
+
+  /// Accumulated per-kernel instruction counts since construction.
+  [[nodiscard]] const simt::OpCounts& kernel_ops(Kernel k) const {
+    return total_ops_[static_cast<std::size_t>(k)];
+  }
+
+  [[nodiscard]] Energies energies() const {
+    return compute_energies(particles_);
+  }
+  [[nodiscard]] Momenta momenta() const { return compute_momenta(particles_); }
+
+private:
+  void rebuild_tree(StepReport* report);
+  void bootstrap_forces();
+
+  Particles particles_;
+  SimConfig cfg_;
+  octree::Octree tree_;
+  BlockTimeSteps steps_;
+  RebuildPolicy policy_;
+  KernelTimers timers_;
+  std::array<simt::OpCounts, static_cast<std::size_t>(Kernel::Count)>
+      total_ops_{};
+  int rebuilds_ = 0;
+  int step_count_ = 0;
+  int steps_since_rebuild_ = 0;
+
+  // Scratch (predicted positions, fresh accelerations).
+  std::vector<real> px_, py_, pz_;
+  std::vector<real> nax_, nay_, naz_, npot_;
+  /// Tree-derived walk groups (refreshed on rebuild) and per-step flags.
+  std::vector<gravity::GroupSpan> groups_;
+  std::vector<std::uint8_t> group_active_;
+};
+
+} // namespace gothic::nbody

@@ -1,0 +1,116 @@
+#include "nbody/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace gothic::nbody {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'O', 'T', 'H', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_exact(std::FILE* f, const void* data, std::size_t bytes,
+                 const char* what) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error(std::string("snapshot: short write of ") + what);
+  }
+}
+
+void read_exact(std::FILE* f, void* data, std::size_t bytes,
+                const char* what) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error(std::string("snapshot: short read of ") + what);
+  }
+}
+
+void write_array(std::FILE* f, const std::vector<real>& v, const char* what) {
+  write_exact(f, v.data(), v.size() * sizeof(real), what);
+}
+
+void read_array(std::FILE* f, std::vector<real>& v, std::size_t n,
+                const char* what) {
+  v.resize(n);
+  read_exact(f, v.data(), n * sizeof(real), what);
+}
+
+} // namespace
+
+void write_snapshot(const std::string& path, const Particles& p,
+                    double time) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("snapshot: cannot open " + path);
+  write_exact(f.get(), kMagic, sizeof kMagic, "magic");
+  write_exact(f.get(), &kVersion, sizeof kVersion, "version");
+  const SnapshotHeader hdr{p.size(), time};
+  write_exact(f.get(), &hdr, sizeof hdr, "header");
+  write_array(f.get(), p.x, "x");
+  write_array(f.get(), p.y, "y");
+  write_array(f.get(), p.z, "z");
+  write_array(f.get(), p.vx, "vx");
+  write_array(f.get(), p.vy, "vy");
+  write_array(f.get(), p.vz, "vz");
+  write_array(f.get(), p.ax, "ax");
+  write_array(f.get(), p.ay, "ay");
+  write_array(f.get(), p.az, "az");
+  write_array(f.get(), p.pot, "pot");
+  write_array(f.get(), p.m, "m");
+  write_array(f.get(), p.aold_mag, "aold");
+}
+
+Particles read_snapshot(const std::string& path, SnapshotHeader* header) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("snapshot: cannot open " + path);
+  char magic[8];
+  read_exact(f.get(), magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("snapshot: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  read_exact(f.get(), &version, sizeof version, "version");
+  if (version != kVersion) {
+    throw std::runtime_error("snapshot: unsupported version in " + path);
+  }
+  SnapshotHeader hdr;
+  read_exact(f.get(), &hdr, sizeof hdr, "header");
+  const auto n = static_cast<std::size_t>(hdr.n);
+  Particles p;
+  read_array(f.get(), p.x, n, "x");
+  read_array(f.get(), p.y, n, "y");
+  read_array(f.get(), p.z, n, "z");
+  read_array(f.get(), p.vx, n, "vx");
+  read_array(f.get(), p.vy, n, "vy");
+  read_array(f.get(), p.vz, n, "vz");
+  read_array(f.get(), p.ax, n, "ax");
+  read_array(f.get(), p.ay, n, "ay");
+  read_array(f.get(), p.az, n, "az");
+  read_array(f.get(), p.pot, n, "pot");
+  read_array(f.get(), p.m, n, "m");
+  read_array(f.get(), p.aold_mag, n, "aold");
+  if (header != nullptr) *header = hdr;
+  return p;
+}
+
+void write_csv(const std::string& path, const Particles& p) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) throw std::runtime_error("snapshot: cannot open " + path);
+  std::fputs("x,y,z,vx,vy,vz,m\n", f.get());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::fprintf(f.get(), "%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g\n",
+                 static_cast<double>(p.x[i]), static_cast<double>(p.y[i]),
+                 static_cast<double>(p.z[i]), static_cast<double>(p.vx[i]),
+                 static_cast<double>(p.vy[i]), static_cast<double>(p.vz[i]),
+                 static_cast<double>(p.m[i]));
+  }
+}
+
+} // namespace gothic::nbody

@@ -1,0 +1,30 @@
+// Snapshot I/O: binary checkpoints (exact round-trip of the particle
+// state) and CSV export for plotting. Long N-body campaigns checkpoint
+// between job allocations; the format is versioned and self-describing.
+#pragma once
+
+#include "nbody/particles.hpp"
+
+#include <string>
+
+namespace gothic::nbody {
+
+struct SnapshotHeader {
+  std::uint64_t n = 0;
+  double time = 0.0;
+};
+
+/// Write a binary snapshot (magic "GOTHSNAP", version, header, SoA
+/// arrays). Throws std::runtime_error on I/O failure.
+void write_snapshot(const std::string& path, const Particles& p,
+                    double time);
+
+/// Read a binary snapshot; returns the particles and fills `header`.
+/// Throws std::runtime_error on I/O failure or format mismatch.
+Particles read_snapshot(const std::string& path, SnapshotHeader* header = nullptr);
+
+/// Write positions/velocities/masses as CSV (x,y,z,vx,vy,vz,m), one row
+/// per particle — convenient for quick plotting.
+void write_csv(const std::string& path, const Particles& p);
+
+} // namespace gothic::nbody

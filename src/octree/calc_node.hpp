@@ -1,0 +1,34 @@
+// calcNode: centre of mass, total mass and size of every tree node (§2.2).
+//
+// Runs bottom-up (deepest level first) through the simt warp engine: each
+// Tsub-wide sub-warp accumulates one node's children (or, for leaves, its
+// bodies) and reduces with shfl_xor butterflies — the reductions the paper
+// identifies as calcNode's Volta-mode syncwarp cost (~23% in Fig 5).
+// The node size bmax bounds the distance from the centre of mass to any
+// body in the node, the b_J of the acceleration MAC (Eq. 2).
+#pragma once
+
+#include "octree/tree.hpp"
+#include "simt/op_counter.hpp"
+#include "simt/warp.hpp"
+
+#include <span>
+
+namespace gothic::octree {
+
+struct CalcNodeConfig {
+  simt::ExecMode mode = simt::ExecMode::Pascal;
+  /// Sub-warp reduction width (Table 2: 32 on V100, 16 on P100).
+  int tsub = 32;
+  /// Also accumulate the traceless quadrupole moments (accuracy extension
+  /// beyond GOTHIC's monopole-only expansion; adds one bottom-up pass).
+  bool compute_quadrupole = false;
+};
+
+/// Fill tree.com_*/mass/bmax from the tree-ordered body arrays.
+/// When `ops` is non-null, nvprof-style tallies accumulate there.
+void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
+               std::span<const real> z, std::span<const real> m,
+               const CalcNodeConfig& cfg = {}, simt::OpCounts* ops = nullptr);
+
+} // namespace gothic::octree

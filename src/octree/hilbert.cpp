@@ -1,0 +1,137 @@
+#include "octree/hilbert.hpp"
+
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace gothic::octree {
+
+namespace {
+
+constexpr int kBits = kMortonBits; // 21 bits per axis
+
+/// Skilling's AxesToTranspose: in-place conversion of grid coordinates to
+/// the "transposed" Hilbert representation.
+void axes_to_transpose(std::array<std::uint32_t, 3>& x) {
+  const std::uint32_t m = std::uint32_t{1} << (kBits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < 3; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p; // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < 3; ++i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  }
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[2] & q) t ^= q - 1;
+  }
+  for (auto& v : x) v ^= t;
+}
+
+/// Skilling's TransposeToAxes (inverse).
+void transpose_to_axes(std::array<std::uint32_t, 3>& x) {
+  const std::uint32_t m = std::uint32_t{1} << (kBits - 1);
+  // Gray decode.
+  std::uint32_t t = x[2] >> 1;
+  for (int i = 2; i > 0; --i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != (m << 1) && q != 0; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 2; i >= 0; --i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+}
+
+/// Interleave the transposed representation into a 63-bit key: bit b of
+/// every axis contributes to digit (kBits-1-b), axis 0 most significant.
+std::uint64_t transpose_to_key(const std::array<std::uint32_t, 3>& x) {
+  std::uint64_t key = 0;
+  for (int b = kBits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      key = (key << 1) |
+            ((x[static_cast<std::size_t>(i)] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+std::array<std::uint32_t, 3> key_to_transpose(std::uint64_t key) {
+  std::array<std::uint32_t, 3> x{};
+  for (int b = kBits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      const int shift = 3 * b + (2 - i);
+      x[static_cast<std::size_t>(i)] =
+          (x[static_cast<std::size_t>(i)] << 1) |
+          static_cast<std::uint32_t>((key >> shift) & 1u);
+    }
+  }
+  return x;
+}
+
+} // namespace
+
+std::uint64_t hilbert_encode(std::uint32_t ix, std::uint32_t iy,
+                             std::uint32_t iz) {
+  std::array<std::uint32_t, 3> x = {ix & 0x1fffffu, iy & 0x1fffffu,
+                                    iz & 0x1fffffu};
+  axes_to_transpose(x);
+  return transpose_to_key(x);
+}
+
+void hilbert_decode(std::uint64_t key, std::uint32_t& ix, std::uint32_t& iy,
+                    std::uint32_t& iz) {
+  std::array<std::uint32_t, 3> x = key_to_transpose(key);
+  transpose_to_axes(x);
+  ix = x[0];
+  iy = x[1];
+  iz = x[2];
+}
+
+std::uint64_t hilbert_key(const BoundingCube& box, real x, real y, real z) {
+  const double scale = static_cast<double>(1u << kBits) /
+                       static_cast<double>(box.edge);
+  auto grid = [scale](real v, real lo) {
+    const double g = (static_cast<double>(v) - static_cast<double>(lo)) * scale;
+    const double clamped =
+        std::clamp(g, 0.0, static_cast<double>((1u << kBits) - 1));
+    return static_cast<std::uint32_t>(clamped);
+  };
+  return hilbert_encode(grid(x, box.min_x), grid(y, box.min_y),
+                        grid(z, box.min_z));
+}
+
+void hilbert_keys(const BoundingCube& box, std::span<const real> x,
+                  std::span<const real> y, std::span<const real> z,
+                  std::span<std::uint64_t> keys) {
+  if (x.size() != keys.size()) {
+    throw std::invalid_argument("hilbert_keys: size mismatch");
+  }
+  parallel_for(0, x.size(), [&](std::size_t i) {
+    keys[i] = hilbert_key(box, x[i], y[i], z[i]);
+  });
+}
+
+} // namespace gothic::octree

@@ -1,0 +1,40 @@
+// Peano-Hilbert keys — the space-filling curve GOTHIC actually sorts
+// particles with (Miki & Umemura 2017). Unlike the Morton curve, the
+// Hilbert curve has no long jumps: consecutive indices are always
+// neighbouring cells, which tightens the warp groups walkTree builds from
+// contiguous runs (see bench_ablation_sfc).
+//
+// Implementation: Skilling's transpose algorithm (J. Skilling, "Programming
+// the Hilbert curve", AIP Conf. Proc. 707, 2004), 21 bits per axis like
+// the Morton keys.
+#pragma once
+
+#include "octree/morton.hpp"
+#include "util/types.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace gothic::octree {
+
+/// Hilbert index of a 3D grid cell (21 bits per axis, 63-bit key).
+/// The 3-bit digit at depth d (morton_digit applies unchanged) selects one
+/// child octant per tree level — Gray-coded rather than fixed xyz order,
+/// but still a valid partition, so build_tree works on either curve.
+[[nodiscard]] std::uint64_t hilbert_encode(std::uint32_t ix, std::uint32_t iy,
+                                           std::uint32_t iz);
+
+/// Inverse of hilbert_encode.
+void hilbert_decode(std::uint64_t key, std::uint32_t& ix, std::uint32_t& iy,
+                    std::uint32_t& iz);
+
+/// Hilbert key of one position inside `box`.
+[[nodiscard]] std::uint64_t hilbert_key(const BoundingCube& box, real x,
+                                        real y, real z);
+
+/// Bulk key construction.
+void hilbert_keys(const BoundingCube& box, std::span<const real> x,
+                  std::span<const real> y, std::span<const real> z,
+                  std::span<std::uint64_t> keys);
+
+} // namespace gothic::octree

@@ -1,0 +1,59 @@
+// Morton (Z-order) keys for the octree build.
+//
+// GOTHIC sorts particles by a space-filling-curve key with
+// cub::DeviceRadixSort and derives the octree from the sorted keys.
+// We use 63-bit keys (21 bits per axis), the standard choice for
+// gravitational octrees (Warren & Salmon 1993; Bedorf et al. 2012).
+#pragma once
+
+#include "util/types.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace gothic::octree {
+
+/// Axis-aligned bounding cube enclosing the particle distribution.
+struct BoundingCube {
+  real min_x = 0, min_y = 0, min_z = 0;
+  real edge = 1; ///< cube edge length (same on all axes)
+};
+
+/// Number of bits per axis in a Morton key.
+inline constexpr int kMortonBits = 21;
+/// Maximum octree depth derivable from the key.
+inline constexpr int kMaxDepth = kMortonBits;
+
+/// Spread the low 21 bits of v so consecutive bits land 3 apart.
+[[nodiscard]] std::uint64_t expand_bits_3(std::uint32_t v);
+
+/// Interleave three 21-bit coordinates into a 63-bit Morton key.
+[[nodiscard]] std::uint64_t morton_encode(std::uint32_t ix, std::uint32_t iy,
+                                          std::uint32_t iz);
+
+/// Recover the per-axis 21-bit coordinates from a key.
+void morton_decode(std::uint64_t key, std::uint32_t& ix, std::uint32_t& iy,
+                   std::uint32_t& iz);
+
+/// The 3-bit octant digit of `key` at tree depth `depth` (depth 0 is the
+/// root split, i.e. the most significant digit).
+[[nodiscard]] constexpr unsigned morton_digit(std::uint64_t key, int depth) {
+  return static_cast<unsigned>((key >> (3 * (kMortonBits - 1 - depth))) & 7u);
+}
+
+/// Tight bounding cube of the positions (cubified: max extent on any axis,
+/// padded so no particle lands exactly on the upper face).
+[[nodiscard]] BoundingCube compute_bounding_cube(std::span<const real> x,
+                                                 std::span<const real> y,
+                                                 std::span<const real> z);
+
+/// Morton key of one position inside `box`.
+[[nodiscard]] std::uint64_t morton_key(const BoundingCube& box, real x, real y,
+                                       real z);
+
+/// Bulk key construction: keys[i] = morton_key(box, x[i], y[i], z[i]).
+void morton_keys(const BoundingCube& box, std::span<const real> x,
+                 std::span<const real> y, std::span<const real> z,
+                 std::span<std::uint64_t> keys);
+
+} // namespace gothic::octree

@@ -1,0 +1,27 @@
+// Least-significant-digit radix sort for (key, payload) pairs — the
+// stand-in for cub::DeviceRadixSort::SortPairs, which dominates GOTHIC's
+// makeTree time (§4.1). 8-bit digits, OpenMP-parallel histogram and
+// scatter, stable within each pass.
+#pragma once
+
+#include "simt/op_counter.hpp"
+#include "util/types.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace gothic::octree {
+
+/// Sort `keys` ascending, permuting `payload` alongside. Both spans must
+/// have the same length. `bits` restricts the passes to ceil(bits/8)
+/// digits (Morton keys need 63). When `ops` is non-null, the pass count,
+/// integer work and memory traffic are tallied there (makeTree
+/// accounting).
+void radix_sort_pairs(std::span<std::uint64_t> keys,
+                      std::span<index_t> payload, int bits = 64,
+                      simt::OpCounts* ops = nullptr);
+
+/// Convenience: true when keys are non-decreasing.
+[[nodiscard]] bool is_sorted_keys(std::span<const std::uint64_t> keys);
+
+} // namespace gothic::octree

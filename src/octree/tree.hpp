@@ -1,0 +1,73 @@
+// Octree storage — breadth-first (level-by-level) structure-of-arrays, the
+// layout GOTHIC traverses on the device.
+#pragma once
+
+#include "octree/morton.hpp"
+#include "util/types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gothic::octree {
+
+/// Breadth-first octree over Morton-sorted particles. Node 0 is the root;
+/// each node's children are contiguous. A node with child_count == 0 is a
+/// leaf; every node covers the contiguous particle range
+/// [body_first, body_first + body_count) of the *sorted* order.
+struct Octree {
+  // Topology (filled by build_tree / makeTree).
+  std::vector<index_t> child_first;
+  std::vector<std::uint8_t> child_count;
+  std::vector<index_t> body_first;
+  std::vector<index_t> body_count;
+  std::vector<std::uint8_t> depth;
+  /// First node index of each level; level_offset.size() == levels + 1.
+  std::vector<index_t> level_offset;
+
+  // Geometry of the pseudo-particles (filled by calc_node).
+  std::vector<real> com_x, com_y, com_z; ///< centre of mass
+  std::vector<real> mass;                ///< total mass m_J of Eq. 2
+  std::vector<real> bmax;                ///< group size b_J of Eq. 2
+
+  // Traceless quadrupole moments about the centre of mass,
+  // Q_ij = sum_k m_k (3 x_i x_j - |x|^2 delta_ij) — filled only when
+  // calc_node runs with compute_quadrupole (an accuracy extension beyond
+  // GOTHIC's monopole expansion; empty otherwise).
+  std::vector<real> quad_xx, quad_xy, quad_xz, quad_yy, quad_yz, quad_zz;
+
+  [[nodiscard]] bool has_quadrupole() const { return !quad_xx.empty(); }
+
+  BoundingCube box;
+
+  [[nodiscard]] index_t num_nodes() const {
+    return static_cast<index_t>(child_first.size());
+  }
+  [[nodiscard]] int num_levels() const {
+    return static_cast<int>(level_offset.size()) - 1;
+  }
+  [[nodiscard]] bool is_leaf(index_t node) const {
+    return child_count[node] == 0;
+  }
+
+  void clear() {
+    child_first.clear();
+    child_count.clear();
+    body_first.clear();
+    body_count.clear();
+    depth.clear();
+    level_offset.clear();
+    com_x.clear();
+    com_y.clear();
+    com_z.clear();
+    mass.clear();
+    bmax.clear();
+    quad_xx.clear();
+    quad_xy.clear();
+    quad_xz.clear();
+    quad_yy.clear();
+    quad_yz.clear();
+    quad_zz.clear();
+  }
+};
+
+} // namespace gothic::octree

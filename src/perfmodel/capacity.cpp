@@ -1,0 +1,19 @@
+#include "perfmodel/capacity.hpp"
+
+namespace gothic::perfmodel {
+
+std::uint64_t max_particles(const GpuSpec& gpu) {
+  const double mem_bytes = gpu.global_mem_gib * 1024.0 * 1024.0 * 1024.0;
+  const double buffers = static_cast<double>(gpu.num_sm) * kBufferBytesPerSm;
+  const double n = (mem_bytes - buffers) / kBytesPerParticle;
+  return n > 0.0 ? static_cast<std::uint64_t>(n) : 0;
+}
+
+GpuSpec tesla_v100_32gb() {
+  GpuSpec g = tesla_v100();
+  g.name = "Tesla V100 (SXM2, 32 GB)";
+  g.global_mem_gib = 32.0;
+  return g;
+}
+
+} // namespace gothic::perfmodel

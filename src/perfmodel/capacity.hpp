@@ -1,0 +1,32 @@
+// Problem-size capacity model (§3).
+//
+// GOTHIC's breadth-first traversal needs a per-SM buffer for the tree
+// cells under evaluation, so the maximum particle count is set by
+//
+//     mem = N * bytes_per_particle + num_sm * buffer_per_sm,
+//
+// which is why Tesla P100 (56 SMs) fits *more* particles than Tesla V100
+// (80 SMs) despite equal 16 GB HBM2: the paper reports 30*2^20 vs 25*2^20.
+// A 32 GB V100 would overtake both — the paper's closing §3 remark.
+#pragma once
+
+#include "perfmodel/gpu_spec.hpp"
+
+#include <cstdint>
+
+namespace gothic::perfmodel {
+
+/// Per-particle device storage (position/velocity/acceleration/jerk-free
+/// RK2 state, Morton keys, tree links, sorted copies) and the per-SM
+/// traversal buffer. Back-solved from the paper's two capacity endpoints
+/// (V100 16 GB -> 25*2^20, P100 16 GB -> 30*2^20); see EXPERIMENTS.md.
+inline constexpr double kBytesPerParticle = 393.2;
+inline constexpr double kBufferBytesPerSm = 85.9e6;
+
+/// Largest particle count the device can host.
+[[nodiscard]] std::uint64_t max_particles(const GpuSpec& gpu);
+
+/// The paper's hypothetical: Tesla V100 with 32 GB HBM2.
+[[nodiscard]] GpuSpec tesla_v100_32gb();
+
+} // namespace gothic::perfmodel

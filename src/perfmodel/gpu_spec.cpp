@@ -1,0 +1,128 @@
+#include "perfmodel/gpu_spec.hpp"
+
+namespace gothic::perfmodel {
+
+const char* arch_name(Arch a) {
+  switch (a) {
+    case Arch::Fermi: return "Fermi";
+    case Arch::Kepler: return "Kepler";
+    case Arch::Maxwell: return "Maxwell";
+    case Arch::Pascal: return "Pascal";
+    case Arch::Volta: return "Volta";
+  }
+  return "?";
+}
+
+GpuSpec tesla_v100() {
+  GpuSpec g;
+  g.name = "Tesla V100 (SXM2)";
+  g.arch = Arch::Volta;
+  g.num_sm = 80;
+  g.fp32_cores_per_sm = 64;
+  g.int32_units_per_sm = 64; // the Volta split the paper studies in S4.2
+  g.sfu_per_sm = 16;         // rsqrt throughput = 1/4 of FMA (S4.2)
+  g.clock_ghz = 1.530;       // Table 1
+  g.mem_bw_peak_gbs = 900.0;
+  g.mem_bw_measured_gbs = 855.0; // Jia et al. 2018 microbenchmarks
+  g.global_mem_gib = 16.0;
+  g.max_threads_per_sm = 2048;
+  g.max_blocks_per_sm = 32;
+  g.regs_per_sm = 65536;
+  g.smem_per_sm_bytes = 96 * 1024; // configurable carve-out (S2.1)
+  g.issue_efficiency = 0.50;
+  g.launch_latency_s = 1.5e-6;
+  return g;
+}
+
+GpuSpec tesla_p100() {
+  GpuSpec g;
+  g.name = "Tesla P100 (SXM2)";
+  g.arch = Arch::Pascal;
+  g.num_sm = 56;
+  g.fp32_cores_per_sm = 64;
+  g.int32_units_per_sm = 0; // unified with CUDA cores pre-Volta
+  g.sfu_per_sm = 16;
+  g.clock_ghz = 1.480; // Table 1
+  g.mem_bw_peak_gbs = 732.0;
+  g.mem_bw_measured_gbs = 550.0; // measured HBM2; V100/P100 ratio ~1.55 (Fig 8)
+  g.global_mem_gib = 16.0;
+  g.max_threads_per_sm = 2048;
+  g.max_blocks_per_sm = 32;
+  g.regs_per_sm = 65536;
+  g.smem_per_sm_bytes = 64 * 1024;
+  g.issue_efficiency = 0.50;
+  g.launch_latency_s = 2.0e-6;
+  return g;
+}
+
+GpuSpec gtx_titan_x() {
+  GpuSpec g;
+  g.name = "GeForce GTX TITAN X";
+  g.arch = Arch::Maxwell;
+  g.num_sm = 24;
+  g.fp32_cores_per_sm = 128;
+  g.int32_units_per_sm = 0;
+  g.sfu_per_sm = 32;
+  g.clock_ghz = 1.000;
+  g.mem_bw_peak_gbs = 336.0;
+  g.mem_bw_measured_gbs = 270.0;
+  g.global_mem_gib = 12.0;
+  g.max_threads_per_sm = 2048;
+  g.max_blocks_per_sm = 32;
+  g.regs_per_sm = 65536;
+  g.smem_per_sm_bytes = 96 * 1024;
+  g.issue_efficiency = 0.48;
+  g.launch_latency_s = 2.5e-6;
+  return g;
+}
+
+GpuSpec tesla_k20x() {
+  GpuSpec g;
+  g.name = "Tesla K20X";
+  g.arch = Arch::Kepler;
+  g.num_sm = 14;
+  g.fp32_cores_per_sm = 192;
+  g.int32_units_per_sm = 0;
+  g.sfu_per_sm = 32;
+  g.clock_ghz = 0.732;
+  g.mem_bw_peak_gbs = 250.0;
+  g.mem_bw_measured_gbs = 180.0;
+  g.global_mem_gib = 6.0;
+  g.max_threads_per_sm = 2048;
+  g.max_blocks_per_sm = 16;
+  g.regs_per_sm = 65536;
+  g.smem_per_sm_bytes = 48 * 1024;
+  // Kepler's 192-core SMX needs 6-way ILP per scheduler to saturate; tree
+  // walks cannot provide it, producing the distinct Kepler curve of Fig 1.
+  g.issue_efficiency = 0.24;
+  g.launch_latency_s = 4.0e-6;
+  return g;
+}
+
+GpuSpec tesla_m2090() {
+  GpuSpec g;
+  g.name = "Tesla M2090";
+  g.arch = Arch::Fermi;
+  g.num_sm = 16;
+  g.fp32_cores_per_sm = 32;
+  g.int32_units_per_sm = 0;
+  g.sfu_per_sm = 4;
+  g.clock_ghz = 1.301;
+  g.mem_bw_peak_gbs = 177.0;
+  g.mem_bw_measured_gbs = 120.0;
+  g.global_mem_gib = 6.0;
+  g.max_threads_per_sm = 1536;
+  g.max_blocks_per_sm = 8;
+  g.regs_per_sm = 32768;
+  g.smem_per_sm_bytes = 48 * 1024;
+  g.issue_efficiency = 0.52;
+  g.launch_latency_s = 5.0e-6;
+  return g;
+}
+
+std::vector<GpuSpec> all_gpus() {
+  return {tesla_v100(), tesla_p100(), gtx_titan_x(), tesla_k20x(),
+          tesla_m2090()};
+}
+
+} // namespace gothic::perfmodel

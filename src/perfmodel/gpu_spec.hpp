@@ -1,0 +1,98 @@
+// Hardware descriptors for the GPUs evaluated in the paper (Fig 1):
+// Tesla V100 (SXM2), Tesla P100 (SXM2), GeForce GTX TITAN X, Tesla K20X
+// and Tesla M2090 — the stand-in for the physical devices (DESIGN.md,
+// substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gothic::perfmodel {
+
+enum class Arch { Fermi, Kepler, Maxwell, Pascal, Volta };
+
+[[nodiscard]] const char* arch_name(Arch a);
+
+struct GpuSpec {
+  std::string name;
+  Arch arch{};
+
+  // Compute resources.
+  int num_sm = 0;
+  int fp32_cores_per_sm = 0; ///< FP32 FMA lanes per SM
+  int int32_units_per_sm = 0;///< dedicated INT32 lanes (0 = shared with FP32)
+  int sfu_per_sm = 0;        ///< special function units (rsqrtf)
+  double clock_ghz = 0.0;
+
+  // Memory system. The perf model uses the *measured* bandwidth (the
+  // paper's Fig 8 uses the measured HBM2 bandwidth ratio, about 1.55).
+  double mem_bw_peak_gbs = 0.0;
+  double mem_bw_measured_gbs = 0.0;
+  double global_mem_gib = 0.0;
+
+  // Occupancy limits per SM.
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 0;
+  int regs_per_sm = 0;      ///< 32-bit registers
+  int smem_per_sm_bytes = 0;
+  int reg_alloc_granularity = 256;
+
+  // Model calibration (documented in DESIGN.md "Calibrated constants"):
+  // fraction of theoretical issue slots a well-tuned kernel sustains.
+  // Anchored on Fig 9: walkTree reaches ~45% of SP peak on V100 at
+  // dacc <~ 1e-3, which back-solves to ~0.5 issue efficiency; Kepler's
+  // 192-core SMX is notoriously hard to saturate, hence the lower value
+  // (consistent with the distinct Kepler curve shape in Fig 1).
+  double issue_efficiency = 0.50;
+  // Per-kernel-launch latency floor in seconds (driver + launch + tree
+  // traversal latency that cannot be amortised at small N; sets the
+  // flat region of Fig 3 at Ntot <~ 1e4).
+  double launch_latency_s = 1.0e-5;
+
+  /// True when INT32 work can overlap FP32 work (the Volta feature the
+  /// paper credits for the >1.5x speed-up, §4.2).
+  [[nodiscard]] bool independent_int_fp() const {
+    return int32_units_per_sm > 0;
+  }
+
+  /// Single-precision theoretical peak in TFlop/s (2 Flop per FMA lane
+  /// per cycle). V100: 15.7, P100: 10.6 as quoted in §1.
+  [[nodiscard]] double fp32_peak_tflops() const {
+    return 2.0 * num_sm * fp32_cores_per_sm * clock_ghz * 1e-3;
+  }
+
+  /// Peak FP32 instruction issue rate (instructions/s) across the device.
+  [[nodiscard]] double fp32_issue_rate() const {
+    return static_cast<double>(num_sm) * fp32_cores_per_sm * clock_ghz * 1e9;
+  }
+
+  /// Peak INT32 issue rate. On pre-Volta architectures integer
+  /// instructions share the FP32 cores, so the rate equals fp32_issue_rate
+  /// but the *time adds up* (see exec_model).
+  [[nodiscard]] double int32_issue_rate() const {
+    const int units =
+        independent_int_fp() ? int32_units_per_sm : fp32_cores_per_sm;
+    return static_cast<double>(num_sm) * units * clock_ghz * 1e9;
+  }
+
+  /// SFU issue rate (reciprocal square root).
+  [[nodiscard]] double sfu_issue_rate() const {
+    return static_cast<double>(num_sm) * sfu_per_sm * clock_ghz * 1e9;
+  }
+};
+
+/// Tesla V100 SXM2 16 GB (Volta, CUDA 9.2 environment of Table 1).
+GpuSpec tesla_v100();
+/// Tesla P100 SXM2 16 GB (Pascal, TSUBAME3.0 environment of Table 1).
+GpuSpec tesla_p100();
+/// GeForce GTX TITAN X (Maxwell), as in Fig 1 (measured by Miki & Umemura 2017).
+GpuSpec gtx_titan_x();
+/// Tesla K20X (Kepler), as in Fig 1.
+GpuSpec tesla_k20x();
+/// Tesla M2090 (Fermi), as in Fig 1.
+GpuSpec tesla_m2090();
+
+/// All five, newest first (the order of the Fig 1 legend).
+std::vector<GpuSpec> all_gpus();
+
+} // namespace gothic::perfmodel

@@ -1,0 +1,70 @@
+#include "perfmodel/occupancy.hpp"
+
+#include "util/types.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gothic::perfmodel {
+
+Occupancy compute_occupancy(const GpuSpec& gpu, const KernelResources& res) {
+  if (res.threads_per_block <= 0 ||
+      res.threads_per_block % kWarpSize != 0) {
+    throw std::invalid_argument("threads_per_block must be a multiple of 32");
+  }
+  Occupancy out;
+
+  const int by_threads = gpu.max_threads_per_sm / res.threads_per_block;
+  const int by_blocks = gpu.max_blocks_per_sm;
+
+  // Register allocation is per-warp with a granularity (256 regs on
+  // Kepler+); model per-block usage rounded per warp.
+  const int warps_per_block = res.threads_per_block / kWarpSize;
+  const int regs_per_warp_raw = res.regs_per_thread * kWarpSize;
+  const int gran = std::max(1, gpu.reg_alloc_granularity);
+  const int regs_per_warp = (regs_per_warp_raw + gran - 1) / gran * gran;
+  const int regs_per_block = regs_per_warp * warps_per_block;
+  const int by_regs =
+      regs_per_block > 0 ? gpu.regs_per_sm / regs_per_block : by_blocks;
+
+  const int by_smem = res.smem_per_block_bytes > 0
+                          ? gpu.smem_per_sm_bytes / res.smem_per_block_bytes
+                          : by_blocks;
+
+  int blocks = std::min({by_threads, by_blocks, by_regs, by_smem});
+  blocks = std::max(blocks, 0);
+  out.blocks_per_sm = blocks;
+  out.warps_per_sm = blocks * warps_per_block;
+  const int max_warps = gpu.max_threads_per_sm / kWarpSize;
+  out.fraction = max_warps > 0
+                     ? static_cast<double>(out.warps_per_sm) / max_warps
+                     : 0.0;
+  if (blocks == by_threads) out.limiter = "threads";
+  if (blocks == by_blocks) out.limiter = "blocks";
+  if (blocks == by_regs) out.limiter = "regs";
+  if (blocks == by_smem) out.limiter = "smem";
+  return out;
+}
+
+double occupancy_efficiency(double occupancy_fraction) {
+  // Saturating response: full speed above ~50% occupancy, linear below.
+  const double x = std::clamp(occupancy_fraction, 0.0, 1.0);
+  return std::min(1.0, x / 0.5);
+}
+
+int volta_smem_carveout_bytes(int percent) {
+  if (percent < 0 || percent > 100) {
+    throw std::invalid_argument("carveout percent must be in [0,100]");
+  }
+  constexpr int kMaxKib = 96;
+  constexpr int kCandidatesKib[] = {0, 8, 16, 32, 64, 96};
+  // Requested capacity, rounded up to the next candidate (CUDA guarantees
+  // *at least* the requested fraction; hence the 66 vs 67 pitfall).
+  const double requested_kib = kMaxKib * static_cast<double>(percent) / 100.0;
+  for (const int c : kCandidatesKib) {
+    if (static_cast<double>(c) >= requested_kib) return c * 1024;
+  }
+  return kMaxKib * 1024;
+}
+
+} // namespace gothic::perfmodel

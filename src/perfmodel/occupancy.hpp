@@ -1,0 +1,45 @@
+// CUDA occupancy calculator: how many thread-blocks of a kernel fit on one
+// SM given its register and shared-memory appetite. Drives the Table 2
+// thread-block-configuration sweep and reproduces the Appendix A
+// observation that raising walkTree-style kernels from 56 to 64 registers
+// per thread drops blocks/SM from 9 to 8.
+#pragma once
+
+#include "perfmodel/gpu_spec.hpp"
+
+namespace gothic::perfmodel {
+
+/// Static launch footprint of a kernel.
+struct KernelResources {
+  int threads_per_block = 512; ///< Ttot of Table 2
+  int regs_per_thread = 56;    ///< e.g. calcNode uses 56 (Appendix A)
+  int smem_per_block_bytes = 0;
+};
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  /// Resident warps / max resident warps.
+  double fraction = 0.0;
+  /// Which resource limits the count: "threads", "blocks", "regs", "smem".
+  const char* limiter = "";
+};
+
+[[nodiscard]] Occupancy compute_occupancy(const GpuSpec& gpu,
+                                          const KernelResources& res);
+
+/// Issue-efficiency multiplier as a function of occupancy: latency hiding
+/// saturates once enough warps are resident (~50% occupancy for
+/// arithmetic-bound kernels, cf. Volkov 2010); below that, throughput
+/// degrades roughly linearly.
+[[nodiscard]] double occupancy_efficiency(double occupancy_fraction);
+
+/// Volta's configurable shared-memory carve-out (§2.1): CUDA picks the
+/// smallest candidate capacity {0, 8, 16, 32, 64, 96} KiB that is at least
+/// `percent`% of the 96 KiB maximum — i.e. the requested ratio is
+/// interpreted with a floor, so 66 selects 64 KiB while 67 already selects
+/// 96 KiB (the pitfall the paper spells out: pass the floor of the
+/// intended ratio).
+[[nodiscard]] int volta_smem_carveout_bytes(int percent);
+
+} // namespace gothic::perfmodel

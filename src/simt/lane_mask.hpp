@@ -1,0 +1,45 @@
+// 32-bit lane-mask helpers for the warp execution model.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace gothic::simt {
+
+using lane_mask = std::uint32_t;
+
+inline constexpr lane_mask kFullMask = 0xffffffffu;
+
+/// Number of set lanes.
+[[nodiscard]] constexpr int popc(lane_mask m) { return std::popcount(m); }
+
+/// Mask with a single lane set.
+[[nodiscard]] constexpr lane_mask lane_bit(int lane) {
+  return lane_mask{1u} << lane;
+}
+
+/// True when `lane` is active in `m`.
+[[nodiscard]] constexpr bool lane_active(lane_mask m, int lane) {
+  return (m >> lane) & 1u;
+}
+
+/// Lowest set lane, or 32 when the mask is empty (like __ffs(m)-1).
+[[nodiscard]] constexpr int lowest_lane(lane_mask m) {
+  return m == 0 ? 32 : std::countr_zero(m);
+}
+
+/// Mask of lanes below `lane` (CUDA's %lanemask_lt).
+[[nodiscard]] constexpr lane_mask lanemask_lt(int lane) {
+  return (lane == 0) ? 0u : (kFullMask >> (32 - lane));
+}
+
+/// Mask covering the sub-warp tile of width `width` containing `lane`.
+/// `width` must be a power of two <= 32 (CUDA tile semantics).
+[[nodiscard]] constexpr lane_mask tile_mask(int lane, int width) {
+  const int base = (lane / width) * width;
+  const lane_mask ones =
+      (width >= 32) ? kFullMask : ((lane_mask{1u} << width) - 1u);
+  return ones << base;
+}
+
+} // namespace gothic::simt

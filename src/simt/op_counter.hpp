@@ -1,0 +1,104 @@
+// Operation tallies mirroring the nvprof metrics used in the paper (§4.2):
+// inst_integer, flop_count_sp_fma, flop_count_sp_add, flop_count_sp_mul,
+// flop_count_sp_special — plus bytes moved and synchronisation events,
+// which feed the perfmodel timing of each kernel.
+//
+// Counts are *thread-level* (one per executing lane), matching nvprof's
+// flop_count_* semantics.
+#pragma once
+
+#include "util/parallel.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gothic::simt {
+
+struct OpCounts {
+  // nvprof instruction categories (per-thread instruction counts).
+  std::uint64_t int_ops = 0;      ///< inst_integer
+  std::uint64_t fp32_fma = 0;     ///< flop_count_sp_fma (1 instruction = 2 Flop)
+  std::uint64_t fp32_mul = 0;     ///< flop_count_sp_mul
+  std::uint64_t fp32_add = 0;     ///< flop_count_sp_add
+  std::uint64_t fp32_special = 0; ///< flop_count_sp_special (rsqrtf)
+
+  // Memory traffic in bytes (device-memory perspective).
+  std::uint64_t bytes_load = 0;
+  std::uint64_t bytes_store = 0;
+
+  // Synchronisation events (warp-level; counted once per warp).
+  std::uint64_t syncwarp = 0;       ///< __syncwarp() executions
+  std::uint64_t tile_sync = 0;      ///< Cooperative-Groups tile .sync()
+  std::uint64_t block_sync = 0;     ///< __syncthreads()
+  std::uint64_t global_barrier = 0; ///< grid-wide barriers per kernel
+
+  // Warp-collective instruction counts (also folded into int_ops by the
+  // emitting code, since shuffles occupy integer/miscellaneous pipes).
+  std::uint64_t shfl = 0;
+  std::uint64_t ballot = 0;
+
+  /// FP32 instructions executed by the CUDA cores (excludes SFU),
+  /// i.e. the "FP32" series of Fig 7.
+  [[nodiscard]] std::uint64_t fp32_core_instructions() const {
+    return fp32_fma + fp32_mul + fp32_add;
+  }
+
+  /// Floating-point operation count with FMA = 2 Flop and the paper's
+  /// rsqrt = 4 Flop convention (§4.2).
+  [[nodiscard]] std::uint64_t flops(std::uint64_t special_flops = 4) const {
+    return 2 * fp32_fma + fp32_mul + fp32_add + special_flops * fp32_special;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bytes_load + bytes_store;
+  }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    int_ops += o.int_ops;
+    fp32_fma += o.fp32_fma;
+    fp32_mul += o.fp32_mul;
+    fp32_add += o.fp32_add;
+    fp32_special += o.fp32_special;
+    bytes_load += o.bytes_load;
+    bytes_store += o.bytes_store;
+    syncwarp += o.syncwarp;
+    tile_sync += o.tile_sync;
+    block_sync += o.block_sync;
+    global_barrier += o.global_barrier;
+    shfl += o.shfl;
+    ballot += o.ballot;
+    return *this;
+  }
+
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+
+  friend bool operator==(const OpCounts&, const OpCounts&) = default;
+};
+
+/// Per-thread accumulation slots (cache-line padded) so OpenMP workers
+/// never contend; total() sums across slots.
+class OpCounterPool {
+public:
+  OpCounterPool() : slots_(static_cast<std::size_t>(num_threads())) {}
+
+  /// The slot of the calling OpenMP thread.
+  OpCounts& local() { return slots_[static_cast<std::size_t>(thread_id())].counts; }
+
+  [[nodiscard]] OpCounts total() const {
+    OpCounts sum;
+    for (const auto& s : slots_) sum += s.counts;
+    return sum;
+  }
+
+  void reset() {
+    for (auto& s : slots_) s.counts = OpCounts{};
+  }
+
+private:
+  struct alignas(64) Padded {
+    OpCounts counts;
+  };
+  std::vector<Padded> slots_;
+};
+
+} // namespace gothic::simt

@@ -1,0 +1,131 @@
+// Warp-level scans and reductions built from shuffles — the primitives
+// GOTHIC uses inside walkTree (interaction-list compaction) and calcNode
+// (centre-of-mass reductions over Tsub sub-warps). These are the functions
+// the paper identifies as the source of the Volta-mode syncwarp overhead
+// (§4.1), so each shuffle stage is executed and counted through Warp.
+#pragma once
+
+#include "simt/warp.hpp"
+
+#include <type_traits>
+
+namespace gothic::simt {
+
+namespace detail {
+
+/// Count one addition per executing lane in the right nvprof category.
+template <typename T>
+inline void count_adds(Warp& w, lane_mask exec) {
+  const auto lanes = static_cast<std::uint64_t>(popc(exec));
+  if constexpr (std::is_floating_point_v<T>) {
+    w.counts().fp32_add += lanes;
+  } else {
+    w.counts().int_ops += lanes;
+  }
+}
+
+template <typename T>
+inline void count_cmp(Warp& w, lane_mask exec) {
+  // min/max compare-select; integer and FP comparisons both occupy the
+  // respective pipes, count like an add.
+  count_adds<T>(w, exec);
+}
+
+} // namespace detail
+
+/// Inclusive prefix sum within each width-segment (Hillis-Steele over
+/// shfl_up). `width` must be a power of two <= 32.
+template <typename T>
+void inclusive_scan_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
+                        lane_mask mask = kFullMask) {
+  for (int delta = 1; delta < width; delta <<= 1) {
+    LaneArray<T> up = v;
+    w.shfl_up(up, delta, width, mask);
+    const lane_mask exec = w.active();
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_active(exec, lane)) continue;
+      const int idx = lane & (width - 1);
+      if (idx >= delta) v[lane] = static_cast<T>(v[lane] + up[lane]);
+    }
+    detail::count_adds<T>(w, exec);
+  }
+}
+
+/// Exclusive prefix sum; also returns (per lane) the segment total in
+/// `total` when non-null.
+template <typename T>
+void exclusive_scan_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
+                        lane_mask mask = kFullMask,
+                        LaneArray<T>* total = nullptr) {
+  LaneArray<T> inc = v;
+  inclusive_scan_add(w, inc, width, mask);
+  const lane_mask exec = w.active();
+  if (total != nullptr) {
+    LaneArray<T> t = inc;
+    // Broadcast the last lane of each segment.
+    w.shfl(t, width - 1, width, mask);
+    *total = t;
+  }
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!lane_active(exec, lane)) continue;
+    v[lane] = static_cast<T>(inc[lane] - v[lane]);
+  }
+  detail::count_adds<T>(w, exec);
+}
+
+/// Butterfly all-reduce (sum) within each width-segment; every lane ends
+/// with the segment total.
+template <typename T>
+void reduce_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
+                lane_mask mask = kFullMask) {
+  for (int delta = width >> 1; delta > 0; delta >>= 1) {
+    LaneArray<T> other = v;
+    w.shfl_xor(other, delta, width, mask);
+    const lane_mask exec = w.active();
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(exec, lane)) v[lane] = static_cast<T>(v[lane] + other[lane]);
+    }
+    detail::count_adds<T>(w, exec);
+  }
+}
+
+/// Butterfly all-reduce (min).
+template <typename T>
+void reduce_min(Warp& w, LaneArray<T>& v, int width = kWarpSize,
+                lane_mask mask = kFullMask) {
+  for (int delta = width >> 1; delta > 0; delta >>= 1) {
+    LaneArray<T> other = v;
+    w.shfl_xor(other, delta, width, mask);
+    const lane_mask exec = w.active();
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(exec, lane) && other[lane] < v[lane]) v[lane] = other[lane];
+    }
+    detail::count_cmp<T>(w, exec);
+  }
+}
+
+/// Butterfly all-reduce (max).
+template <typename T>
+void reduce_max(Warp& w, LaneArray<T>& v, int width = kWarpSize,
+                lane_mask mask = kFullMask) {
+  for (int delta = width >> 1; delta > 0; delta >>= 1) {
+    LaneArray<T> other = v;
+    w.shfl_xor(other, delta, width, mask);
+    const lane_mask exec = w.active();
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(exec, lane) && other[lane] > v[lane]) v[lane] = other[lane];
+    }
+    detail::count_cmp<T>(w, exec);
+  }
+}
+
+/// Stream-compaction slot: for a ballot result `votes`, the output index of
+/// `lane` among the voting lanes (popc of votes below the lane). One
+/// integer instruction per lane, like the __popc(%lanemask_lt & votes)
+/// idiom in GOTHIC's interaction-list append.
+[[nodiscard]] inline int compact_slot(Warp& w, lane_mask votes, int lane) {
+  w.counts().int_ops += 1;
+  return popc(votes & lanemask_lt(lane));
+}
+
+} // namespace gothic::simt

@@ -1,0 +1,42 @@
+// Minimal command-line argument parser for the driver tools:
+// --key=value / --key value / --flag, with typed accessors and defaults.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gothic {
+
+class Args {
+public:
+  /// Parse argv; throws std::invalid_argument on malformed input
+  /// (non-option positional arguments are collected separately).
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Keys that were provided but never queried — typo detection for the
+  /// driver tools. Call after all get()s.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+} // namespace gothic

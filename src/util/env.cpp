@@ -1,0 +1,37 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <cctype>
+
+namespace gothic {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long base = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  std::size_t mult = 1;
+  if (end != nullptr && *end != '\0') {
+    const char suffix = static_cast<char>(std::tolower(*end));
+    if (suffix == 'k') mult = 1024;
+    else if (suffix == 'm') mult = 1024 * 1024;
+    else return fallback;
+  }
+  return static_cast<std::size_t>(base) * mult;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  return end == v ? fallback : x;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+} // namespace gothic

@@ -1,0 +1,23 @@
+// Environment-variable configuration for the bench harness.
+//
+// Bench problem sizes default small enough for a laptop-class container but
+// can be scaled to the paper's sizes via GOTHIC_BENCH_N / GOTHIC_BENCH_STEPS.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gothic {
+
+/// Read an environment variable as size_t; returns `fallback` when unset or
+/// unparsable. Accepts plain integers and the suffixes k/K (*1024) and
+/// m/M (*1024^2), e.g. GOTHIC_BENCH_N=8m for the paper's 2^23.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Read an environment variable as double.
+double env_double(const char* name, double fallback);
+
+/// Read an environment variable as string.
+std::string env_string(const char* name, const std::string& fallback);
+
+} // namespace gothic

@@ -1,0 +1,50 @@
+// Thin OpenMP helpers.
+//
+// The simulated device kernels parallelise over warps with OpenMP; these
+// wrappers keep the pragmas in one place and compile cleanly without
+// OpenMP as straight serial loops.
+#pragma once
+
+#include <cstddef>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gothic {
+
+/// Number of worker threads OpenMP will use (1 without OpenMP).
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Index of the calling thread inside a parallel_for body.
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Parallel loop over [begin, end) with a static schedule. The body is
+/// invoked as body(i). Grain is left to the runtime; callers batch work
+/// (e.g. one warp of 32 particles per index) so iterations are coarse.
+template <typename Body>
+inline void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (long long i = static_cast<long long>(begin);
+       i < static_cast<long long>(end); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+} // namespace gothic

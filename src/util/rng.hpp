@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation.
+//
+// Initial-condition generation (galaxy sampling) and tests need
+// reproducible streams that are identical across platforms and thread
+// counts, so we implement SplitMix64 (seeding) and xoshiro256** 1.0
+// (bulk generation; Blackman & Vigna 2018) rather than relying on the
+// implementation-defined std:: distributions.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace gothic {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0,1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo,hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar method (exact, no tables).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Random unit vector (isotropic) written to (x,y,z).
+  void unit_vector(double& x, double& y, double& z) {
+    const double ct = 2.0 * uniform() - 1.0; // cos(theta) uniform
+    const double st = std::sqrt(std::fmax(0.0, 1.0 - ct * ct));
+    const double phi = 2.0 * kPi * uniform();
+    x = st * std::cos(phi);
+    y = st * std::sin(phi);
+    z = ct;
+  }
+
+  /// Split off an independent stream (for per-thread generation).
+  Xoshiro256 split() { return Xoshiro256(next() ^ 0xdeadbeefcafef00dull); }
+
+private:
+  static constexpr double kPi = 3.14159265358979323846;
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+} // namespace gothic

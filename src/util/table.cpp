@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace gothic {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3e", v);
+  return buf;
+}
+
+std::string Table::fix(double v, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::num(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  os << "## " << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  os << "\n";
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+} // namespace gothic

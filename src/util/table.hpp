@@ -1,0 +1,50 @@
+// Aligned-text table printer for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's figures/tables as rows
+// printed to stdout (plus optional CSV for replotting), so a common,
+// deterministic formatter keeps the output diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gothic {
+
+/// Column-aligned table with a title, column headers and string cells.
+/// Numeric helpers format with fixed significant digits so the output is
+/// stable across runs of the deterministic benches.
+class Table {
+public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Append one row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double in scientific notation with 3 significant digits
+  /// (the precision at which the paper quotes timings, e.g. 3.3e-02 s).
+  static std::string sci(double v);
+  /// Format a double in fixed notation with `digits` decimals.
+  static std::string fix(double v, int digits = 2);
+  /// Format an integer with no grouping.
+  static std::string num(long long v);
+
+  /// Render the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (headers + rows), for replotting.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const {
+    return rows_[r][c];
+  }
+
+private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gothic

@@ -1,0 +1,27 @@
+// Fundamental scalar and index types shared across the library.
+//
+// GOTHIC computes gravity in single precision (the paper reports FP32
+// instruction counts and single-precision Flop/s), so `real` is float.
+// Host-side reductions and diagnostics that need headroom use double.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace gothic {
+
+/// Precision used by the simulated device kernels (matches GOTHIC's FP32).
+using real = float;
+
+/// Particle / tree-node index. GOTHIC supports up to 25*2^20 particles,
+/// comfortably inside 32 bits; 32-bit indices also match the payload width
+/// of cub::DeviceRadixSort::SortPairs as used by GOTHIC.
+using index_t = std::uint32_t;
+
+/// Sentinel for "no node / no particle".
+inline constexpr index_t kInvalidIndex = 0xffffffffu;
+
+/// Number of lanes in a warp; fixed by the CUDA execution model.
+inline constexpr int kWarpSize = 32;
+
+} // namespace gothic

@@ -1,0 +1,66 @@
+// Command-line argument parser.
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gothic {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgsTest, KeyEqualsValueForm) {
+  const Args a = parse({"prog", "--n=4096", "--dacc=0.002"});
+  EXPECT_EQ(a.get_int("n", 0), 4096);
+  EXPECT_DOUBLE_EQ(a.get_double("dacc", 0.0), 0.002);
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(ArgsTest, KeySpaceValueForm) {
+  const Args a = parse({"prog", "--model", "m31", "--steps", "7"});
+  EXPECT_EQ(a.get("model", ""), "m31");
+  EXPECT_EQ(a.get_int("steps", 0), 7);
+}
+
+TEST(ArgsTest, FlagsAndDefaults) {
+  const Args a = parse({"prog", "--quadrupole", "--verbose=true"});
+  EXPECT_TRUE(a.get_flag("quadrupole"));
+  EXPECT_TRUE(a.get_flag("verbose"));
+  EXPECT_FALSE(a.get_flag("absent"));
+  EXPECT_EQ(a.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(a.get_int("missing", 42), 42);
+}
+
+TEST(ArgsTest, PositionalArgumentsCollected) {
+  const Args a = parse({"prog", "input.snap", "--n=8", "output.csv"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.snap");
+  EXPECT_EQ(a.positional()[1], "output.csv");
+}
+
+TEST(ArgsTest, TypeErrorsThrow) {
+  const Args a = parse({"prog", "--n=abc", "--x=1.5zzz"});
+  EXPECT_THROW((void)a.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)a.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--"}), std::invalid_argument);
+}
+
+TEST(ArgsTest, UnusedDetectsTypos) {
+  const Args a = parse({"prog", "--n=1", "--tpyo=5"});
+  (void)a.get_int("n", 0);
+  const auto unused = a.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "tpyo");
+}
+
+TEST(ArgsTest, NegativeNumbersAsValues) {
+  const Args a = parse({"prog", "--offset=-3", "--scale", "-2.5"});
+  EXPECT_EQ(a.get_int("offset", 0), -3);
+  // "-2.5" does not start with "--", so the space form captures it.
+  EXPECT_DOUBLE_EQ(a.get_double("scale", 0.0), -2.5);
+}
+
+} // namespace
+} // namespace gothic

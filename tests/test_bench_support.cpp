@@ -1,0 +1,144 @@
+// Integration tests of the bench pipeline: profile_step must produce
+// counts with the paper's qualitative structure, and predict_step_time
+// must order the GPUs/modes the way the paper reports.
+#include "support/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gothic::bench {
+namespace {
+
+class ProfileRig : public ::testing::Test {
+protected:
+  static const nbody::Particles& workload() {
+    static const nbody::Particles p = m31_workload(8192);
+    return p;
+  }
+};
+
+TEST_F(ProfileRig, CountsArePopulatedPerKernel) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  EXPECT_EQ(p.n, 8192u);
+  EXPECT_GT(p.walk.fp32_fma, 0u);
+  EXPECT_GT(p.walk.int_ops, 0u);
+  EXPECT_GT(p.walk.fp32_special, 0u);
+  EXPECT_GT(p.calc.fp32_fma, 0u);
+  EXPECT_GT(p.make_raw.int_ops, 0u);
+  EXPECT_GT(p.pred.fp32_fma, 0u);
+  EXPECT_GT(p.walk_stats.interactions, 0u);
+}
+
+TEST_F(ProfileRig, VoltaCountsCarrySyncsPascalViewStripsThem) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  EXPECT_GT(p.walk.syncwarp, 0u);
+  const simt::OpCounts pas = pascal_view(p.walk);
+  EXPECT_EQ(pas.syncwarp, 0u);
+  EXPECT_EQ(pas.tile_sync, 0u);
+  EXPECT_EQ(pas.fp32_fma, p.walk.fp32_fma); // arithmetic untouched
+  EXPECT_EQ(pas.int_ops, p.walk.int_ops);
+}
+
+TEST_F(ProfileRig, WalkWorkGrowsAsDaccShrinks) {
+  const StepProfile lo = profile_step(workload(), 1.0 / 2, 1);
+  const StepProfile hi = profile_step(workload(), 1.0 / 8192, 1);
+  EXPECT_GT(hi.walk.fp32_fma, lo.walk.fp32_fma);
+  EXPECT_GT(hi.walk_stats.interactions, lo.walk_stats.interactions);
+}
+
+TEST_F(ProfileRig, IntegerCountStaysBelowFp32) {
+  // Fig 7's central fact: max(int, FP32) == FP32 at every accuracy.
+  for (const double dacc : dacc_sweep(12, 3)) {
+    const StepProfile p = profile_step(workload(), dacc, 1);
+    EXPECT_LT(p.walk.int_ops, p.walk.fp32_core_instructions())
+        << "dacc=" << dacc;
+  }
+}
+
+TEST_F(ProfileRig, SpecialCountsWellBelowFma) {
+  // Fig 6: the rsqrt count sits far below the FMA count.
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  EXPECT_LT(p.walk.fp32_special * 4, p.walk.fp32_fma);
+}
+
+TEST_F(ProfileRig, RebuildIntervalInPaperBallpark) {
+  // §4.1: ~6 steps at the highest accuracy to ~30 at the lowest.
+  const StepProfile lo = profile_step(workload(), 1.0 / 2, 1);
+  const StepProfile hi = profile_step(workload(), 1.0 / 16384, 1);
+  EXPECT_GE(lo.rebuild_interval, hi.rebuild_interval);
+  EXPECT_GE(hi.rebuild_interval, 2.0);
+  EXPECT_LE(lo.rebuild_interval, 64.0);
+}
+
+TEST_F(ProfileRig, MakeAmortizedScalesWithInterval) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const simt::OpCounts am = p.make_amortized();
+  EXPECT_LT(am.int_ops, p.make_raw.int_ops);
+  const double ratio = static_cast<double>(p.make_raw.int_ops) /
+                       static_cast<double>(std::max<std::uint64_t>(am.int_ops, 1));
+  EXPECT_NEAR(ratio, p.rebuild_interval, 0.05 * p.rebuild_interval + 1.0);
+}
+
+TEST_F(ProfileRig, V100PascalBeatsVoltaBeatsP100) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const auto v100 = perfmodel::tesla_v100();
+  const auto p100 = perfmodel::tesla_p100();
+  const double t60 = predict_step_time(p, v100, false).total();
+  const double t70 = predict_step_time(p, v100, true).total();
+  const double tp = predict_step_time(p, p100, false).total();
+  EXPECT_LT(t60, t70); // Pascal mode always faster (§3)
+  EXPECT_LT(t70, tp);  // V100 beats P100 in either mode (Fig 1)
+}
+
+TEST_F(ProfileRig, ModeSpeedupInPaperBand) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const auto v100 = perfmodel::tesla_v100();
+  const double ratio = predict_step_time(p, v100, true).total() /
+                       predict_step_time(p, v100, false).total();
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.3); // paper: 1.1-1.2
+}
+
+TEST_F(ProfileRig, P100SpeedupBetweenOneAndPaperMax) {
+  const StepProfile p = profile_step(workload(), 1.0 / 2048, 1);
+  const auto v100 = perfmodel::tesla_v100();
+  const auto p100 = perfmodel::tesla_p100();
+  const double s = predict_step_time(p, p100, false).total() /
+                   predict_step_time(p, v100, false).total();
+  EXPECT_GT(s, 1.3);
+  EXPECT_LT(s, 2.4); // paper: 1.4-2.2
+}
+
+TEST_F(ProfileRig, OlderGpusAreSlower) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const auto gpus = perfmodel::all_gpus(); // newest first
+  double prev = 0.0;
+  for (const auto& g : gpus) {
+    const double t = predict_step_time(p, g, false).total();
+    EXPECT_GT(t, prev) << g.name; // each older GPU slower (Fig 1)
+    prev = t;
+  }
+}
+
+TEST(BenchSupport, DaccSweepGridIsPowersOfTwo) {
+  const auto grid = dacc_sweep(5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid[0], 0.5);
+  EXPECT_DOUBLE_EQ(grid[4], 1.0 / 32);
+  EXPECT_EQ(dacc_label(1.0 / 512), "2^-9");
+  const auto strided = dacc_sweep(9, 4);
+  ASSERT_EQ(strided.size(), 3u);
+  EXPECT_DOUBLE_EQ(strided[2], 1.0 / 512);
+}
+
+TEST(BenchSupport, ScaleReadsEnvironment) {
+  ::setenv("GOTHIC_BENCH_N", "4k", 1);
+  ::setenv("GOTHIC_BENCH_STEPS", "3", 1);
+  const BenchScale s = BenchScale::from_env();
+  EXPECT_EQ(s.n, 4096u);
+  EXPECT_EQ(s.steps, 3);
+  ::unsetenv("GOTHIC_BENCH_N");
+  ::unsetenv("GOTHIC_BENCH_STEPS");
+}
+
+} // namespace
+} // namespace gothic::bench

@@ -1,0 +1,170 @@
+// Block time step hierarchy invariants.
+#include "nbody/block_steps.hpp"
+#include "nbody/rebuild_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gothic::nbody {
+namespace {
+
+TEST(BlockSteps, LevelForPicksDeepestCompatibleLevel) {
+  BlockTimeSteps b(1.0, 8);
+  EXPECT_EQ(b.level_for(2.0), 0);      // larger than dt_max: shallowest
+  EXPECT_EQ(b.level_for(1.0), 0);
+  EXPECT_EQ(b.level_for(0.5), 1);
+  EXPECT_EQ(b.level_for(0.3), 2);      // needs dt <= 0.3 -> 0.25
+  EXPECT_EQ(b.level_for(1.0 / 256), 8);
+  EXPECT_EQ(b.level_for(1e-9), 8);     // clamped to max_level
+}
+
+TEST(BlockSteps, AllSameLevelFiresTogether) {
+  BlockTimeSteps b(1.0, 4);
+  std::vector<double> req(10, 0.25);
+  b.initialize(req);
+  const double dt = b.advance();
+  EXPECT_DOUBLE_EQ(dt, 0.25);
+  EXPECT_EQ(b.num_active(), 10u);
+}
+
+TEST(BlockSteps, TwoLevelHierarchyFiresInPattern) {
+  BlockTimeSteps b(1.0, 4);
+  // Particle 0 at dt=1/4 (level 2), particle 1 at dt=1/16 (level 4).
+  b.initialize(std::vector<double>{0.25, 1.0 / 16});
+  std::size_t fires0 = 0, fires1 = 0;
+  for (int s = 0; s < 16; ++s) {
+    const double dt = b.advance();
+    EXPECT_DOUBLE_EQ(dt, 1.0 / 16); // deepest level paces the clock
+    if (b.active(0)) ++fires0;
+    if (b.active(1)) ++fires1;
+    if (b.active(0)) b.mark_corrected(0);
+    if (b.active(1)) b.mark_corrected(1);
+  }
+  EXPECT_EQ(fires1, 16u);
+  EXPECT_EQ(fires0, 4u); // every 4th tick of the deepest level
+  EXPECT_DOUBLE_EQ(b.time(), 1.0);
+}
+
+TEST(BlockSteps, ShallowerOnlyOneLevelPerFiringAndAligned) {
+  BlockTimeSteps b(1.0, 4);
+  b.initialize(std::vector<double>{1.0 / 16});
+  EXPECT_EQ(b.level(0), 4);
+  (void)b.advance(); // t = 1/16: level-3 boundary NOT reached
+  ASSERT_TRUE(b.active(0));
+  b.update_level(0, 1.0); // wants level 0, must wait for alignment
+  EXPECT_EQ(b.level(0), 4);
+  (void)b.advance(); // t = 2/16 = 1/8: aligned with level 3
+  b.update_level(0, 1.0);
+  EXPECT_EQ(b.level(0), 3); // only one level shallower per firing
+}
+
+TEST(BlockSteps, DeeperJumpsImmediately) {
+  BlockTimeSteps b(1.0, 6);
+  b.initialize(std::vector<double>{1.0});
+  (void)b.advance();
+  ASSERT_TRUE(b.active(0));
+  b.update_level(0, 1e-6); // crash to the deepest level at once
+  EXPECT_EQ(b.level(0), 6);
+}
+
+TEST(BlockSteps, TimeSinceCorrectionTracksPerParticle) {
+  BlockTimeSteps b(1.0, 2);
+  b.initialize(std::vector<double>{0.25, 1.0});
+  (void)b.advance(); // t = 1/4
+  EXPECT_DOUBLE_EQ(b.time_since_correction(0), 0.25);
+  EXPECT_DOUBLE_EQ(b.time_since_correction(1), 0.25);
+  b.mark_corrected(0);
+  (void)b.advance(); // t = 1/2
+  EXPECT_DOUBLE_EQ(b.time_since_correction(0), 0.25);
+  EXPECT_DOUBLE_EQ(b.time_since_correction(1), 0.5);
+}
+
+TEST(BlockSteps, PermutationCarriesState) {
+  BlockTimeSteps b(1.0, 4);
+  b.initialize(std::vector<double>{1.0, 0.25, 1.0 / 16});
+  const int l0 = b.level(0), l1 = b.level(1), l2 = b.level(2);
+  std::vector<index_t> perm = {2, 0, 1};
+  b.apply_permutation(perm);
+  EXPECT_EQ(b.level(0), l2);
+  EXPECT_EQ(b.level(1), l0);
+  EXPECT_EQ(b.level(2), l1);
+}
+
+TEST(BlockSteps, SharedModeMaxLevelZero) {
+  BlockTimeSteps b(0.01, 0);
+  b.initialize(std::vector<double>(5, 1e-9));
+  const double dt = b.advance();
+  EXPECT_DOUBLE_EQ(dt, 0.01);
+  EXPECT_EQ(b.num_active(), 5u);
+}
+
+TEST(BlockSteps, RejectsBadConstruction) {
+  EXPECT_THROW(BlockTimeSteps(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(BlockTimeSteps(1.0, -1), std::invalid_argument);
+  EXPECT_THROW(BlockTimeSteps(1.0, 63), std::invalid_argument);
+}
+
+// --- rebuild policy ----------------------------------------------------------
+
+TEST(RebuildPolicy, BootstrapIntervalBeforeData) {
+  RebuildPolicy p;
+  p.record_rebuild(1e-3);
+  EXPECT_EQ(p.target_interval(), 8);
+  EXPECT_FALSE(p.should_rebuild());
+}
+
+TEST(RebuildPolicy, FitsLinearSlopeExactly) {
+  RebuildPolicy p;
+  p.record_rebuild(0.5);
+  for (int s = 0; s < 6; ++s) p.record_walk(1.0 + 0.01 * s);
+  EXPECT_NEAR(p.fitted_slope(), 0.01, 1e-12);
+}
+
+TEST(RebuildPolicy, OptimalIntervalIsSqrtTwoMakeOverSlope) {
+  RebuildPolicy p;
+  p.record_rebuild(0.5); // T_make
+  for (int s = 0; s < 6; ++s) p.record_walk(1.0 + 0.01 * s);
+  // k* = sqrt(2*0.5/0.01) = 10
+  EXPECT_EQ(p.target_interval(), 10);
+  EXPECT_FALSE(p.should_rebuild()); // only 6 steps elapsed
+  for (int s = 6; s < 10; ++s) p.record_walk(1.0 + 0.01 * s);
+  EXPECT_TRUE(p.should_rebuild());
+}
+
+TEST(RebuildPolicy, ExpensiveWalksRebuildMoreOften) {
+  // The paper: ~6-step intervals for accurate walks, ~30 for cheap ones.
+  // With a fixed relative decay rate, a costlier walk (relative to
+  // makeTree) implies a larger absolute slope and a shorter interval.
+  RebuildPolicy expensive, cheap;
+  expensive.record_rebuild(0.01);
+  cheap.record_rebuild(0.01);
+  for (int s = 0; s < 8; ++s) {
+    expensive.record_walk(0.10 * (1.0 + 0.05 * s)); // 5%/step of a big walk
+    cheap.record_walk(0.01 * (1.0 + 0.05 * s));
+  }
+  EXPECT_LT(expensive.target_interval(), cheap.target_interval());
+}
+
+TEST(RebuildPolicy, FlatWalkTimesStretchToMaxInterval) {
+  RebuildPolicy p;
+  p.record_rebuild(0.5);
+  for (int s = 0; s < 8; ++s) p.record_walk(1.0);
+  EXPECT_EQ(p.target_interval(), 64);
+}
+
+TEST(RebuildPolicy, IntervalClampedToConfiguredRange) {
+  RebuildPolicy::Config cfg;
+  cfg.min_interval = 4;
+  cfg.max_interval = 12;
+  RebuildPolicy p(cfg);
+  p.record_rebuild(1e-6); // nearly free rebuild: wants k*~0
+  for (int s = 0; s < 4; ++s) p.record_walk(1.0 + 0.5 * s);
+  EXPECT_EQ(p.target_interval(), 4);
+  p.record_rebuild(100.0); // huge rebuild cost: wants k*~inf
+  for (int s = 0; s < 4; ++s) p.record_walk(1.0 + 0.5 * s);
+  EXPECT_EQ(p.target_interval(), 12);
+}
+
+} // namespace
+} // namespace gothic::nbody

@@ -1,0 +1,113 @@
+// Direct O(N^2) baseline: physics invariants and instruction accounting.
+#include "gravity/cost_model.hpp"
+#include "gravity/direct.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gothic::gravity {
+namespace {
+
+struct Pair {
+  std::vector<real> x{0.0f, 1.0f}, y{0.0f, 0.0f}, z{0.0f, 0.0f};
+  std::vector<real> m{2.0f, 3.0f};
+  std::vector<real> ax{0, 0}, ay{0, 0}, az{0, 0}, pot{0, 0};
+};
+
+TEST(Direct, TwoBodyForceMatchesNewton) {
+  Pair p;
+  const real eps = real(1e-4);
+  direct_forces(p.x, p.y, p.z, p.m, eps, real(1), p.ax, p.ay, p.az, p.pot);
+  // a_0 = G m_1 / r^2 toward +x; softening negligible at r=1.
+  EXPECT_NEAR(p.ax[0], 3.0, 3e-3);
+  EXPECT_NEAR(p.ax[1], -2.0, 2e-3);
+  EXPECT_NEAR(p.ay[0], 0.0, 1e-6);
+  // pot_0 = -G m_1 / r.
+  EXPECT_NEAR(p.pot[0], -3.0, 3e-3);
+  EXPECT_NEAR(p.pot[1], -2.0, 2e-3);
+}
+
+TEST(Direct, NewtonsThirdLawExactInTotal) {
+  Xoshiro256 rng(3);
+  const std::size_t n = 256;
+  std::vector<real> x(n), y(n), z(n), m(n);
+  std::vector<real> ax(n), ay(n), az(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.uniform(-1, 1));
+    y[i] = static_cast<real>(rng.uniform(-1, 1));
+    z[i] = static_cast<real>(rng.uniform(-1, 1));
+    m[i] = static_cast<real>(rng.uniform(0.5, 1.5) / n);
+  }
+  direct_forces(x, y, z, m, real(0.05), real(1), ax, ay, az);
+  double fx = 0, fy = 0, fz = 0, fmag = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fx += static_cast<double>(m[i]) * ax[i];
+    fy += static_cast<double>(m[i]) * ay[i];
+    fz += static_cast<double>(m[i]) * az[i];
+    fmag += std::fabs(static_cast<double>(m[i]) * ax[i]);
+  }
+  EXPECT_LT(std::fabs(fx) / fmag, 1e-4);
+  EXPECT_LT(std::fabs(fy) / fmag, 1e-4);
+  EXPECT_LT(std::fabs(fz) / fmag, 1e-4);
+}
+
+TEST(Direct, SofteningBoundsCloseEncounters) {
+  std::vector<real> x{0.0f, 1e-6f}, y{0, 0}, z{0, 0}, m{1.0f, 1.0f};
+  std::vector<real> ax(2), ay(2), az(2);
+  const real eps = real(0.1);
+  direct_forces(x, y, z, m, eps, real(1), ax, ay, az);
+  // |a| <= m/eps^2 regardless of separation.
+  EXPECT_LT(std::fabs(ax[0]), 1.0 / (0.1 * 0.1));
+}
+
+TEST(Direct, MatchesDoubleReferenceClosely) {
+  Xoshiro256 rng(5);
+  const std::size_t n = 512;
+  std::vector<real> x(n), y(n), z(n), m(n), ax(n), ay(n), az(n);
+  std::vector<double> rx(n), ry(n), rz(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.normal());
+    y[i] = static_cast<real>(rng.normal());
+    z[i] = static_cast<real>(rng.normal());
+    m[i] = real(1.0 / n);
+  }
+  direct_forces(x, y, z, m, real(0.05), real(1), ax, ay, az);
+  direct_forces_ref(x, y, z, m, 0.05, 1.0, rx, ry, rz);
+  for (std::size_t i = 0; i < n; i += 41) {
+    const double ref = std::sqrt(rx[i] * rx[i] + ry[i] * ry[i] + rz[i] * rz[i]);
+    const double dx = ax[i] - rx[i], dy = ay[i] - ry[i], dz = az[i] - rz[i];
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy + dz * dz), 1e-4 * ref + 1e-7);
+  }
+}
+
+TEST(Direct, InstructionMixIsAlmostAllFloatingPoint) {
+  // §4.2: "the direct method ... executes floating-point number
+  // operations only" — integer work is bookkeeping-level.
+  const std::size_t n = 128;
+  std::vector<real> x(n), y(n), z(n), m(n), ax(n), ay(n), az(n);
+  Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.normal());
+    m[i] = real(1);
+  }
+  simt::OpCounts ops;
+  direct_forces(x, y, z, m, real(0.01), real(1), ax, ay, az, {}, &ops);
+  const auto pairs = static_cast<std::uint64_t>(n) * n;
+  EXPECT_EQ(ops.fp32_fma, pairs * cost::kPairFma);
+  EXPECT_EQ(ops.fp32_special, pairs);
+  EXPECT_GT(ops.fp32_core_instructions(), 3 * ops.int_ops);
+  EXPECT_EQ(ops.syncwarp, 0u);
+}
+
+TEST(Direct, RejectsMismatchedSpans) {
+  std::vector<real> a(4), b(3);
+  std::vector<real> o(4);
+  EXPECT_THROW(
+      direct_forces(a, b, a, a, real(0.1), real(1), o, o, o),
+      std::invalid_argument);
+}
+
+} // namespace
+} // namespace gothic::gravity

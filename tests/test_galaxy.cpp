@@ -1,0 +1,270 @@
+// Eddington inversion, disk kinematics and the assembled M31 model.
+#include "galaxy/eddington.hpp"
+#include "galaxy/m31.hpp"
+#include "galaxy/spherical_sampler.hpp"
+#include "galaxy/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gothic::galaxy {
+namespace {
+
+// Analytic Plummer distribution function for G = M = a = 1:
+// f(E) = 24 sqrt(2)/(7 pi^3) E^{7/2}.
+double plummer_df(double E) {
+  return 24.0 * std::sqrt(2.0) / (7.0 * std::pow(M_PI, 3)) *
+         std::pow(E, 3.5);
+}
+
+TEST(Eddington, RecoversAnalyticPlummerDf) {
+  PlummerProfile p(1.0, 1.0);
+  CompositePotential total;
+  total.add(&p);
+  EddingtonModel df(p, total, 1e-3, 2e3);
+  for (double E : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(df.f(E), plummer_df(E), 0.05 * plummer_df(E)) << "E=" << E;
+  }
+}
+
+TEST(Eddington, DfNonNegativeEverywhere) {
+  const auto nfw = make_truncated_nfw(81.1, 7.63, 190.0, 25.0);
+  CompositePotential total;
+  total.add(nfw.get());
+  EddingtonModel df(*nfw, total, 1e-2, 500.0);
+  for (double E = 1e-4; E < df.psi_max(); E *= 1.5) {
+    EXPECT_GE(df.f(E), 0.0) << "E=" << E;
+  }
+}
+
+TEST(Eddington, SampledSpeedsBelowEscape) {
+  PlummerProfile p(1.0, 1.0);
+  CompositePotential total;
+  total.add(&p);
+  EddingtonModel df(p, total, 1e-3, 2e3);
+  Xoshiro256 rng(5);
+  for (double r : {0.2, 1.0, 4.0}) {
+    const double vesc = std::sqrt(2.0 * total.psi(r));
+    for (int k = 0; k < 200; ++k) {
+      EXPECT_LE(df.sample_speed(r, rng), vesc);
+    }
+  }
+  EXPECT_GT(df.acceptance_rate(), 0.05);
+}
+
+TEST(Eddington, VelocityDispersionMatchesJeans) {
+  // Plummer isotropic: sigma^2(r) = 1/(6 sqrt(1+r^2)) for G=M=a=1.
+  PlummerProfile p(1.0, 1.0);
+  CompositePotential total;
+  total.add(&p);
+  EddingtonModel df(p, total, 1e-3, 2e3);
+  Xoshiro256 rng(7);
+  for (double r : {0.5, 1.0, 2.0}) {
+    double s2 = 0;
+    const int n = 4000;
+    for (int k = 0; k < n; ++k) {
+      const double v = df.sample_speed(r, rng);
+      s2 += v * v;
+    }
+    s2 /= 3.0 * n; // one-dimensional dispersion
+    const double expect = 1.0 / (6.0 * std::sqrt(1.0 + r * r));
+    EXPECT_NEAR(s2, expect, 0.08 * expect) << "r=" << r;
+  }
+}
+
+TEST(SphericalSampler, RadialDistributionFollowsMassProfile) {
+  PlummerProfile p(1.0, 1.0);
+  CompositePotential total;
+  total.add(&p);
+  EddingtonModel df(p, total, 1e-3, 2e3);
+  nbody::Particles parts;
+  Xoshiro256 rng(11);
+  sample_spherical(parts, p, df, 1e-3, 2e3, 20000, 1.0 / 20000, rng);
+  // Count inside the half-mass radius (~1.3048 a for Plummer).
+  const double rh = 1.3048;
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const double r = std::sqrt(static_cast<double>(parts.x[i]) * parts.x[i] +
+                               static_cast<double>(parts.y[i]) * parts.y[i] +
+                               static_cast<double>(parts.z[i]) * parts.z[i]);
+    if (r < rh) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / parts.size(), 0.5, 0.02);
+}
+
+TEST(MakePlummer, VirialEquilibrium) {
+  auto p = make_plummer(20000, 1.0, 1.0, 3);
+  double ke = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ke += 0.5 * p.m[i] *
+          (static_cast<double>(p.vx[i]) * p.vx[i] +
+           static_cast<double>(p.vy[i]) * p.vy[i] +
+           static_cast<double>(p.vz[i]) * p.vz[i]);
+  }
+  // Plummer: W = -3 pi/32 (G=M=a=1), K = -W/2.
+  const double expect = 3.0 * M_PI / 64.0;
+  EXPECT_NEAR(ke, expect, 0.05 * expect);
+}
+
+TEST(MakeUniformSphere, ColdAndUniform) {
+  auto p = make_uniform_sphere(5000, 2.0, 3.0, 4);
+  double r_max = 0, ke = 0, mass = 0;
+  std::size_t inside_half = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double r = std::sqrt(static_cast<double>(p.x[i]) * p.x[i] +
+                               static_cast<double>(p.y[i]) * p.y[i] +
+                               static_cast<double>(p.z[i]) * p.z[i]);
+    r_max = std::max(r_max, r);
+    if (r < 3.0 / std::cbrt(2.0)) ++inside_half;
+    ke += p.vx[i] + p.vy[i] + p.vz[i];
+    mass += p.m[i];
+  }
+  EXPECT_LE(r_max, 3.0);
+  EXPECT_NEAR(mass, 2.0, 1e-5);
+  EXPECT_EQ(ke, 0.0);
+  // Half the mass inside r = R/2^(1/3).
+  EXPECT_NEAR(static_cast<double>(inside_half) / p.size(), 0.5, 0.03);
+}
+
+// --- disk ----------------------------------------------------------------
+
+class DiskRig : public ::testing::Test {
+protected:
+  DiskRig() : bulge(3.24, 0.61) {
+    nfw = make_truncated_nfw(81.1, 7.63, 190.0, 25.0);
+    spheroids.add(nfw.get());
+    spheroids.add(&bulge);
+    disk = std::make_unique<DiskModel>(DiskParams{3.66, 5.4, 0.6, 1.8},
+                                       spheroids);
+  }
+  std::unique_ptr<TabulatedProfile> nfw;
+  HernquistProfile bulge;
+  CompositePotential spheroids;
+  std::unique_ptr<DiskModel> disk;
+};
+
+TEST_F(DiskRig, RotationCurveIsFlatAtLargeRadius) {
+  // M31-like: vc ~ 230-260 km/s over 5-25 kpc.
+  const double v10 = disk->vcirc(10.0) * units::kVelocityUnitKms;
+  const double v20 = disk->vcirc(20.0) * units::kVelocityUnitKms;
+  EXPECT_GT(v10, 180.0);
+  EXPECT_LT(v10, 300.0);
+  EXPECT_NEAR(v10, v20, 0.25 * v10);
+}
+
+TEST_F(DiskRig, ToomreQMinimumMatchesTarget) {
+  double qmin = 1e9;
+  for (double R = 1.5; R < 40.0; R *= 1.05) {
+    qmin = std::min(qmin, disk->toomre_q(R));
+  }
+  EXPECT_NEAR(qmin, 1.8, 0.05);
+}
+
+TEST_F(DiskRig, EpicyclicFrequencyBetweenOmegaAndTwoOmega) {
+  for (double R : {3.0, 8.0, 15.0}) {
+    const double omega = disk->vcirc(R) / R;
+    const double k = disk->kappa(R);
+    EXPECT_GT(k, omega * 0.99);
+    EXPECT_LT(k, 2.0 * omega * 1.01);
+  }
+}
+
+TEST_F(DiskRig, MeanStreamingBelowCircular) {
+  for (double R : {4.0, 8.0, 16.0}) {
+    EXPECT_LT(disk->mean_vphi(R), disk->vcirc(R));
+    EXPECT_GT(disk->mean_vphi(R), 0.5 * disk->vcirc(R));
+  }
+}
+
+TEST_F(DiskRig, SampleStatisticsMatchModel) {
+  nbody::Particles p;
+  Xoshiro256 rng(13);
+  disk->sample(p, 40000, 3.66 / 40000, rng);
+  ASSERT_EQ(p.size(), 40000u);
+  // Mean radius of an exponential disk = 2 Rd.
+  double rbar = 0, zrms = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    rbar += std::sqrt(static_cast<double>(p.x[i]) * p.x[i] +
+                      static_cast<double>(p.y[i]) * p.y[i]);
+    zrms += static_cast<double>(p.z[i]) * p.z[i];
+  }
+  rbar /= static_cast<double>(p.size());
+  zrms = std::sqrt(zrms / static_cast<double>(p.size()));
+  EXPECT_NEAR(rbar, 2.0 * 5.4, 0.4);
+  // sech^2(z/zd) has rms = (pi/sqrt(12)) zd ~ 0.9069 zd.
+  EXPECT_NEAR(zrms, 0.9069 * 0.6, 0.05);
+  // Net rotation.
+  double lz = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    lz += static_cast<double>(p.x[i]) * p.vy[i] -
+          static_cast<double>(p.y[i]) * p.vx[i];
+  }
+  EXPECT_GT(lz / static_cast<double>(p.size()), 0.0);
+}
+
+// --- M31 -------------------------------------------------------------------
+
+TEST(M31, ComponentMassesMatchPaper) {
+  M31Parameters prm;
+  EXPECT_NEAR(prm.total_mass(), 81.1 + 0.8 + 3.24 + 3.66, 1e-9);
+  // In solar masses (units.hpp): the §2.2 numbers.
+  EXPECT_NEAR(prm.halo_mass * units::kMassUnitMsun, 8.11e11, 1.0);
+  EXPECT_NEAR(prm.bulge_mass * units::kMassUnitMsun, 3.24e10, 1.0);
+}
+
+TEST(M31, RealizationHasEqualMassesAndCorrectTotals) {
+  const std::size_t n = 16384;
+  auto p = build_m31(n, 17);
+  ASSERT_EQ(p.size(), n);
+  const real m0 = p.m[0];
+  for (std::size_t i = 1; i < n; i += 321) {
+    EXPECT_FLOAT_EQ(p.m[i], m0);
+  }
+  EXPECT_NEAR(p.total_mass(), 88.8, 0.05);
+}
+
+TEST(M31, DiskIsFlattenedHaloIsRound) {
+  auto p = build_m31(16384, 19);
+  // Component layout: halo first, disk last (realize() appends in order).
+  const std::size_t n = p.size();
+  double halo_z = 0, halo_r = 0, disk_z = 0, disk_r = 0;
+  const std::size_t nh = static_cast<std::size_t>(n * 81.1 / 88.8 * 0.9);
+  for (std::size_t i = 0; i < nh; ++i) {
+    halo_z += std::fabs(p.z[i]);
+    halo_r += std::sqrt(static_cast<double>(p.x[i]) * p.x[i] +
+                        static_cast<double>(p.y[i]) * p.y[i]);
+  }
+  for (std::size_t i = n - n / 25; i < n; ++i) { // tail = disk particles
+    disk_z += std::fabs(p.z[i]);
+    disk_r += std::sqrt(static_cast<double>(p.x[i]) * p.x[i] +
+                        static_cast<double>(p.y[i]) * p.y[i]);
+  }
+  EXPECT_LT(disk_z / disk_r, 0.25 * (halo_z / halo_r));
+}
+
+TEST(M31, BoundAndRoughlyVirial) {
+  M31Model model;
+  auto p = model.realize(8192, 23);
+  // Kinetic energy vs potential energy in the model potential.
+  double ke = 0, pe = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double v2 = static_cast<double>(p.vx[i]) * p.vx[i] +
+                      static_cast<double>(p.vy[i]) * p.vy[i] +
+                      static_cast<double>(p.vz[i]) * p.vz[i];
+    ke += 0.5 * p.m[i] * v2;
+    const double r = std::sqrt(static_cast<double>(p.x[i]) * p.x[i] +
+                               static_cast<double>(p.y[i]) * p.y[i] +
+                               static_cast<double>(p.z[i]) * p.z[i]);
+    pe += -p.m[i] * model.potential().psi(r);
+  }
+  ASSERT_LT(pe, 0.0);
+  // pe sums m*phi per particle, i.e. 2W for the self-gravitating part, so
+  // K/|pe| sits at ~0.25 in equilibrium (2K = -W).
+  const double virial = -ke / pe;
+  EXPECT_GT(virial, 0.15);
+  EXPECT_LT(virial, 0.40);
+}
+
+} // namespace
+} // namespace gothic::galaxy

@@ -1,0 +1,167 @@
+// Peano-Hilbert keys: round-trip, the defining continuity property, and
+// the locality advantage over the Morton curve.
+#include "octree/calc_node.hpp"
+#include "octree/hilbert.hpp"
+#include "octree/tree_build.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+namespace gothic::octree {
+namespace {
+
+TEST(Hilbert, EncodeDecodeRoundTrips) {
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const auto ix = static_cast<std::uint32_t>(rng.next() & 0x1fffff);
+    const auto iy = static_cast<std::uint32_t>(rng.next() & 0x1fffff);
+    const auto iz = static_cast<std::uint32_t>(rng.next() & 0x1fffff);
+    std::uint32_t ox, oy, oz;
+    hilbert_decode(hilbert_encode(ix, iy, iz), ox, oy, oz);
+    ASSERT_EQ(ox, ix);
+    ASSERT_EQ(oy, iy);
+    ASSERT_EQ(oz, iz);
+  }
+}
+
+TEST(Hilbert, KeysAreAPermutationOfCells) {
+  // On a small sub-grid every key must be distinct (bijectivity sample).
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        ASSERT_TRUE(seen.insert(hilbert_encode(x, y, z)).second);
+      }
+    }
+  }
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: stepping the index by one
+  // moves exactly one grid cell along exactly one axis (Morton violates
+  // this at every octant boundary).
+  Xoshiro256 rng(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto ix = static_cast<std::uint32_t>(rng.next() & 0x1fffff);
+    const auto iy = static_cast<std::uint32_t>(rng.next() & 0x1fffff);
+    const auto iz = static_cast<std::uint32_t>(rng.next() & 0x1fffff);
+    const std::uint64_t key = hilbert_encode(ix, iy, iz);
+    if (key + 1 >= (std::uint64_t{1} << 63)) continue;
+    std::uint32_t nx, ny, nz;
+    hilbert_decode(key + 1, nx, ny, nz);
+    const long dx = std::labs(static_cast<long>(nx) - static_cast<long>(ix));
+    const long dy = std::labs(static_cast<long>(ny) - static_cast<long>(iy));
+    const long dz = std::labs(static_cast<long>(nz) - static_cast<long>(iz));
+    EXPECT_EQ(dx + dy + dz, 1)
+        << "key " << key << ": (" << ix << "," << iy << "," << iz << ") -> ("
+        << nx << "," << ny << "," << nz << ")";
+  }
+}
+
+TEST(Hilbert, BetterLocalityThanMorton) {
+  // Sort random points by each curve; the mean distance between
+  // rank-adjacent points must be smaller for Hilbert.
+  Xoshiro256 rng(23);
+  const std::size_t n = 8192;
+  std::vector<real> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.uniform());
+    y[i] = static_cast<real>(rng.uniform());
+    z[i] = static_cast<real>(rng.uniform());
+  }
+  const BoundingCube box = compute_bounding_cube(x, y, z);
+  auto adjacency_cost = [&](bool hilbert) {
+    std::vector<std::pair<std::uint64_t, std::size_t>> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = {hilbert ? hilbert_key(box, x[i], y[i], z[i])
+                          : morton_key(box, x[i], y[i], z[i]),
+                  i};
+    }
+    std::sort(order.begin(), order.end());
+    double sum = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::size_t a = order[i - 1].second, b = order[i].second;
+      const double dx = x[a] - x[b], dy = y[a] - y[b], dz = z[a] - z[b];
+      sum += std::sqrt(dx * dx + dy * dy + dz * dz);
+    }
+    return sum / static_cast<double>(n - 1);
+  };
+  EXPECT_LT(adjacency_cost(true), adjacency_cost(false));
+}
+
+TEST(Hilbert, TreeBuildWorksOnHilbertOrder) {
+  Xoshiro256 rng(24);
+  const std::size_t n = 6000;
+  std::vector<real> x(n), y(n), z(n), m(n, real(1.0 / n));
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.normal());
+    y[i] = static_cast<real>(rng.normal());
+    z[i] = static_cast<real>(rng.normal());
+  }
+  Octree tree;
+  std::vector<index_t> perm;
+  BuildConfig cfg;
+  cfg.curve = SpaceFillingCurve::Hilbert;
+  build_tree(x, y, z, tree, perm, cfg);
+  // Root covers all bodies; children partition parents.
+  EXPECT_EQ(tree.body_count[0], n);
+  for (index_t node = 0; node < tree.num_nodes(); ++node) {
+    if (tree.is_leaf(node)) continue;
+    index_t covered = 0;
+    for (int k = 0; k < tree.child_count[node]; ++k) {
+      covered += tree.body_count[tree.child_first[node] + k];
+    }
+    ASSERT_EQ(covered, tree.body_count[node]);
+  }
+  // calcNode on the Hilbert tree reproduces the total mass.
+  std::vector<real> sx(n), sy(n), sz(n), sm(n);
+  gather(x, perm, sx);
+  gather(y, perm, sy);
+  gather(z, perm, sz);
+  gather(m, perm, sm);
+  calc_node(tree, sx, sy, sz, sm);
+  EXPECT_NEAR(tree.mass[0], 1.0, 1e-4);
+}
+
+TEST(Hilbert, HilbertChildrenAreGeometricOctants) {
+  // Bodies of each depth-1 node must lie in a single geometric octant of
+  // the root cube (the digit partition is a Gray-coded octant labelling).
+  Xoshiro256 rng(25);
+  const std::size_t n = 4000;
+  std::vector<real> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<real>(rng.uniform());
+    y[i] = static_cast<real>(rng.uniform());
+    z[i] = static_cast<real>(rng.uniform());
+  }
+  Octree tree;
+  std::vector<index_t> perm;
+  BuildConfig cfg;
+  cfg.curve = SpaceFillingCurve::Hilbert;
+  build_tree(x, y, z, tree, perm, cfg);
+  std::vector<real> sx(n), sy(n), sz(n);
+  gather(x, perm, sx);
+  gather(y, perm, sy);
+  gather(z, perm, sz);
+
+  const real mid_x = tree.box.min_x + tree.box.edge / 2;
+  const real mid_y = tree.box.min_y + tree.box.edge / 2;
+  const real mid_z = tree.box.min_z + tree.box.edge / 2;
+  for (int k = 0; k < tree.child_count[0]; ++k) {
+    const index_t child = tree.child_first[0] + k;
+    int oct = -1;
+    for (index_t b = tree.body_first[child];
+         b < tree.body_first[child] + tree.body_count[child]; ++b) {
+      const int o = (sx[b] >= mid_x ? 4 : 0) | (sy[b] >= mid_y ? 2 : 0) |
+                    (sz[b] >= mid_z ? 1 : 0);
+      if (oct < 0) oct = o;
+      ASSERT_EQ(o, oct) << "child " << k << " straddles octants";
+    }
+  }
+}
+
+} // namespace
+} // namespace gothic::octree

@@ -1,0 +1,141 @@
+// mathx: quadrature, splines, root finding, special functions, vectors.
+#include "mathx/quadrature.hpp"
+#include "mathx/rootfind.hpp"
+#include "mathx/special.hpp"
+#include "mathx/spline.hpp"
+#include "mathx/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gothic {
+namespace {
+
+TEST(Quadrature, GaussLegendreExactForPolynomials) {
+  // 16-point GL integrates degree <= 31 exactly.
+  auto f = [](double x) { return 5 * std::pow(x, 7) - x * x + 2; };
+  const double got = gauss_legendre(f, -1.0, 2.0, 1);
+  const double want = 5.0 / 8 * (std::pow(2.0, 8) - 1.0) -
+                      (8.0 + 1.0) / 3.0 + 2.0 * 3.0;
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+TEST(Quadrature, AdaptiveSimpsonHandlesPeaks) {
+  // Narrow Gaussian: integral over wide range ~ sqrt(pi) sigma.
+  const double sigma = 1e-3;
+  auto f = [sigma](double x) {
+    return std::exp(-x * x / (sigma * sigma));
+  };
+  const double got = adaptive_simpson(f, -1.0, 1.0, 1e-12);
+  EXPECT_NEAR(got, std::sqrt(M_PI) * sigma, 1e-9);
+}
+
+TEST(Quadrature, SemiInfiniteIntegral) {
+  // int_1^inf x^-2 dx = 1.
+  const double got =
+      integrate_to_infinity([](double x) { return 1.0 / (x * x); }, 1.0);
+  EXPECT_NEAR(got, 1.0, 1e-7);
+}
+
+TEST(Spline, InterpolatesSmoothFunction) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 40; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(std::sin(x.back()));
+  }
+  CubicSpline s(x, y);
+  // Natural boundary conditions degrade accuracy near the ends; test the
+  // interior where the O(h^4) behaviour holds.
+  for (double t = 0.5; t < 3.5; t += 0.173) {
+    EXPECT_NEAR(s(t), std::sin(t), 2e-5);
+    EXPECT_NEAR(s.derivative(t), std::cos(t), 2e-3);
+  }
+}
+
+TEST(Spline, ExactOnKnots) {
+  CubicSpline s({0.0, 1.0, 2.0, 3.0}, {1.0, -1.0, 4.0, 0.5});
+  EXPECT_DOUBLE_EQ(s(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s(2.0), 4.0);
+}
+
+TEST(Spline, RejectsNonIncreasingX) {
+  EXPECT_THROW(CubicSpline({0.0, 0.0, 1.0}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(CubicSpline({0.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(InverseCdfTest, InvertsCumulative) {
+  // CDF of exp(1): F(x) = 1 - e^-x on a grid.
+  std::vector<double> x, c;
+  for (int i = 0; i <= 200; ++i) {
+    x.push_back(i * 0.05);
+    c.push_back(1.0 - std::exp(-x.back()));
+  }
+  InverseCdf inv(x, c);
+  for (double u : {0.1, 0.5, 0.9}) {
+    const double expect = -std::log(1.0 - u * inv.total());
+    EXPECT_NEAR(inv(u), expect, 2e-3);
+  }
+}
+
+TEST(InverseCdfTest, ClampsAndValidates) {
+  InverseCdf inv({0.0, 1.0}, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(inv(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(inv(2.0), 1.0);
+  EXPECT_THROW(InverseCdf({0.0, 1.0}, {1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Brent, FindsSimpleRoot) {
+  const auto res = brent([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Brent, HandlesEndpointsAndFailures) {
+  const auto exact = brent([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(exact.converged);
+  EXPECT_DOUBLE_EQ(exact.x, 0.0);
+  const auto bad = brent([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(bad.converged);
+}
+
+TEST(Brent, AutoBracketExpands) {
+  const auto res =
+      brent_auto_bracket([](double x) { return x - 100.0; }, 0.0, 1.0);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.x, 100.0, 1e-8);
+}
+
+TEST(Special, GammaPKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(a, 0) = 0; P(a, inf) -> 1.
+  EXPECT_DOUBLE_EQ(gamma_p(2.5, 0.0), 0.0);
+  EXPECT_NEAR(gamma_p(2.5, 100.0), 1.0, 1e-12);
+}
+
+TEST(Special, SersicBSolvesHalfLight) {
+  for (double n : {0.8, 1.0, 2.2, 4.0}) {
+    const double b = sersic_b(n);
+    EXPECT_NEAR(gamma_p(2.0 * n, b), 0.5, 1e-10) << "n=" << n;
+    // Ciotti-Bertin approximation is close.
+    EXPECT_NEAR(b, sersic_b_approx(n), 1e-3) << "n=" << n;
+  }
+}
+
+TEST(Vec, ArithmeticAndProducts) {
+  Vec3d a{1, 2, 3}, b{4, 5, 6};
+  const Vec3d c = a + b * 2.0;
+  EXPECT_DOUBLE_EQ(c.x, 9.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const Vec3d x{1, 0, 0}, y{0, 1, 0};
+  const Vec3d z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  EXPECT_DOUBLE_EQ(norm(Vec3d{3, 4, 0}), 5.0);
+}
+
+} // namespace
+} // namespace gothic

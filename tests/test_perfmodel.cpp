@@ -1,0 +1,249 @@
+// perfmodel: GPU descriptors, occupancy, the int/fp overlap timing model
+// and the Fig 8 speed-up decomposition.
+#include "perfmodel/capacity.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "perfmodel/gpu_spec.hpp"
+#include "perfmodel/occupancy.hpp"
+#include "perfmodel/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gothic::perfmodel {
+namespace {
+
+TEST(GpuSpec, PeakPerformanceMatchesPaper) {
+  // §1: 15.7 TFlop/s for V100, 1.5x over P100.
+  const GpuSpec v = tesla_v100();
+  const GpuSpec p = tesla_p100();
+  EXPECT_NEAR(v.fp32_peak_tflops(), 15.7, 0.1);
+  EXPECT_NEAR(p.fp32_peak_tflops(), 10.6, 0.1);
+  EXPECT_NEAR(v.fp32_peak_tflops() / p.fp32_peak_tflops(), 1.48, 0.05);
+}
+
+TEST(GpuSpec, SmCountsAndArchFlags) {
+  // §1: 80 vs 56 SMs; only Volta has the independent INT32 pipe.
+  EXPECT_EQ(tesla_v100().num_sm, 80);
+  EXPECT_EQ(tesla_p100().num_sm, 56);
+  EXPECT_TRUE(tesla_v100().independent_int_fp());
+  EXPECT_FALSE(tesla_p100().independent_int_fp());
+  EXPECT_FALSE(tesla_k20x().independent_int_fp());
+  EXPECT_EQ(all_gpus().size(), 5u);
+}
+
+TEST(GpuSpec, MeasuredBandwidthRatioNear1p55) {
+  const double ratio = tesla_v100().mem_bw_measured_gbs /
+                       tesla_p100().mem_bw_measured_gbs;
+  EXPECT_NEAR(ratio, 1.55, 0.05); // Fig 8 black dotted line
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const GpuSpec v = tesla_v100();
+  KernelResources r;
+  r.threads_per_block = 1024;
+  r.regs_per_thread = 32;
+  r.smem_per_block_bytes = 0;
+  const Occupancy o = compute_occupancy(v, r);
+  EXPECT_EQ(o.blocks_per_sm, 2);
+  EXPECT_EQ(o.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(o.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // Appendix A: 56 regs -> 9 blocks of 128 threads; 64 regs -> 8.
+  const GpuSpec v = tesla_v100();
+  KernelResources r;
+  r.threads_per_block = 128;
+  r.smem_per_block_bytes = 0;
+  r.regs_per_thread = 56;
+  EXPECT_EQ(compute_occupancy(v, r).blocks_per_sm, 9);
+  r.regs_per_thread = 64;
+  EXPECT_EQ(compute_occupancy(v, r).blocks_per_sm, 8);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const GpuSpec v = tesla_v100(); // 96 KiB per SM
+  KernelResources r;
+  r.threads_per_block = 128;
+  r.regs_per_thread = 32;
+  r.smem_per_block_bytes = 33 * 1024;
+  const Occupancy o = compute_occupancy(v, r);
+  EXPECT_EQ(o.blocks_per_sm, 2);
+  EXPECT_STREQ(o.limiter, "smem");
+}
+
+TEST(Occupancy, RejectsNonWarpMultiple) {
+  KernelResources r;
+  r.threads_per_block = 100;
+  EXPECT_THROW((void)compute_occupancy(tesla_v100(), r),
+               std::invalid_argument);
+}
+
+TEST(OccupancyEfficiency, SaturatesAtHalf) {
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(occupancy_efficiency(1.0), 1.0);
+}
+
+simt::OpCounts compute_heavy_counts() {
+  simt::OpCounts ops;
+  ops.fp32_fma = 6'000'000'000ull;
+  ops.fp32_mul = 3'000'000'000ull;
+  ops.fp32_add = 4'000'000'000ull;
+  ops.fp32_special = 1'000'000'000ull;
+  ops.int_ops = 4'000'000'000ull;
+  ops.bytes_load = 2'000'000'000ull;
+  ops.bytes_store = 500'000'000ull;
+  return ops;
+}
+
+TEST(ExecModel, VoltaOverlapsIntegerUnderFp) {
+  const simt::OpCounts ops = compute_heavy_counts();
+  KernelLaunchInfo info;
+  info.resources.threads_per_block = 512;
+  info.resources.regs_per_thread = 63;
+  const KernelTiming tv = predict_kernel_time(tesla_v100(), ops, info);
+  // On Volta compute = max(int, fp); int (4e9) hides under fp (13e9).
+  EXPECT_NEAR(tv.compute_s, tv.fp_time_s, 1e-12);
+  const KernelTiming tp = predict_kernel_time(tesla_p100(), ops, info);
+  // Pre-Volta compute = int + fp.
+  EXPECT_NEAR(tp.compute_s, tp.int_time_s + tp.fp_time_s, 1e-12);
+  EXPECT_GT(tp.total_s, tv.total_s);
+}
+
+TEST(ExecModel, SpeedupCanExceedPeakRatio) {
+  // The paper's headline: 2.2x observed > 1.5x peak ratio, because the
+  // integer work rides along for free on Volta.
+  simt::OpCounts ops = compute_heavy_counts();
+  ops.int_ops = ops.fp32_core_instructions(); // int ~ fp: maximal hiding
+  KernelLaunchInfo info;
+  info.resources.threads_per_block = 512;
+  const double tv = predict_kernel_time(tesla_v100(), ops, info).total_s;
+  const double tp = predict_kernel_time(tesla_p100(), ops, info).total_s;
+  const double peak_ratio = tesla_v100().fp32_peak_tflops() /
+                            tesla_p100().fp32_peak_tflops();
+  EXPECT_GT(tp / tv, peak_ratio);
+  EXPECT_LT(tp / tv, 2.0 * peak_ratio * 1.1);
+}
+
+TEST(ExecModel, SyncCostOnlyOnVolta) {
+  simt::OpCounts ops = compute_heavy_counts();
+  ops.syncwarp = 100'000'000ull;
+  KernelLaunchInfo info;
+  const KernelTiming tv = predict_kernel_time(tesla_v100(), ops, info);
+  EXPECT_GT(tv.sync_s, 0.0);
+  const KernelTiming tp = predict_kernel_time(tesla_p100(), ops, info);
+  EXPECT_DOUBLE_EQ(tp.sync_s, 0.0);
+}
+
+TEST(ExecModel, MemoryBoundKernelsLimitedByBandwidth) {
+  simt::OpCounts ops;
+  ops.int_ops = 1'000'000;
+  ops.bytes_load = 100'000'000'000ull; // 100 GB
+  KernelLaunchInfo info;
+  const KernelTiming t = predict_kernel_time(tesla_v100(), ops, info);
+  EXPECT_STREQ(t.bound(), "memory");
+  EXPECT_NEAR(t.memory_s, 100.0 / 855.0, 1e-3);
+}
+
+TEST(ExecModel, LatencyFloorAtTinyWork) {
+  simt::OpCounts ops;
+  ops.fp32_add = 100;
+  KernelLaunchInfo info;
+  info.invocations = 3;
+  const KernelTiming t = predict_kernel_time(tesla_v100(), ops, info);
+  EXPECT_STREQ(t.bound(), "latency");
+  EXPECT_NEAR(t.latency_s, 3 * tesla_v100().launch_latency_s, 1e-12);
+}
+
+TEST(ExecModel, SustainedTflopsUsesRsqrtAsFourFlops) {
+  simt::OpCounts ops;
+  ops.fp32_fma = 1000;   // 2000 Flop
+  ops.fp32_mul = 500;    // 500
+  ops.fp32_add = 500;    // 500
+  ops.fp32_special = 250; // 1000 (§4.2 convention)
+  // 2*1000 + 500 + 500 + 4*250 = 4000 Flop / 1e-9 s = 4 TFlop/s.
+  EXPECT_NEAR(sustained_tflops(ops, 1e-9), 4.0, 1e-9);
+}
+
+TEST(ExecModel, ExpectedSpeedupDecomposition) {
+  simt::OpCounts ops;
+  ops.fp32_fma = 600;
+  ops.fp32_mul = 200;
+  ops.fp32_add = 200; // fp = 1000
+  ops.int_ops = 500;
+  const SpeedupPrediction s =
+      expected_speedup(tesla_v100(), tesla_p100(), ops);
+  EXPECT_NEAR(s.hiding_ratio, 1.5, 1e-12); // (1000+500)/1000
+  EXPECT_NEAR(s.expected, s.peak_ratio * 1.5, 1e-12);
+  EXPECT_GT(s.bw_ratio, 1.4);
+  EXPECT_LT(s.bw_ratio, 1.7);
+}
+
+TEST(SmemCarveout, PaperPitfall66vs67) {
+  // §2.1: "inputting an integer value of 66 assigns 64 KiB ... putting 67
+  // assigns 96 KiB instead of 64 KiB".
+  EXPECT_EQ(volta_smem_carveout_bytes(66), 64 * 1024);
+  EXPECT_EQ(volta_smem_carveout_bytes(67), 96 * 1024);
+}
+
+TEST(SmemCarveout, SnapsUpToCandidates) {
+  EXPECT_EQ(volta_smem_carveout_bytes(0), 0);
+  EXPECT_EQ(volta_smem_carveout_bytes(1), 8 * 1024);
+  EXPECT_EQ(volta_smem_carveout_bytes(8), 8 * 1024);   // 7.68 KiB -> 8
+  EXPECT_EQ(volta_smem_carveout_bytes(9), 16 * 1024);
+  EXPECT_EQ(volta_smem_carveout_bytes(33), 32 * 1024); // 31.68 -> 32
+  EXPECT_EQ(volta_smem_carveout_bytes(34), 64 * 1024);
+  EXPECT_EQ(volta_smem_carveout_bytes(100), 96 * 1024);
+  EXPECT_THROW((void)volta_smem_carveout_bytes(-1), std::invalid_argument);
+  EXPECT_THROW((void)volta_smem_carveout_bytes(101), std::invalid_argument);
+}
+
+TEST(Capacity, MatchesPaperEndpoints) {
+  // §3: V100 16 GB runs up to 25*2^20 = 26 214 400 particles; P100 16 GB,
+  // with fewer SMs claiming traversal buffers, fits 30*2^20 = 31 457 280.
+  const auto nv = max_particles(tesla_v100());
+  const auto np = max_particles(tesla_p100());
+  EXPECT_NEAR(static_cast<double>(nv), 26214400.0, 0.02 * 26214400.0);
+  EXPECT_NEAR(static_cast<double>(np), 31457280.0, 0.02 * 31457280.0);
+  EXPECT_GT(np, nv); // fewer SMs -> more room for particles
+}
+
+TEST(Capacity, V100With32GbOvertakesP100) {
+  // The paper's §3 conclusion: a 32 GB V100 would run larger simulations
+  // than the 16 GB P100.
+  EXPECT_GT(max_particles(tesla_v100_32gb()),
+            max_particles(tesla_p100()));
+  EXPECT_GT(max_particles(tesla_v100_32gb()),
+            2 * max_particles(tesla_v100()));
+}
+
+TEST(Tuning, ResourcesMatchKernelShapes) {
+  const KernelResources w = kernel_resources(GothicKernel::WalkTree, 512);
+  EXPECT_EQ(w.threads_per_block, 512);
+  EXPECT_GT(w.smem_per_block_bytes, 0);
+  const KernelResources c = kernel_resources(GothicKernel::CalcNode, 128);
+  EXPECT_EQ(c.regs_per_thread, 56); // Appendix A
+  const KernelResources p = kernel_resources(GothicKernel::Predict, 512);
+  EXPECT_EQ(p.smem_per_block_bytes, 0);
+}
+
+TEST(Tuning, BestConfigPicksMinimum) {
+  std::vector<ConfigPoint> sweep = {
+      {128, 8, 2.0}, {256, 16, 1.5}, {512, 32, 1.7}};
+  const ConfigPoint best = best_config(sweep);
+  EXPECT_EQ(best.ttot, 256);
+  EXPECT_EQ(best.tsub, 16);
+  EXPECT_THROW((void)best_config({}), std::invalid_argument);
+}
+
+TEST(Tuning, BlockShapePenaltyFavoursMidSizes) {
+  const GpuSpec v = tesla_v100();
+  const double p128 = block_shape_penalty(v, 128);
+  const double p512 = block_shape_penalty(v, 512);
+  const double p1024 = block_shape_penalty(v, 1024);
+  EXPECT_LT(p512, p128 + 0.05);
+  EXPECT_LT(p512, p1024);
+}
+
+} // namespace
+} // namespace gothic::perfmodel

@@ -1,0 +1,183 @@
+// Physical-symmetry property tests of the force solvers: gravity must be
+// invariant under translation and rotation of the whole system, linear in
+// the source masses, and independent of particle ordering.
+#include "gravity/direct.hpp"
+#include "gravity/walk_tree.hpp"
+#include "octree/calc_node.hpp"
+#include "octree/tree_build.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gothic::gravity {
+namespace {
+
+struct System {
+  std::vector<real> x, y, z, m;
+};
+
+System random_system(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  System s;
+  s.x.resize(n);
+  s.y.resize(n);
+  s.z.resize(n);
+  s.m.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.x[i] = static_cast<real>(rng.normal());
+    s.y[i] = static_cast<real>(rng.normal());
+    s.z[i] = static_cast<real>(rng.normal());
+    s.m[i] = static_cast<real>(rng.uniform(0.1, 1.0) / n);
+  }
+  return s;
+}
+
+struct Forces {
+  std::vector<real> ax, ay, az;
+};
+
+/// Tree forces with a fixed (deterministic) pipeline.
+Forces tree_forces(const System& s, real theta = real(0.5)) {
+  System sorted = s;
+  octree::Octree tree;
+  std::vector<index_t> perm;
+  octree::build_tree(s.x, s.y, s.z, tree, perm, octree::BuildConfig{});
+  octree::gather(s.x, perm, sorted.x);
+  octree::gather(s.y, perm, sorted.y);
+  octree::gather(s.z, perm, sorted.z);
+  octree::gather(s.m, perm, sorted.m);
+  octree::calc_node(tree, sorted.x, sorted.y, sorted.z, sorted.m);
+  WalkConfig cfg;
+  cfg.eps = real(0.02);
+  cfg.mac.type = MacType::OpeningAngle;
+  cfg.mac.theta = theta;
+  const std::size_t n = s.x.size();
+  Forces sorted_f{std::vector<real>(n), std::vector<real>(n),
+                  std::vector<real>(n)};
+  walk_tree(tree, sorted.x, sorted.y, sorted.z, sorted.m, {}, cfg,
+            sorted_f.ax, sorted_f.ay, sorted_f.az);
+  // Un-permute to the original order.
+  Forces f{std::vector<real>(n), std::vector<real>(n), std::vector<real>(n)};
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    f.ax[perm[slot]] = sorted_f.ax[slot];
+    f.ay[perm[slot]] = sorted_f.ay[slot];
+    f.az[perm[slot]] = sorted_f.az[slot];
+  }
+  return f;
+}
+
+constexpr double kTol = 2e-3; // FP32 + MAC reordering headroom
+
+TEST(PhysicsInvariance, DirectTranslationInvariant) {
+  const System s = random_system(512, 1);
+  System t = s;
+  for (std::size_t i = 0; i < t.x.size(); ++i) {
+    t.x[i] += real(10);
+    t.y[i] -= real(5);
+    t.z[i] += real(2);
+  }
+  const std::size_t n = s.x.size();
+  std::vector<real> ax1(n), ay1(n), az1(n), ax2(n), ay2(n), az2(n);
+  direct_forces(s.x, s.y, s.z, s.m, real(0.02), real(1), ax1, ay1, az1);
+  direct_forces(t.x, t.y, t.z, t.m, real(0.02), real(1), ax2, ay2, az2);
+  for (std::size_t i = 0; i < n; i += 17) {
+    EXPECT_NEAR(ax1[i], ax2[i], kTol * (std::fabs(ax1[i]) + 1e-4));
+    EXPECT_NEAR(ay1[i], ay2[i], kTol * (std::fabs(ay1[i]) + 1e-4));
+  }
+}
+
+TEST(PhysicsInvariance, TreeTranslationInvariant) {
+  const System s = random_system(2048, 2);
+  System t = s;
+  for (std::size_t i = 0; i < t.x.size(); ++i) {
+    t.x[i] += real(100);
+    t.y[i] += real(100);
+    t.z[i] -= real(50);
+  }
+  const Forces f1 = tree_forces(s);
+  const Forces f2 = tree_forces(t);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    num += std::fabs(f1.ax[i] - f2.ax[i]) + std::fabs(f1.ay[i] - f2.ay[i]);
+    den += std::fabs(f1.ax[i]) + std::fabs(f1.ay[i]);
+  }
+  // The tree changes with the shifted bounding cube, so individual MAC
+  // decisions differ; the aggregate force field must not.
+  EXPECT_LT(num / den, 5e-3);
+}
+
+TEST(PhysicsInvariance, TreeRotationEquivariant) {
+  // Rotate the system 90 degrees about z: forces must rotate with it.
+  const System s = random_system(2048, 3);
+  System r = s;
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    const real px = s.x[i], py = s.y[i];
+    r.x[i] = -py;
+    r.y[i] = px;
+  }
+  const Forces f = tree_forces(s);
+  const Forces g = tree_forces(r);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    num += std::fabs(g.ax[i] - (-f.ay[i])) + std::fabs(g.ay[i] - f.ax[i]) +
+           std::fabs(g.az[i] - f.az[i]);
+    den += std::fabs(f.ax[i]) + std::fabs(f.ay[i]) + std::fabs(f.az[i]);
+  }
+  EXPECT_LT(num / den, 5e-3);
+}
+
+TEST(PhysicsInvariance, MassLinearity) {
+  // Doubling every mass doubles every acceleration exactly.
+  const System s = random_system(1024, 4);
+  System d = s;
+  for (auto& mi : d.m) mi *= real(2);
+  const Forces f1 = tree_forces(s);
+  const Forces f2 = tree_forces(d);
+  for (std::size_t i = 0; i < s.x.size(); i += 29) {
+    EXPECT_NEAR(f2.ax[i], 2.0f * f1.ax[i],
+                kTol * (std::fabs(f1.ax[i]) + 1e-4));
+  }
+}
+
+TEST(PhysicsInvariance, OrderIndependence) {
+  // Shuffling the input order must not change any particle's force
+  // (the tree pipeline re-sorts internally).
+  const System s = random_system(1024, 5);
+  System shuffled = s;
+  Xoshiro256 rng(6);
+  std::vector<std::size_t> order(s.x.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng.uniform(0, static_cast<double>(i)))]);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    shuffled.x[i] = s.x[order[i]];
+    shuffled.y[i] = s.y[order[i]];
+    shuffled.z[i] = s.z[order[i]];
+    shuffled.m[i] = s.m[order[i]];
+  }
+  const Forces f = tree_forces(s);
+  const Forces g = tree_forces(shuffled);
+  for (std::size_t i = 0; i < order.size(); i += 31) {
+    EXPECT_NEAR(g.ax[i], f.ax[order[i]],
+                1e-3 * (std::fabs(f.ax[order[i]]) + 1e-4));
+  }
+}
+
+TEST(PhysicsInvariance, GravityIsAlwaysAttractive) {
+  // Every particle of a compact cluster seen from a distant probe must
+  // pull the probe toward the cluster COM.
+  System s = random_system(256, 7);
+  s.x.push_back(real(50));
+  s.y.push_back(real(0));
+  s.z.push_back(real(0));
+  s.m.push_back(real(1e-8)); // massless probe
+  const Forces f = tree_forces(s, real(0.9));
+  EXPECT_LT(f.ax.back(), 0.0f); // pulled toward the origin
+}
+
+} // namespace
+} // namespace gothic::gravity

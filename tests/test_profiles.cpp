@@ -1,0 +1,153 @@
+// Density-profile invariants: mass convergence, potential consistency
+// (Poisson), analytic limits.
+#include "galaxy/profiles.hpp"
+#include "mathx/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gothic::galaxy {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Plummer, MassConvergesToTotal) {
+  PlummerProfile p(2.0, 0.5);
+  EXPECT_NEAR(p.enclosed_mass(1000.0), 2.0, 1e-6);
+  EXPECT_NEAR(p.enclosed_mass(0.5), 2.0 / std::pow(2.0, 1.5), 1e-9);
+}
+
+TEST(Plummer, DensityIntegratesToEnclosedMass) {
+  PlummerProfile p(1.5, 0.7);
+  for (double r : {0.3, 0.7, 2.0, 10.0}) {
+    const double m = gauss_legendre(
+        [&p](double s) { return 4.0 * kPi * s * s * p.density(s); }, 0.0, r,
+        32);
+    EXPECT_NEAR(m, p.enclosed_mass(r), 1e-6 * p.total_mass());
+  }
+}
+
+TEST(Plummer, PotentialMatchesClosedForm) {
+  PlummerProfile p(1.0, 1.0);
+  EXPECT_NEAR(p.potential(0.0), -1.0, 1e-12);
+  EXPECT_NEAR(p.potential(1.0), -1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Hernquist, MassAndPotentialConsistent) {
+  HernquistProfile h(3.24, 0.61); // the M31 bulge
+  // M(r) = M r^2/(r+a)^2 converges as 1 - 2a/r.
+  EXPECT_NEAR(h.enclosed_mass(1e6), 3.24, 1e-5);
+  // M(a) = M/4 at the scale radius.
+  EXPECT_NEAR(h.enclosed_mass(0.61), 3.24 / 4.0, 1e-9);
+  // Phi(r) = -M/(r+a).
+  EXPECT_NEAR(h.potential(0.61), -3.24 / 1.22, 1e-12);
+}
+
+TEST(Hernquist, DensityIntegratesToEnclosedMass) {
+  HernquistProfile h(1.0, 1.0);
+  for (double r : {0.1, 1.0, 5.0}) {
+    const double m = adaptive_simpson(
+        [&h](double s) { return 4.0 * kPi * s * s * h.density(s); }, 1e-8, r,
+        1e-10);
+    EXPECT_NEAR(m, h.enclosed_mass(r), 1e-5);
+  }
+}
+
+TEST(TabulatedNfw, NormalisedToRequestedMass) {
+  const auto nfw = make_truncated_nfw(81.1, 7.63, 190.0, 25.0);
+  EXPECT_NEAR(nfw->total_mass(), 81.1, 0.01 * 81.1);
+}
+
+TEST(TabulatedNfw, InnerSlopeApproachesMinusOne) {
+  const auto nfw = make_truncated_nfw(10.0, 5.0, 100.0, 10.0);
+  // d ln rho / d ln r ~ -1 for r << rs.
+  const double r1 = 0.01 * 5.0, r2 = 0.02 * 5.0;
+  const double slope = std::log(nfw->density(r2) / nfw->density(r1)) /
+                       std::log(r2 / r1);
+  EXPECT_NEAR(slope, -1.0, 0.05);
+}
+
+TEST(TabulatedNfw, TaperSuppressesOuterDensity) {
+  const auto nfw = make_truncated_nfw(10.0, 5.0, 50.0, 5.0);
+  // Two taper lengths beyond the cut the density is ~e^-2 of raw NFW.
+  const double x1 = 50.0 / 5.0, x2 = 60.0 / 5.0;
+  const double raw_ratio = (x1 * std::pow(1 + x1, 2)) /
+                           (x2 * std::pow(1 + x2, 2));
+  const double got_ratio = nfw->density(60.0) / nfw->density(50.0);
+  EXPECT_NEAR(got_ratio, raw_ratio * std::exp(-2.0), 0.05 * raw_ratio);
+}
+
+TEST(TabulatedProfile, PotentialSatisfiesBoundaryForm) {
+  // Outside the mass distribution Phi -> -M/r.
+  const auto nfw = make_truncated_nfw(10.0, 5.0, 50.0, 5.0);
+  const double r = 2000.0;
+  EXPECT_NEAR(nfw->potential(r), -10.0 / r, 2e-4);
+}
+
+TEST(TabulatedProfile, PotentialDerivativeMatchesEnclosedMass) {
+  // dPhi/dr = M(r)/r^2 (finite differences on the spline).
+  const auto nfw = make_truncated_nfw(10.0, 5.0, 80.0, 8.0);
+  for (double r : {2.0, 10.0, 40.0}) {
+    const double h = 1e-3 * r;
+    const double dphi =
+        (nfw->potential(r + h) - nfw->potential(r - h)) / (2.0 * h);
+    EXPECT_NEAR(dphi, nfw->enclosed_mass(r) / (r * r), 0.02 * dphi + 1e-8);
+  }
+}
+
+TEST(Sersic, MassNormalised) {
+  const auto s = make_sersic(0.8, 9.0, 2.2); // the M31 stellar halo
+  EXPECT_NEAR(s->total_mass(), 0.8, 0.01 * 0.8);
+}
+
+TEST(Sersic, DensityDecreasesMonotonically) {
+  const auto s = make_sersic(1.0, 5.0, 2.2);
+  double prev = s->density(0.05);
+  for (double r = 0.1; r < 100.0; r *= 1.3) {
+    const double d = s->density(r);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(SphericalizedDisk, MatchesExponentialCumulativeMass) {
+  SphericalizedDisk d(3.66, 5.4);
+  EXPECT_NEAR(d.enclosed_mass(1e5), 3.66, 1e-6);
+  const double x = 2.0;
+  EXPECT_NEAR(d.enclosed_mass(2.0 * 5.4),
+              3.66 * (1.0 - (1.0 + x) * std::exp(-x)), 1e-9);
+}
+
+TEST(SphericalizedDisk, DensityIntegratesToMass) {
+  SphericalizedDisk d(1.0, 2.0);
+  const double m = adaptive_simpson(
+      [&d](double s) { return 4.0 * kPi * s * s * d.density(s); }, 1e-8,
+      100.0, 1e-10);
+  EXPECT_NEAR(m, 1.0, 1e-5);
+}
+
+TEST(Composite, PsiAddsComponentsAndDecreases) {
+  PlummerProfile a(1.0, 1.0);
+  HernquistProfile b(2.0, 0.5);
+  CompositePotential comp;
+  comp.add(&a);
+  comp.add(&b);
+  EXPECT_NEAR(comp.psi(1.0), -(a.potential(1.0) + b.potential(1.0)), 1e-12);
+  double prev = comp.psi(0.1);
+  for (double r = 0.2; r < 50.0; r *= 1.5) {
+    EXPECT_LT(comp.psi(r), prev);
+    prev = comp.psi(r);
+  }
+}
+
+TEST(Composite, VcircFromSummedMonopole) {
+  PlummerProfile a(4.0, 1.0);
+  CompositePotential comp;
+  comp.add(&a);
+  const double r = 3.0;
+  EXPECT_NEAR(comp.vcirc(r), std::sqrt(a.enclosed_mass(r) / r), 1e-12);
+}
+
+} // namespace
+} // namespace gothic::galaxy

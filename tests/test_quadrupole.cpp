@@ -1,0 +1,175 @@
+// Quadrupole extension: moment computation (direct and via the
+// parallel-axis composition) and the accuracy gain in the tree walk.
+#include "gravity/direct.hpp"
+#include "gravity/walk_tree.hpp"
+#include "octree/calc_node.hpp"
+#include "octree/tree_build.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gothic::octree {
+namespace {
+
+struct Cloud {
+  std::vector<real> x, y, z, m;
+  Octree tree;
+
+  void build(bool quad = true, int leaf_capacity = 16) {
+    std::vector<index_t> perm;
+    BuildConfig bc;
+    bc.leaf_capacity = leaf_capacity;
+    build_tree(x, y, z, tree, perm, bc);
+    auto apply = [&perm](std::vector<real>& v) {
+      std::vector<real> out(v.size());
+      gather(v, perm, out);
+      v = std::move(out);
+    };
+    apply(x);
+    apply(y);
+    apply(z);
+    apply(m);
+    CalcNodeConfig cc;
+    cc.compute_quadrupole = quad;
+    calc_node(tree, x, y, z, m, cc);
+  }
+};
+
+Cloud gaussian_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Cloud c;
+  c.x.resize(n);
+  c.y.resize(n);
+  c.z.resize(n);
+  c.m.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.x[i] = static_cast<real>(rng.normal(0.0, 1.0));
+    c.y[i] = static_cast<real>(rng.normal(0.0, 0.5)); // anisotropic: Q != 0
+    c.z[i] = static_cast<real>(rng.normal(0.0, 0.25));
+    c.m[i] = static_cast<real>(rng.uniform(0.5, 1.5) / n);
+  }
+  return c;
+}
+
+TEST(Quadrupole, NodeMomentsMatchDirectSummation) {
+  Cloud c = gaussian_cloud(2000, 41);
+  c.build();
+  ASSERT_TRUE(c.tree.has_quadrupole());
+  for (index_t node = 0; node < c.tree.num_nodes(); node += 7) {
+    double xx = 0, xy = 0, xz = 0, yy = 0, yz = 0, zz = 0, scale = 0;
+    for (index_t b = c.tree.body_first[node];
+         b < c.tree.body_first[node] + c.tree.body_count[node]; ++b) {
+      const double dx = c.x[b] - c.tree.com_x[node];
+      const double dy = c.y[b] - c.tree.com_y[node];
+      const double dz = c.z[b] - c.tree.com_z[node];
+      const double d2 = dx * dx + dy * dy + dz * dz;
+      xx += c.m[b] * (3 * dx * dx - d2);
+      xy += c.m[b] * 3 * dx * dy;
+      xz += c.m[b] * 3 * dx * dz;
+      yy += c.m[b] * (3 * dy * dy - d2);
+      yz += c.m[b] * 3 * dy * dz;
+      zz += c.m[b] * (3 * dz * dz - d2);
+      scale += c.m[b] * d2;
+    }
+    const double tol = 1e-4 * scale + 1e-7;
+    EXPECT_NEAR(c.tree.quad_xx[node], xx, tol) << "node " << node;
+    EXPECT_NEAR(c.tree.quad_xy[node], xy, tol);
+    EXPECT_NEAR(c.tree.quad_xz[node], xz, tol);
+    EXPECT_NEAR(c.tree.quad_yy[node], yy, tol);
+    EXPECT_NEAR(c.tree.quad_yz[node], yz, tol);
+    EXPECT_NEAR(c.tree.quad_zz[node], zz, tol);
+  }
+}
+
+TEST(Quadrupole, MomentsAreTraceless) {
+  Cloud c = gaussian_cloud(3000, 42);
+  c.build();
+  for (index_t node = 0; node < c.tree.num_nodes(); ++node) {
+    const double trace = static_cast<double>(c.tree.quad_xx[node]) +
+                         c.tree.quad_yy[node] + c.tree.quad_zz[node];
+    const double mag = std::fabs(c.tree.quad_xx[node]) +
+                       std::fabs(c.tree.quad_yy[node]) +
+                       std::fabs(c.tree.quad_zz[node]);
+    EXPECT_LE(std::fabs(trace), 1e-3 * mag + 1e-6);
+  }
+}
+
+TEST(Quadrupole, DisabledByDefaultAndClearable) {
+  Cloud c = gaussian_cloud(500, 43);
+  c.build(/*quad=*/false);
+  EXPECT_FALSE(c.tree.has_quadrupole());
+  CalcNodeConfig on;
+  on.compute_quadrupole = true;
+  calc_node(c.tree, c.x, c.y, c.z, c.m, on);
+  EXPECT_TRUE(c.tree.has_quadrupole());
+  calc_node(c.tree, c.x, c.y, c.z, c.m, CalcNodeConfig{});
+  EXPECT_FALSE(c.tree.has_quadrupole());
+}
+
+TEST(Quadrupole, WalkRequiresMoments) {
+  Cloud c = gaussian_cloud(500, 44);
+  c.build(/*quad=*/false);
+  gravity::WalkConfig cfg;
+  cfg.use_quadrupole = true;
+  std::vector<real> a(c.x.size());
+  EXPECT_THROW(gravity::walk_tree(c.tree, c.x, c.y, c.z, c.m, {}, cfg, a, a,
+                                  a),
+               std::invalid_argument);
+}
+
+/// Median relative force error against the double-precision direct sum.
+double walk_error(Cloud& c, bool quad, double theta) {
+  gravity::WalkConfig cfg;
+  cfg.eps = real(0.01);
+  cfg.mac.type = gravity::MacType::OpeningAngle;
+  cfg.mac.theta = static_cast<real>(theta);
+  cfg.use_quadrupole = quad;
+  const std::size_t n = c.x.size();
+  std::vector<real> ax(n), ay(n), az(n);
+  gravity::walk_tree(c.tree, c.x, c.y, c.z, c.m, {}, cfg, ax, ay, az);
+  std::vector<double> rx(n), ry(n), rz(n);
+  gravity::direct_forces_ref(c.x, c.y, c.z, c.m, 0.01, 1.0, rx, ry, rz);
+  std::vector<double> err(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = ax[i] - rx[i], dy = ay[i] - ry[i], dz = az[i] - rz[i];
+    const double ref =
+        std::sqrt(rx[i] * rx[i] + ry[i] * ry[i] + rz[i] * rz[i]);
+    err[i] = std::sqrt(dx * dx + dy * dy + dz * dz) / std::max(ref, 1e-12);
+  }
+  std::nth_element(err.begin(), err.begin() + static_cast<long>(n / 2),
+                   err.end());
+  return err[n / 2];
+}
+
+TEST(Quadrupole, ImprovesForceAccuracyAtFixedOpening) {
+  Cloud c = gaussian_cloud(4096, 45);
+  c.build(/*quad=*/true);
+  const double mono = walk_error(c, false, 0.8);
+  const double quad = walk_error(c, true, 0.8);
+  // The quadrupole term removes the next multipole order: expect a
+  // substantially smaller error at the same opening angle.
+  EXPECT_LT(quad, 0.5 * mono);
+}
+
+TEST(Quadrupole, CountsExtraFlopsOnlyWhenEnabled) {
+  Cloud c = gaussian_cloud(2048, 46);
+  c.build(/*quad=*/true);
+  gravity::WalkConfig cfg;
+  cfg.eps = real(0.01);
+  cfg.mac.type = gravity::MacType::OpeningAngle;
+  std::vector<real> a(c.x.size());
+  simt::OpCounts mono, quad;
+  gravity::walk_tree(c.tree, c.x, c.y, c.z, c.m, {}, cfg, a, a, a, {},
+                     &mono);
+  cfg.use_quadrupole = true;
+  gravity::walk_tree(c.tree, c.x, c.y, c.z, c.m, {}, cfg, a, a, a, {},
+                     &quad);
+  EXPECT_GT(quad.fp32_fma, mono.fp32_fma);
+  EXPECT_GT(quad.fp32_mul, mono.fp32_mul);
+  EXPECT_EQ(quad.fp32_special, mono.fp32_special); // no extra rsqrt
+}
+
+} // namespace
+} // namespace gothic::octree

@@ -1,0 +1,113 @@
+// Snapshot round-trip and extended diagnostics (Lagrangian radii, density
+// profile) validated against the analytic Plummer model.
+#include "galaxy/spherical_sampler.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace gothic::nbody {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Snapshot, BinaryRoundTripIsExact) {
+  Particles p = galaxy::make_plummer(1000, 2.0, 0.7, 31);
+  p.pot[5] = real(-1.25);
+  p.aold_mag[7] = real(3.5);
+  const std::string path = temp_path("roundtrip.snap");
+  write_snapshot(path, p, 12.5);
+
+  SnapshotHeader hdr;
+  const Particles q = read_snapshot(path, &hdr);
+  ASSERT_EQ(q.size(), p.size());
+  EXPECT_EQ(hdr.n, 1000u);
+  EXPECT_DOUBLE_EQ(hdr.time, 12.5);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ASSERT_EQ(p.x[i], q.x[i]);
+    ASSERT_EQ(p.vy[i], q.vy[i]);
+    ASSERT_EQ(p.m[i], q.m[i]);
+  }
+  EXPECT_EQ(q.pot[5], real(-1.25));
+  EXPECT_EQ(q.aold_mag[7], real(3.5));
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RejectsCorruptFiles) {
+  const std::string path = temp_path("corrupt.snap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTASNAP-and-some-junk", f);
+  std::fclose(f);
+  EXPECT_THROW(read_snapshot(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_snapshot(temp_path("does-not-exist.snap")),
+               std::runtime_error);
+}
+
+TEST(Snapshot, CsvExportHasHeaderAndRows) {
+  Particles p = galaxy::make_plummer(64, 1.0, 1.0, 32);
+  const std::string path = temp_path("export.csv");
+  write_csv(path, p);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
+  EXPECT_STREQ(line, "x,y,z,vx,vy,vz,m\n");
+  int rows = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) ++rows;
+  std::fclose(f);
+  EXPECT_EQ(rows, 64);
+  std::remove(path.c_str());
+}
+
+TEST(Diagnostics, LagrangianRadiiMatchPlummer) {
+  // Plummer M(<r) = M r^3/(r^2+a^2)^{3/2}: half-mass radius ~ 1.3048 a.
+  Particles p = galaxy::make_plummer(60000, 1.0, 1.0, 33);
+  const auto radii = lagrangian_radii(p, {0.25, 0.5, 0.75});
+  EXPECT_NEAR(radii[1], 1.3048, 0.05);
+  // M(r)=0.25 -> r = a/sqrt(0.25^{-2/3}-1) ~ 0.7686; 0.75 -> ~2.1213.
+  EXPECT_NEAR(radii[0], 0.7686, 0.04);
+  EXPECT_NEAR(radii[2], 2.1213, 0.12);
+  EXPECT_LT(radii[0], radii[1]);
+  EXPECT_LT(radii[1], radii[2]);
+}
+
+TEST(Diagnostics, LagrangianRadiiValidateInput) {
+  Particles p = galaxy::make_plummer(100, 1.0, 1.0, 34);
+  EXPECT_THROW(lagrangian_radii(p, {0.5, 0.25}), std::invalid_argument);
+  EXPECT_THROW(lagrangian_radii(p, {0.0}), std::invalid_argument);
+  EXPECT_THROW(lagrangian_radii(p, {1.5}), std::invalid_argument);
+}
+
+TEST(Diagnostics, DensityProfileRecoversPlummerShape) {
+  Particles p = galaxy::make_plummer(120000, 1.0, 1.0, 35);
+  const auto prof = density_profile(p, 0.1, 10.0, 16);
+  // Compare against rho(r) = 3/(4 pi) (1+r^2)^{-5/2} at shell centres.
+  int checked = 0;
+  for (const auto& s : prof) {
+    if (s.count < 400) continue;
+    const double r = std::sqrt(s.r_inner * s.r_outer);
+    const double expect =
+        3.0 / (4.0 * M_PI) * std::pow(1.0 + r * r, -2.5);
+    EXPECT_NEAR(s.density, expect, 0.2 * expect) << "r=" << r;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
+}
+
+TEST(Diagnostics, DensityProfileValidatesGrid) {
+  Particles p = galaxy::make_plummer(100, 1.0, 1.0, 36);
+  EXPECT_THROW(density_profile(p, 0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(density_profile(p, 1.0, 0.5, 4), std::invalid_argument);
+  EXPECT_THROW(density_profile(p, 0.1, 1.0, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gothic::nbody

@@ -1,0 +1,226 @@
+// Properties of the tree-derived warp-group decomposition (the piece that
+// keeps the group-shared MAC effective, see walk_tree.hpp).
+#include "gravity/walk_tree.hpp"
+#include "octree/calc_node.hpp"
+#include "octree/tree_build.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace gothic::gravity {
+namespace {
+
+struct Cloud {
+  std::vector<real> x, y, z, m;
+  octree::Octree tree;
+
+  void build(int leaf_capacity = 16) {
+    std::vector<index_t> perm;
+    octree::BuildConfig cfg;
+    cfg.leaf_capacity = leaf_capacity;
+    octree::build_tree(x, y, z, tree, perm, cfg);
+    auto apply = [&perm](std::vector<real>& v) {
+      std::vector<real> out(v.size());
+      octree::gather(v, perm, out);
+      v = std::move(out);
+    };
+    apply(x);
+    apply(y);
+    apply(z);
+    apply(m);
+  }
+};
+
+Cloud uniform_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Cloud c;
+  c.x.resize(n);
+  c.y.resize(n);
+  c.z.resize(n);
+  c.m.assign(n, real(1.0 / static_cast<double>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    c.x[i] = static_cast<real>(rng.uniform());
+    c.y[i] = static_cast<real>(rng.uniform());
+    c.z[i] = static_cast<real>(rng.uniform());
+  }
+  return c;
+}
+
+/// Dense core + a handful of extreme outliers: the regime the compactness
+/// rule exists for.
+Cloud core_halo_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Cloud c;
+  c.x.resize(n);
+  c.y.resize(n);
+  c.z.resize(n);
+  c.m.assign(n, real(1.0 / static_cast<double>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool outlier = (i % 37 == 0);
+    const double s = outlier ? 100.0 : 1.0;
+    c.x[i] = static_cast<real>(rng.normal(0.0, s));
+    c.y[i] = static_cast<real>(rng.normal(0.0, s));
+    c.z[i] = static_cast<real>(rng.normal(0.0, s));
+  }
+  return c;
+}
+
+void check_partition(const std::vector<GroupSpan>& groups, std::size_t n) {
+  std::vector<int> covered(n, 0);
+  for (const GroupSpan& g : groups) {
+    ASSERT_GE(g.count, 1u);
+    ASSERT_LE(g.count, static_cast<index_t>(kWarpSize));
+    for (index_t i = g.first; i < g.first + g.count; ++i) {
+      ASSERT_LT(i, n);
+      ++covered[i];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(covered[i], 1) << "body " << i;
+  }
+}
+
+TEST(WalkGroups, PartitionUniform) {
+  Cloud c = uniform_cloud(10000, 1);
+  c.build();
+  check_partition(walk_groups(c.tree, c.x, c.y, c.z), c.x.size());
+}
+
+TEST(WalkGroups, PartitionCoreHalo) {
+  Cloud c = core_halo_cloud(10000, 2);
+  c.build();
+  check_partition(walk_groups(c.tree, c.x, c.y, c.z), c.x.size());
+}
+
+TEST(WalkGroups, PartitionWithOversizedLeaf) {
+  // 200 identical positions: one max-depth leaf larger than a warp must be
+  // chopped into warp-sized runs.
+  Cloud c;
+  c.x.assign(200, real(0.5));
+  c.y.assign(200, real(0.5));
+  c.z.assign(200, real(0.5));
+  c.m.assign(200, real(1.0 / 200));
+  c.build(8);
+  const auto groups = walk_groups(c.tree, c.x, c.y, c.z);
+  check_partition(groups, 200);
+  EXPECT_GE(groups.size(), 200u / kWarpSize);
+}
+
+TEST(WalkGroups, UniformCloudsGetNearFullWarps) {
+  Cloud c = uniform_cloud(32768, 3);
+  c.build(32);
+  const auto groups = walk_groups(c.tree, c.x, c.y, c.z);
+  const double mean = static_cast<double>(c.x.size()) / groups.size();
+  // Dense, uniform distributions keep multi-body groups; the compactness
+  // rule still splits near the global centroid (distance -> 0 leaves only
+  // the absolute floor), so the mean sits below a full warp.
+  EXPECT_GT(mean, 6.0);
+}
+
+TEST(WalkGroups, OutliersBecomeSmallGroupsCoreStaysLarge) {
+  Cloud c = core_halo_cloud(20000, 4);
+  c.build();
+  const auto groups = walk_groups(c.tree, c.x, c.y, c.z);
+  // Classify groups by centroid radius.
+  double core_size = 0, halo_size = 0;
+  std::size_t core_n = 0, halo_n = 0;
+  for (const GroupSpan& g : groups) {
+    double cx = 0, cy = 0, cz = 0;
+    for (index_t i = g.first; i < g.first + g.count; ++i) {
+      cx += c.x[i];
+      cy += c.y[i];
+      cz += c.z[i];
+    }
+    cx /= g.count;
+    cy /= g.count;
+    cz /= g.count;
+    const double r = std::sqrt(cx * cx + cy * cy + cz * cz);
+    if (r < 5.0) {
+      core_size += g.count;
+      ++core_n;
+    } else {
+      halo_size += g.count;
+      ++halo_n;
+    }
+  }
+  ASSERT_GT(core_n, 0u);
+  ASSERT_GT(halo_n, 0u);
+  EXPECT_GT(core_size / core_n, 2.0 * halo_size / halo_n);
+}
+
+TEST(WalkGroups, CompactnessRuleBoundsRadiusOverDistance) {
+  Cloud c = core_halo_cloud(20000, 5);
+  c.build();
+  const auto groups = walk_groups(c.tree, c.x, c.y, c.z);
+  // Global centroid.
+  double mx = 0, my = 0, mz = 0;
+  for (std::size_t i = 0; i < c.x.size(); ++i) {
+    mx += c.x[i];
+    my += c.y[i];
+    mz += c.z[i];
+  }
+  mx /= static_cast<double>(c.x.size());
+  my /= static_cast<double>(c.x.size());
+  mz /= static_cast<double>(c.x.size());
+  const double floor_r = c.tree.box.edge / 128.0;
+  for (const GroupSpan& g : groups) {
+    if (g.count <= 1) continue; // singletons have zero radius by definition
+    double cx = 0, cy = 0, cz = 0;
+    for (index_t i = g.first; i < g.first + g.count; ++i) {
+      cx += c.x[i];
+      cy += c.y[i];
+      cz += c.z[i];
+    }
+    cx /= g.count;
+    cy /= g.count;
+    cz /= g.count;
+    double rgrp = 0;
+    for (index_t i = g.first; i < g.first + g.count; ++i) {
+      const double dx = c.x[i] - cx, dy = c.y[i] - cy, dz = c.z[i] - cz;
+      rgrp = std::max(rgrp, std::sqrt(dx * dx + dy * dy + dz * dz));
+    }
+    const double dx = cx - mx, dy = cy - my, dz = cz - mz;
+    const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+    EXPECT_LE(rgrp, std::max(floor_r, 0.2 * dist) * 1.0001)
+        << "group at " << g.first;
+  }
+}
+
+TEST(WalkGroups, DeterministicForFixedInput) {
+  Cloud c = uniform_cloud(5000, 6);
+  c.build();
+  const auto a = walk_groups(c.tree, c.x, c.y, c.z);
+  const auto b = walk_groups(c.tree, c.x, c.y, c.z);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+}
+
+TEST(WalkGroups, ExplicitGroupsMatchInternalComputation) {
+  Cloud c = uniform_cloud(4096, 7);
+  c.build();
+  octree::calc_node(c.tree, c.x, c.y, c.z, c.m);
+  const auto groups = walk_groups(c.tree, c.x, c.y, c.z);
+
+  WalkConfig cfg;
+  cfg.eps = real(0.02);
+  cfg.mac.type = MacType::OpeningAngle;
+  std::vector<real> a1(c.x.size()), a2(c.x.size()), dummy(c.x.size());
+  WalkStats s1, s2;
+  walk_tree(c.tree, c.x, c.y, c.z, c.m, {}, cfg, a1, dummy, dummy, {},
+            nullptr, &s1);
+  walk_tree(c.tree, c.x, c.y, c.z, c.m, {}, cfg, a2, dummy, dummy, {},
+            nullptr, &s2, {}, groups);
+  EXPECT_EQ(s1.interactions, s2.interactions);
+  for (std::size_t i = 0; i < c.x.size(); i += 173) {
+    EXPECT_FLOAT_EQ(a1[i], a2[i]);
+  }
+}
+
+} // namespace
+} // namespace gothic::gravity
