@@ -21,6 +21,8 @@ int main() {
   const double dacc = 1.0 / 512.0; // the paper's fiducial 2^-9
   const std::size_t n_max = env_size("GOTHIC_BENCH_NMAX", 131072);
 
+  std::cout << "# runtime workers = " << BenchScale::from_env().threads
+            << " (override with GOTHIC_THREADS)\n";
   Table t("Fig 3 - elapsed time per step [s] vs Ntot (V100 compute_60, "
           "dacc=2^-9)",
           {"Ntot", "total", "walkTree", "calcNode", "makeTree", "pred/corr"});

@@ -17,7 +17,8 @@ int main() {
   const auto init = m31_workload(scale.n);
   const auto v100 = perfmodel::tesla_v100();
 
-  std::cout << "# M31 model, N = " << scale.n << "\n";
+  std::cout << "# M31 model, N = " << scale.n << ", runtime workers = "
+            << scale.threads << " (override with GOTHIC_THREADS)\n";
   Table t("Fig 4 - breakdown of elapsed time per step [s] (V100 compute_60)",
           {"dacc", "total", "walkTree", "calcNode", "makeTree", "pred/corr",
            "rebuild-interval"});

@@ -1,5 +1,6 @@
 #include "support/experiment.hpp"
 
+#include "runtime/device.hpp"
 #include "util/env.hpp"
 
 #include <algorithm>
@@ -26,6 +27,7 @@ BenchScale BenchScale::from_env() {
   s.n = env_size("GOTHIC_BENCH_N", 32768);
   s.steps = static_cast<int>(env_size("GOTHIC_BENCH_STEPS", 1));
   s.dacc_min_exp = static_cast<int>(env_size("GOTHIC_BENCH_DACC_MIN", 14));
+  s.threads = runtime::Device::default_workers();
   return s;
 }
 

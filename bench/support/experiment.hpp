@@ -27,6 +27,7 @@ struct BenchScale {
   std::size_t n;        ///< particles
   int steps;            ///< measured steps per configuration
   int dacc_min_exp;     ///< sweep reaches 2^-dacc_min_exp
+  int threads;          ///< runtime::Device workers (GOTHIC_THREADS override)
   static BenchScale from_env();
 };
 

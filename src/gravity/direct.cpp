@@ -1,7 +1,7 @@
 #include "gravity/direct.hpp"
 
 #include "gravity/cost_model.hpp"
-#include "util/parallel.hpp"
+#include "runtime/device.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -21,7 +21,7 @@ void direct_forces(std::span<const real> x, std::span<const real> y,
   }
   const real eps2 = eps * eps;
 
-  parallel_for(0, n, [&](std::size_t i) {
+  runtime::Device::current().parallel_for(0, n, [&](std::size_t i) {
     const real xi = x[i], yi = y[i], zi = z[i];
     real sx = 0, sy = 0, sz = 0, sp = 0;
     for (std::size_t j = 0; j < n; ++j) {
@@ -68,7 +68,7 @@ void direct_forces_ref(std::span<const real> x, std::span<const real> y,
                        std::span<double> pot) {
   const std::size_t n = x.size();
   const double eps2 = eps * eps;
-  parallel_for(0, n, [&](std::size_t i) {
+  runtime::Device::current().parallel_for(0, n, [&](std::size_t i) {
     const double xi = x[i], yi = y[i], zi = z[i];
     double sx = 0, sy = 0, sz = 0, sp = 0;
     for (std::size_t j = 0; j < n; ++j) {

@@ -1,13 +1,14 @@
 #include "gravity/walk_tree.hpp"
 
 #include "gravity/cost_model.hpp"
+#include "runtime/device.hpp"
 #include "simt/scan.hpp"
-#include "util/parallel.hpp"
 
 #include <algorithm>
 
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -20,33 +21,40 @@ using simt::LaneArray;
 using simt::Warp;
 
 /// The warp's shared-memory interaction list (SoA so the flush loop
-/// vectorises over entries).
+/// vectorises over entries). Lives in the owning worker's arena — one
+/// carve-out per worker, reused across every group and every launch, the
+/// way GOTHIC sizes its shared-memory lists once at start-up (§2.1).
 struct InteractionList {
-  InteractionList(int capacity, bool with_quad)
-      : cap(capacity), sx(capacity), sy(capacity), sz(capacity),
-        sm(capacity) {
+  InteractionList(runtime::Arena& arena, int capacity, bool with_quad)
+      : cap(capacity), has_quad(with_quad) {
+    const auto n = static_cast<std::size_t>(capacity);
+    sx = arena.alloc_span<real>(n);
+    sy = arena.alloc_span<real>(n);
+    sz = arena.alloc_span<real>(n);
+    sm = arena.alloc_span<real>(n);
     if (with_quad) {
-      qxx.resize(capacity);
-      qxy.resize(capacity);
-      qxz.resize(capacity);
-      qyy.resize(capacity);
-      qyz.resize(capacity);
-      qzz.resize(capacity);
+      qxx = arena.alloc_span<real>(n);
+      qxy = arena.alloc_span<real>(n);
+      qxz = arena.alloc_span<real>(n);
+      qyy = arena.alloc_span<real>(n);
+      qyz = arena.alloc_span<real>(n);
+      qzz = arena.alloc_span<real>(n);
     }
   }
   int cap;
+  bool has_quad;
   int size = 0;
-  std::vector<real> sx, sy, sz, sm;
+  std::span<real> sx, sy, sz, sm;
   // Quadrupole moments of pseudo-particle entries (zero for spilled
-  // bodies); allocated only when the walk evaluates them.
-  std::vector<real> qxx, qxy, qxz, qyy, qyz, qzz;
+  // bodies); carved out only when the walk evaluates them.
+  std::span<real> qxx, qxy, qxz, qyy, qyz, qzz;
 
   void push(real px, real py, real pz, real pm) {
     sx[size] = px;
     sy[size] = py;
     sz[size] = pz;
     sm[size] = pm;
-    if (!qxx.empty()) {
+    if (has_quad) {
       qxx[size] = qxy[size] = qxz[size] = real(0);
       qyy[size] = qyz[size] = qzz[size] = real(0);
     }
@@ -70,9 +78,11 @@ struct InteractionList {
 };
 
 /// Per-warp traversal workspace, reused across groups handled by the same
-/// OpenMP worker.
+/// device worker. The frontiers grow in the worker's arena during warm-up
+/// and reuse the retained capacity afterwards.
 struct Workspace {
-  std::vector<index_t> cur, nxt;
+  explicit Workspace(runtime::Arena& arena) : cur(arena), nxt(arena) {}
+  runtime::ArenaVector<index_t> cur, nxt;
 };
 
 struct GroupTask {
@@ -529,12 +539,6 @@ void walk_tree(const Octree& tree, std::span<const real> x,
         "compute_quadrupole");
   }
 
-  simt::OpCounterPool pool;
-  struct alignas(64) StatSlot {
-    WalkStats s;
-  };
-  std::vector<StatSlot> stat_slots(static_cast<std::size_t>(num_threads()));
-
   GroupTask task{&tree, x, y, z, m, aold_mag, &cfg, ax, ay, az, pot};
 
   std::vector<GroupSpan> own_groups;
@@ -545,19 +549,35 @@ void walk_tree(const Octree& tree, std::span<const real> x,
   if (!group_active.empty() && group_active.size() != groups.size()) {
     throw std::invalid_argument("walk_tree: group_active size mismatch");
   }
-  parallel_for(0, groups.size(), [&](std::size_t gi) {
-    if (!group_active.empty() && group_active[gi] == 0) return;
-    thread_local Workspace ws;
-    InteractionList list(cfg.list_capacity, cfg.use_quadrupole);
-    walk_group(task, groups[gi].first, static_cast<int>(groups[gi].count),
-               ws, list, pool.local(),
-               stat_slots[static_cast<std::size_t>(thread_id())].s);
+
+  // Each worker traverses a contiguous chunk of groups with arena-resident
+  // scratch (interaction list + frontiers) set up once per launch, then
+  // merges its cache-line-local tallies under a mutex — once per worker,
+  // not per group, so there is no accumulation hot spot and no false
+  // sharing between workers.
+  runtime::Device& dev = runtime::Device::current();
+  std::mutex merge;
+  simt::OpCounts total_ops;
+  WalkStats total_stats;
+  dev.parallel_ranges(0, groups.size(), [&](runtime::Worker& w,
+                                            std::size_t lo, std::size_t hi) {
+    w.arena.reset();
+    Workspace ws(w.arena);
+    InteractionList list(w.arena, cfg.list_capacity, cfg.use_quadrupole);
+    simt::OpCounts counts;
+    WalkStats local;
+    for (std::size_t gi = lo; gi < hi; ++gi) {
+      if (!group_active.empty() && group_active[gi] == 0) continue;
+      walk_group(task, groups[gi].first, static_cast<int>(groups[gi].count),
+                 ws, list, counts, local);
+    }
+    const std::scoped_lock lock(merge);
+    total_ops += counts;
+    total_stats += local;
   });
 
-  if (ops != nullptr) *ops += pool.total();
-  if (stats != nullptr) {
-    for (const auto& s : stat_slots) *stats += s.s;
-  }
+  if (ops != nullptr) *ops += total_ops;
+  if (stats != nullptr) *stats += total_stats;
 }
 
 } // namespace gothic::gravity

@@ -1,6 +1,6 @@
 #include "nbody/integrator.hpp"
 
-#include "util/parallel.hpp"
+#include "runtime/device.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -20,7 +20,7 @@ void predict_positions(const Particles& p, const BlockTimeSteps& steps,
       steps.size() != n) {
     throw std::invalid_argument("predict_positions: size mismatch");
   }
-  parallel_for(0, n, [&](std::size_t i) {
+  runtime::Device::current().parallel_for(0, n, [&](std::size_t i) {
     const auto dt = static_cast<real>(steps.time_since_correction(i));
     const real h = real(0.5) * dt * dt;
     px[i] = p.x[i] + dt * p.vx[i] + h * p.ax[i];

@@ -7,13 +7,6 @@
 
 namespace gothic::nbody {
 
-namespace {
-constexpr auto kWalk = static_cast<std::size_t>(Kernel::WalkTree);
-constexpr auto kCalc = static_cast<std::size_t>(Kernel::CalcNode);
-constexpr auto kMake = static_cast<std::size_t>(Kernel::MakeTree);
-constexpr auto kPred = static_cast<std::size_t>(Kernel::PredictCorrect);
-} // namespace
-
 Simulation::Simulation(Particles particles, SimConfig cfg)
     : particles_(std::move(particles)), cfg_(cfg),
       steps_(cfg.dt_max, cfg.block_time_steps ? cfg.max_level : 0),
@@ -42,45 +35,59 @@ Simulation::Simulation(Particles particles, SimConfig cfg)
 }
 
 void Simulation::rebuild_tree(StepReport* report) {
-  Stopwatch sw;
-  simt::OpCounts ops;
-  std::vector<index_t> perm;
-  octree::build_tree(particles_.x, particles_.y, particles_.z, tree_, perm,
-                     cfg_.build, &ops);
-  particles_.apply_permutation(perm);
-  if (steps_.size() == particles_.size()) steps_.apply_permutation(perm);
-  groups_ = gravity::walk_groups(tree_, particles_.x, particles_.y,
-                                 particles_.z);
-  group_active_.assign(groups_.size(), 1);
-  const double sec = sw.seconds();
-  timers_.add(Kernel::MakeTree, sec);
-  total_ops_[kMake] += ops;
-  policy_.record_rebuild(sec);
+  runtime::Device& dev = runtime::Device::current();
+  runtime::LaunchDesc desc;
+  desc.kernel = Kernel::MakeTree;
+  desc.label = "makeTree";
+  desc.items = particles_.size();
+  desc.stream = &tree_stream_;
+  desc.sink = &sink_;
+  dev.launch(desc, [&](simt::OpCounts& ops) {
+    std::vector<index_t> perm;
+    octree::build_tree(particles_.x, particles_.y, particles_.z, tree_, perm,
+                       cfg_.build, &ops);
+    particles_.apply_permutation(perm);
+    if (steps_.size() == particles_.size()) steps_.apply_permutation(perm);
+    groups_ = gravity::walk_groups(tree_, particles_.x, particles_.y,
+                                   particles_.z);
+    group_active_.assign(groups_.size(), 1);
+  });
+  policy_.record_rebuild(sink_.last().seconds);
   ++rebuilds_;
   steps_since_rebuild_ = 0;
-  if (report != nullptr) {
-    report->rebuilt = true;
-    report->seconds[kMake] += sec;
-    report->ops[kMake] += ops;
-  }
+  if (report != nullptr) report->rebuilt = true;
 }
 
 void Simulation::bootstrap_forces() {
   // First force evaluation: no previous acceleration exists, so Eq. 2 is
   // unusable; GOTHIC seeds with a geometric criterion.
-  simt::OpCounts calc_ops;
-  octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
-                    particles_.m, cfg_.calc, &calc_ops);
-  total_ops_[kCalc] += calc_ops;
+  runtime::Device& dev = runtime::Device::current();
+
+  runtime::LaunchDesc cd;
+  cd.kernel = Kernel::CalcNode;
+  cd.label = "calcNode(bootstrap)";
+  cd.items = tree_.num_nodes();
+  cd.stream = &tree_stream_;
+  cd.sink = &sink_;
+  dev.launch(cd, [&](simt::OpCounts& ops) {
+    octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
+                      particles_.m, cfg_.calc, &ops);
+  });
 
   gravity::WalkConfig boot = cfg_.walk;
   boot.mac.type = gravity::MacType::OpeningAngle;
   boot.mac.theta = real(0.7);
-  simt::OpCounts walk_ops;
-  gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
-                     particles_.m, {}, boot, particles_.ax, particles_.ay,
-                     particles_.az, particles_.pot, &walk_ops);
-  total_ops_[kWalk] += walk_ops;
+  runtime::LaunchDesc wd;
+  wd.kernel = Kernel::WalkTree;
+  wd.label = "walkTree(bootstrap)";
+  wd.items = particles_.size();
+  wd.stream = &tree_stream_;
+  wd.sink = &sink_;
+  dev.launch(wd, [&](simt::OpCounts& ops) {
+    gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
+                       particles_.m, {}, boot, particles_.ax, particles_.ay,
+                       particles_.az, particles_.pot, &ops);
+  });
   for (std::size_t i = 0; i < particles_.size(); ++i) {
     particles_.aold_mag[i] = std::sqrt(
         particles_.ax[i] * particles_.ax[i] +
@@ -92,6 +99,8 @@ void Simulation::bootstrap_forces() {
 StepReport Simulation::step() {
   StepReport report;
   const std::size_t n = particles_.size();
+  runtime::Device& dev = runtime::Device::current();
+  sink_.begin_step();
 
   report.dt = steps_.advance();
 
@@ -101,32 +110,30 @@ StepReport Simulation::step() {
                        : steps_since_rebuild_ >= cfg_.fixed_rebuild_interval;
   if (due) rebuild_tree(&report);
 
-  // predict: all particles drift to the new time (sources included).
-  {
-    Stopwatch sw;
-    simt::OpCounts ops;
+  // predict ∥ calcNode: independent, so they go to different streams —
+  // predict drifts all particles on the integration stream while calcNode
+  // refreshes multipoles behind makeTree on the tree stream.
+  runtime::LaunchDesc pd;
+  pd.kernel = Kernel::PredictCorrect;
+  pd.label = "predict";
+  pd.items = n;
+  pd.stream = &integrate_stream_;
+  pd.sink = &sink_;
+  const runtime::Event e_pred = dev.launch(pd, [&](simt::OpCounts& ops) {
     predict_positions(particles_, steps_, px_, py_, pz_, &ops);
-    const double sec = sw.seconds();
-    timers_.add(Kernel::PredictCorrect, sec);
-    total_ops_[kPred] += ops;
-    report.seconds[kPred] += sec;
-    report.ops[kPred] += ops;
-  }
+  });
 
-  // calcNode on the predicted positions (every step; topology is reused
-  // between rebuilds).
-  {
-    Stopwatch sw;
-    simt::OpCounts ops;
+  runtime::LaunchDesc cd;
+  cd.kernel = Kernel::CalcNode;
+  cd.label = "calcNode";
+  cd.items = tree_.num_nodes();
+  cd.stream = &tree_stream_;
+  cd.sink = &sink_;
+  const runtime::Event e_calc = dev.launch(cd, [&](simt::OpCounts& ops) {
     octree::calc_node(tree_, px_, py_, pz_, particles_.m, cfg_.calc, &ops);
-    const double sec = sw.seconds();
-    timers_.add(Kernel::CalcNode, sec);
-    total_ops_[kCalc] += ops;
-    report.seconds[kCalc] += sec;
-    report.ops[kCalc] += ops;
-  }
+  });
 
-  // Gravity for the groups containing fired particles.
+  // Flag the groups containing fired particles (host-side bookkeeping).
   report.n_active = 0;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     std::uint8_t any = 0;
@@ -140,34 +147,43 @@ StepReport Simulation::step() {
     }
     group_active_[g] = any;
   }
-  (void)n;
-  {
-    Stopwatch sw;
-    simt::OpCounts ops;
-    gravity::WalkStats stats;
+
+  // walkTree joins both streams: it needs the predicted positions and the
+  // refreshed node multipoles.
+  runtime::LaunchDesc wd;
+  wd.kernel = Kernel::WalkTree;
+  wd.label = "walkTree";
+  wd.items = groups_.size();
+  wd.stream = &tree_stream_;
+  wd.deps = {e_pred, e_calc};
+  wd.sink = &sink_;
+  gravity::WalkStats stats;
+  const runtime::Event e_walk = dev.launch(wd, [&](simt::OpCounts& ops) {
     gravity::walk_tree(tree_, px_, py_, pz_, particles_.m,
                        particles_.aold_mag, cfg_.walk, nax_, nay_, naz_,
                        npot_, &ops, &stats, group_active_, groups_);
-    const double sec = sw.seconds();
-    timers_.add(Kernel::WalkTree, sec);
-    total_ops_[kWalk] += ops;
-    report.seconds[kWalk] += sec;
-    report.ops[kWalk] += ops;
-    report.walk_stats = stats;
-    policy_.record_walk(sec);
-  }
+  });
+  report.walk_stats = stats;
+  policy_.record_walk(sink_.last().seconds);
 
-  // correct the fired particles.
-  {
-    Stopwatch sw;
-    simt::OpCounts ops;
+  // correct the fired particles once the new accelerations exist.
+  runtime::LaunchDesc kd;
+  kd.kernel = Kernel::PredictCorrect;
+  kd.label = "correct";
+  kd.items = n;
+  kd.stream = &integrate_stream_;
+  kd.deps = {e_walk};
+  kd.sink = &sink_;
+  dev.launch(kd, [&](simt::OpCounts& ops) {
     correct_active(particles_, steps_, px_, py_, pz_, nax_, nay_, naz_,
                    npot_, cfg_.eta, cfg_.walk.eps, &ops);
-    const double sec = sw.seconds();
-    timers_.add(Kernel::PredictCorrect, sec);
-    total_ops_[kPred] += ops;
-    report.seconds[kPred] += sec;
-    report.ops[kPred] += ops;
+  });
+
+  // The report's per-kernel seconds/ops are the step's LaunchRecords.
+  for (const runtime::LaunchRecord& rec : sink_.step_records()) {
+    const auto k = static_cast<std::size_t>(rec.kernel);
+    report.seconds[k] += rec.seconds;
+    report.ops[k] += rec.ops;
   }
 
   ++steps_since_rebuild_;
@@ -181,12 +197,32 @@ void Simulation::run(int n) {
 }
 
 void Simulation::refresh_forces() {
-  octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
-                    particles_.m, cfg_.calc);
-  gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
-                     particles_.m, particles_.aold_mag, cfg_.walk,
-                     particles_.ax, particles_.ay, particles_.az,
-                     particles_.pot);
+  runtime::Device& dev = runtime::Device::current();
+
+  runtime::LaunchDesc cd;
+  cd.kernel = Kernel::CalcNode;
+  cd.label = "calcNode(refresh)";
+  cd.items = tree_.num_nodes();
+  cd.stream = &tree_stream_;
+  cd.sink = &sink_;
+  const runtime::Event e_calc = dev.launch(cd, [&](simt::OpCounts& ops) {
+    octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
+                      particles_.m, cfg_.calc, &ops);
+  });
+
+  runtime::LaunchDesc wd;
+  wd.kernel = Kernel::WalkTree;
+  wd.label = "walkTree(refresh)";
+  wd.items = particles_.size();
+  wd.stream = &tree_stream_;
+  wd.deps = {e_calc};
+  wd.sink = &sink_;
+  dev.launch(wd, [&](simt::OpCounts& ops) {
+    gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
+                       particles_.m, particles_.aold_mag, cfg_.walk,
+                       particles_.ax, particles_.ay, particles_.az,
+                       particles_.pot, &ops);
+  });
 }
 
 } // namespace gothic::nbody

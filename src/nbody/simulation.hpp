@@ -10,6 +10,7 @@
 #include "nbody/rebuild_policy.hpp"
 #include "octree/calc_node.hpp"
 #include "octree/tree_build.hpp"
+#include "runtime/device.hpp"
 #include "util/timer.hpp"
 
 #include <array>
@@ -83,14 +84,20 @@ public:
   [[nodiscard]] const octree::Octree& tree() const { return tree_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
   [[nodiscard]] double time() const { return steps_.time(); }
-  [[nodiscard]] const KernelTimers& timers() const { return timers_; }
+  [[nodiscard]] const KernelTimers& timers() const { return sink_.timers(); }
   [[nodiscard]] const RebuildPolicy& rebuild_policy() const { return policy_; }
   [[nodiscard]] int rebuild_count() const { return rebuilds_; }
   [[nodiscard]] int step_count() const { return step_count_; }
 
   /// Accumulated per-kernel instruction counts since construction.
   [[nodiscard]] const simt::OpCounts& kernel_ops(Kernel k) const {
-    return total_ops_[static_cast<std::size_t>(k)];
+    return sink_.kernel_ops(k);
+  }
+
+  /// Per-launch instrumentation: every kernel this simulation issues emits
+  /// a LaunchRecord here; step_records() spans the most recent step().
+  [[nodiscard]] const runtime::InstrumentationSink& sink() const {
+    return sink_;
   }
 
   [[nodiscard]] Energies energies() const {
@@ -107,9 +114,13 @@ private:
   octree::Octree tree_;
   BlockTimeSteps steps_;
   RebuildPolicy policy_;
-  KernelTimers timers_;
-  std::array<simt::OpCounts, static_cast<std::size_t>(Kernel::Count)>
-      total_ops_{};
+  /// Launch instrumentation (owns the per-kernel timers and op tallies the
+  /// accessors above expose) and the two streams of the step DAG: tree
+  /// work (makeTree -> calcNode -> walkTree) and integration (predict,
+  /// correct), matching GOTHIC's concurrent-stream issue order.
+  runtime::InstrumentationSink sink_;
+  runtime::Stream tree_stream_{"tree"};
+  runtime::Stream integrate_stream_{"integrate"};
   int rebuilds_ = 0;
   int step_count_ = 0;
   int steps_since_rebuild_ = 0;

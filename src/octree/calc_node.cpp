@@ -1,9 +1,10 @@
 #include "octree/calc_node.hpp"
 
+#include "runtime/device.hpp"
 #include "simt/scan.hpp"
-#include "util/parallel.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 namespace gothic::octree {
@@ -49,7 +50,9 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
     tree.quad_zz.clear();
   }
 
-  simt::OpCounterPool pool;
+  runtime::Device& dev = runtime::Device::current();
+  std::mutex merge;
+  simt::OpCounts total;
   const int tiles = kWarpSize / tsub;
 
   // Device-measurement calibration: GOTHIC's calcNode moves several times
@@ -78,8 +81,10 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
     const index_t lv_nodes = lv_end - lv_begin;
     const index_t warps = (lv_nodes + tiles - 1) / tiles;
 
-    parallel_for(0, warps, [&](std::size_t widx) {
-      simt::OpCounts& counts = pool.local();
+    dev.parallel_ranges(0, warps, [&](runtime::Worker&, std::size_t wlo,
+                                      std::size_t whi) {
+      simt::OpCounts counts;
+      for (std::size_t widx = wlo; widx < whi; ++widx) {
       Warp w(cfg.mode, counts);
 
       // The nodes this warp's tiles own (kInvalidIndex = idle tile).
@@ -258,15 +263,18 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
           counts.bytes_store += 24;
         }
       }
+      } // per-warp loop of this worker's chunk
+      const std::scoped_lock lock(merge);
+      total += counts;
     });
 
     // The level-by-level bottom-up sweep requires a grid-wide
     // synchronisation between levels — GOTHIC's lock-free barrier, the
     // subject of Appendix A (21 grid syncs per step for this kernel).
-    pool.local().global_barrier += 1;
+    total.global_barrier += 1;
   }
 
-  if (ops != nullptr) *ops += pool.total();
+  if (ops != nullptr) *ops += total;
 }
 
 } // namespace gothic::octree

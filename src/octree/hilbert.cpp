@@ -1,6 +1,6 @@
 #include "octree/hilbert.hpp"
 
-#include "util/parallel.hpp"
+#include "runtime/device.hpp"
 
 #include <algorithm>
 #include <array>
@@ -129,7 +129,7 @@ void hilbert_keys(const BoundingCube& box, std::span<const real> x,
   if (x.size() != keys.size()) {
     throw std::invalid_argument("hilbert_keys: size mismatch");
   }
-  parallel_for(0, x.size(), [&](std::size_t i) {
+  runtime::Device::current().parallel_for(0, x.size(), [&](std::size_t i) {
     keys[i] = hilbert_key(box, x[i], y[i], z[i]);
   });
 }

@@ -1,6 +1,6 @@
 #include "octree/morton.hpp"
 
-#include "util/parallel.hpp"
+#include "runtime/device.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -91,7 +91,7 @@ void morton_keys(const BoundingCube& box, std::span<const real> x,
   if (x.size() != keys.size()) {
     throw std::invalid_argument("morton_keys: size mismatch");
   }
-  parallel_for(0, x.size(), [&](std::size_t i) {
+  runtime::Device::current().parallel_for(0, x.size(), [&](std::size_t i) {
     keys[i] = morton_key(box, x[i], y[i], z[i]);
   });
 }

@@ -1,7 +1,7 @@
 #include "octree/radix_sort.hpp"
 
+#include "runtime/device.hpp"
 #include "util/aligned_buffer.hpp"
-#include "util/parallel.hpp"
 
 #include <array>
 #include <stdexcept>
@@ -35,8 +35,9 @@ void radix_sort_pairs(std::span<std::uint64_t> keys,
   std::uint64_t* dst_k = tmp_keys.data();
   index_t* dst_p = tmp_payload.data();
 
-  const int nt = num_threads();
-  // Per-thread histograms; kBuckets entries keep each thread's table on
+  runtime::Device& dev = runtime::Device::current();
+  const int nt = dev.workers();
+  // Per-worker histograms; kBuckets entries keep each worker's table on
   // separate cache lines.
   std::vector<std::array<std::size_t, kBuckets>> hist(
       static_cast<std::size_t>(nt));
@@ -45,23 +46,18 @@ void radix_sort_pairs(std::span<std::uint64_t> keys,
     const int shift = pass * kDigitBits;
     for (auto& h : hist) h.fill(0);
 
-    // Histogram phase: each thread owns a contiguous chunk so the scatter
-    // phase can remain stable.
-    const std::size_t chunk = (n + nt - 1) / nt;
-#ifdef _OPENMP
-#pragma omp parallel num_threads(nt)
-#endif
-    {
-      const auto t = static_cast<std::size_t>(thread_id());
-      const std::size_t lo = t * chunk;
-      const std::size_t hi = std::min(n, lo + chunk);
-      auto& h = hist[t];
+    // Histogram phase: each worker owns the same contiguous chunk the
+    // scatter phase will walk (parallel_ranges' static schedule), so the
+    // sort stays stable and its output is independent of the worker count.
+    dev.parallel_ranges(0, n, [&](runtime::Worker& w, std::size_t lo,
+                                  std::size_t hi) {
+      auto& h = hist[static_cast<std::size_t>(w.id)];
       for (std::size_t i = lo; i < hi; ++i) {
         ++h[(src_k[i] >> shift) & (kBuckets - 1)];
       }
-    }
+    });
 
-    // Exclusive scan over (bucket, thread) pairs — bucket-major so equal
+    // Exclusive scan over (bucket, worker) pairs — bucket-major so equal
     // digits preserve chunk order (stability).
     std::size_t running = 0;
     std::vector<std::array<std::size_t, kBuckets>> offset(
@@ -74,21 +70,16 @@ void radix_sort_pairs(std::span<std::uint64_t> keys,
     }
 
     // Scatter phase.
-#ifdef _OPENMP
-#pragma omp parallel num_threads(nt)
-#endif
-    {
-      const auto t = static_cast<std::size_t>(thread_id());
-      const std::size_t lo = t * chunk;
-      const std::size_t hi = std::min(n, lo + chunk);
-      auto& off = offset[t];
+    dev.parallel_ranges(0, n, [&](runtime::Worker& w, std::size_t lo,
+                                  std::size_t hi) {
+      auto& off = offset[static_cast<std::size_t>(w.id)];
       for (std::size_t i = lo; i < hi; ++i) {
         const auto b = (src_k[i] >> shift) & (kBuckets - 1);
         const std::size_t dst = off[b]++;
         dst_k[dst] = src_k[i];
         dst_p[dst] = src_p[i];
       }
-    }
+    });
 
     std::swap(src_k, dst_k);
     std::swap(src_p, dst_p);
@@ -96,7 +87,7 @@ void radix_sort_pairs(std::span<std::uint64_t> keys,
 
   // After an odd number of passes the result lives in the temporaries.
   if (src_k != keys.data()) {
-    parallel_for(0, n, [&](std::size_t i) {
+    dev.parallel_for(0, n, [&](std::size_t i) {
       keys[i] = src_k[i];
       payload[i] = src_p[i];
     });

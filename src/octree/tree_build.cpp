@@ -2,8 +2,8 @@
 
 #include "octree/hilbert.hpp"
 #include "octree/radix_sort.hpp"
+#include "runtime/device.hpp"
 #include "util/aligned_buffer.hpp"
-#include "util/parallel.hpp"
 
 #include <algorithm>
 #include <numeric>
@@ -129,7 +129,8 @@ void gather(std::span<const real> in, std::span<const index_t> perm,
   if (in.size() != out.size() || perm.size() != out.size()) {
     throw std::invalid_argument("gather: size mismatch");
   }
-  parallel_for(0, out.size(), [&](std::size_t i) { out[i] = in[perm[i]]; });
+  runtime::Device::current().parallel_for(
+      0, out.size(), [&](std::size_t i) { out[i] = in[perm[i]]; });
 }
 
 } // namespace gothic::octree

@@ -1,0 +1,181 @@
+#include "runtime/device.hpp"
+
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gothic::runtime {
+
+namespace {
+thread_local Device* tl_current = nullptr;
+} // namespace
+
+int Device::default_workers() {
+  const std::size_t env = env_size("GOTHIC_THREADS", 0);
+  if (env > 0) {
+    return static_cast<int>(std::min<std::size_t>(env, 256));
+  }
+#ifdef _OPENMP
+  return std::max(1, omp_get_max_threads());
+#else
+  return std::max(1u, std::thread::hardware_concurrency());
+#endif
+}
+
+Device::Device(int workers) {
+  const int n = workers > 0 ? workers : default_workers();
+  slots_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<Worker>());
+    slots_.back()->id = i;
+  }
+  // Worker 0 is the calling thread; the pool supplies the rest.
+  threads_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(*slots_[static_cast<std::size_t>(i)]); });
+  }
+}
+
+Device::~Device() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+Device& Device::shared() {
+  static Device device;
+  return device;
+}
+
+Device& Device::current() {
+  return tl_current != nullptr ? *tl_current : shared();
+}
+
+void Device::worker_loop(Worker& w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    JobFn job = nullptr;
+    void* ctx = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+      ctx = job_ctx_;
+    }
+    try {
+      job(ctx, w);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --unfinished_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void Device::dispatch(JobFn fn, void* ctx) {
+  if (threads_.empty()) {
+    fn(ctx, *slots_.front());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = fn;
+    job_ctx_ = ctx;
+    job_error_ = nullptr;
+    unfinished_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The calling thread is worker 0.
+  try {
+    fn(ctx, *slots_.front());
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+    throw;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  if (job_error_) {
+    std::exception_ptr err = job_error_;
+    job_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+LaunchRecord Device::begin_launch(const LaunchDesc& desc) {
+  LaunchRecord rec;
+  rec.kernel = desc.kernel;
+  rec.label = desc.label != nullptr ? desc.label
+                                    : kernel_name(desc.kernel).data();
+  rec.stream = desc.stream != nullptr ? desc.stream->name() : "default";
+  rec.id = next_launch_++;
+  rec.items = desc.items;
+  rec.workers = workers();
+
+  std::size_t slot = 0;
+  auto add_dep = [&](Event e) {
+    if (!e.valid() || slot >= rec.deps.size()) return;
+    for (std::size_t i = 0; i < slot; ++i) {
+      if (rec.deps[i] == e.id) return; // already recorded
+    }
+    if (e.id >= next_launch_ - 1 || e.id > signaled_) {
+      throw std::logic_error(
+          std::string("Device::launch: dependency event ") +
+          std::to_string(e.id) + " of '" + rec.label +
+          "' is not signaled (launches are synchronous; the DAG must be "
+          "issued in topological order)");
+    }
+    rec.deps[slot++] = e.id;
+  };
+  for (Event e : desc.deps) add_dep(e);
+  // Same-stream launches are implicitly ordered (CUDA stream semantics).
+  if (desc.stream != nullptr) add_dep(desc.stream->last());
+  return rec;
+}
+
+Event Device::end_launch(const LaunchDesc& desc, const LaunchRecord& rec) {
+  InstrumentationSink& s = desc.sink != nullptr ? *desc.sink : sink_;
+  s.add(rec);
+  signaled_ = rec.id; // synchronous execution: complete on return
+  const Event done{rec.id};
+  if (desc.stream != nullptr) desc.stream->last_ = done;
+  return done;
+}
+
+std::uint64_t Device::arena_heap_allocations() const {
+  std::uint64_t total = 0;
+  for (const auto& w : slots_) total += w->arena.heap_allocations();
+  return total;
+}
+
+std::size_t Device::arena_capacity() const {
+  std::size_t total = 0;
+  for (const auto& w : slots_) total += w->arena.capacity();
+  return total;
+}
+
+ScopedDevice::ScopedDevice(Device& device) : previous_(tl_current) {
+  tl_current = &device;
+}
+
+ScopedDevice::~ScopedDevice() { tl_current = previous_; }
+
+} // namespace gothic::runtime

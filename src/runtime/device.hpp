@@ -1,0 +1,178 @@
+// runtime::Device — the unified kernel-launch layer.
+//
+// GOTHIC's host code does three things for every device kernel: place it on
+// a stream behind its dependencies, give it persistent scratch sized at
+// start-up, and measure it (the paper's per-function breakdown, Figs 3-5).
+// Device bundles exactly those three services for the simulated kernels:
+//
+//  * a persistent worker pool (replacing per-call OpenMP fork/join) whose
+//    size is GOTHIC_THREADS-overridable, with one cache-line-padded Worker
+//    per thread carrying a scratch Arena that retains its high-water
+//    capacity across launches;
+//  * Stream/Event ordering: launches record their dependency edges, so the
+//    step loop's kernel DAG (predict ∥ calcNode, walkTree after both) is
+//    expressed even though execution is synchronous for now;
+//  * per-launch instrumentation: every launch emits a LaunchRecord into an
+//    InstrumentationSink.
+//
+// Kernels obtain the device with Device::current(): the thread-local
+// override installed by ScopedDevice (tests pin worker counts this way) or
+// else the process-wide shared() device.
+#pragma once
+
+#include "runtime/arena.hpp"
+#include "runtime/stream.hpp"
+#include "simt/op_counter.hpp"
+#include "util/timer.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gothic::runtime {
+
+/// Per-thread execution context handed to range bodies: a stable worker
+/// index and the worker's scratch arena. Padded to a cache line so
+/// neighbouring workers never false-share.
+struct alignas(64) Worker {
+  int id = 0;
+  Arena arena;
+};
+
+class Device {
+public:
+  /// `workers` <= 0 selects the default: GOTHIC_THREADS when set, else the
+  /// OpenMP thread count / hardware concurrency.
+  explicit Device(int workers = 0);
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// The process-wide device (created on first use).
+  static Device& shared();
+  /// The device kernels should run on: the innermost ScopedDevice override
+  /// on this thread, or shared().
+  static Device& current();
+
+  [[nodiscard]] int workers() const { return static_cast<int>(slots_.size()); }
+
+  /// The worker-count default the constructor would resolve for
+  /// `workers <= 0` (GOTHIC_THREADS-aware); exposed for bench metadata.
+  static int default_workers();
+
+  // --- collectives --------------------------------------------------------
+  // All collectives run on the calling thread (worker 0) plus the pool and
+  // return only when every worker finished. Exceptions thrown by bodies
+  // are rethrown on the caller. Bodies must not re-enter the device.
+
+  /// Invoke `fn(Worker&)` once per worker.
+  template <typename Fn>
+  void for_workers(Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    dispatch(+[](void* ctx, Worker& w) { (*static_cast<F*>(ctx))(w); }, &fn);
+  }
+
+  /// Invoke `fn(Worker&, lo, hi)` on each worker's contiguous chunk of
+  /// [begin, end) — the static schedule the OpenMP loops used, so work
+  /// distribution (and hence any per-chunk-stable algorithm) is unchanged.
+  template <typename Fn>
+  void parallel_ranges(std::size_t begin, std::size_t end, Fn&& fn) {
+    if (end <= begin) return;
+    const std::size_t chunk = chunk_size(begin, end);
+    for_workers([&](Worker& w) {
+      const std::size_t lo = begin + static_cast<std::size_t>(w.id) * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo < hi) fn(w, lo, hi);
+    });
+  }
+
+  /// Plain parallel loop: `fn(i)` for i in [begin, end).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    parallel_ranges(begin, end,
+                    [&fn](Worker&, std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) fn(i);
+                    });
+  }
+
+  /// The contiguous chunk length parallel_ranges assigns per worker.
+  [[nodiscard]] std::size_t chunk_size(std::size_t begin,
+                                       std::size_t end) const {
+    const std::size_t n = end - begin;
+    const auto nw = static_cast<std::size_t>(workers());
+    return (n + nw - 1) / nw;
+  }
+
+  // --- launch layer -------------------------------------------------------
+
+  /// Launch one kernel: wait for the descriptor's dependencies (which must
+  /// already be signaled — execution is synchronous), run `fn(ops)` where
+  /// the kernel accumulates its operation tallies, and emit a LaunchRecord
+  /// with the measured wall time. Returns the launch's completion event.
+  template <typename Fn>
+  Event launch(const LaunchDesc& desc, Fn&& fn) {
+    LaunchRecord rec = begin_launch(desc);
+    Stopwatch sw;
+    fn(rec.ops);
+    rec.seconds = sw.seconds();
+    return end_launch(desc, rec);
+  }
+
+  /// Default destination of LaunchRecords when LaunchDesc::sink is null.
+  [[nodiscard]] InstrumentationSink& sink() { return sink_; }
+
+  // --- introspection (runtime tests) --------------------------------------
+
+  /// Sum of heap allocations performed by all worker arenas — stable after
+  /// warm-up when steady-state launches reuse retained capacity.
+  [[nodiscard]] std::uint64_t arena_heap_allocations() const;
+  /// Total bytes retained by all worker arenas.
+  [[nodiscard]] std::size_t arena_capacity() const;
+  /// Launches issued so far.
+  [[nodiscard]] std::uint64_t launch_count() const { return next_launch_ - 1; }
+
+private:
+  using JobFn = void (*)(void*, Worker&);
+
+  void dispatch(JobFn fn, void* ctx);
+  void worker_loop(Worker& w);
+  LaunchRecord begin_launch(const LaunchDesc& desc);
+  Event end_launch(const LaunchDesc& desc, const LaunchRecord& rec);
+
+  std::vector<std::unique_ptr<Worker>> slots_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int unfinished_ = 0;
+  bool stopping_ = false;
+  JobFn job_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::exception_ptr job_error_;
+
+  InstrumentationSink sink_;
+  std::uint64_t next_launch_ = 1;
+  std::uint64_t signaled_ = 0;
+};
+
+/// RAII device override for the calling thread: kernels reached from this
+/// scope run on `device` instead of Device::shared(). Used by tests to
+/// compare 1-worker and N-worker execution of the same kernel.
+class ScopedDevice {
+public:
+  explicit ScopedDevice(Device& device);
+  ~ScopedDevice();
+  ScopedDevice(const ScopedDevice&) = delete;
+  ScopedDevice& operator=(const ScopedDevice&) = delete;
+
+private:
+  Device* previous_;
+};
+
+} // namespace gothic::runtime

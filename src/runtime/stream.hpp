@@ -1,0 +1,133 @@
+// Streams, events, launch descriptors and the instrumentation sink of the
+// kernel-launch runtime.
+//
+// GOTHIC issues its device kernels on concurrent CUDA streams and orders
+// them with events; the per-kernel times the paper reports (Figs 3-5) are
+// nvprof measurements of exactly those launches. This layer reproduces the
+// shape: every kernel goes through Device::launch() with a LaunchDesc
+// naming its stream and dependency events, and every launch emits one
+// LaunchRecord (kernel id, wall seconds, nvprof-style OpCounts, bytes,
+// launch configuration, dependency edges) into an InstrumentationSink.
+//
+// Execution is synchronous for now — a launch runs to completion on the
+// calling thread plus the device worker pool — but the DAG is recorded, so
+// overlapping independent streams later is a scheduling change inside
+// Device, not a rewrite of the kernels or the step loop.
+#pragma once
+
+#include "simt/op_counter.hpp"
+#include "util/timer.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gothic::runtime {
+
+/// Completion marker of a launch. Id 0 is the null event (never waited
+/// on); valid ids are assigned by the device in launch order.
+struct Event {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// An in-order launch queue. Launches on the same stream are implicitly
+/// ordered (the device records the stream's previous launch as a
+/// dependency); cross-stream ordering takes explicit events.
+class Stream {
+public:
+  Stream() = default;
+  explicit Stream(const char* name) : name_(name) {}
+
+  [[nodiscard]] const char* name() const { return name_; }
+  /// Event of the most recent launch on this stream (null before any).
+  [[nodiscard]] Event last() const { return last_; }
+
+private:
+  friend class Device;
+  const char* name_ = "default";
+  Event last_{};
+};
+
+class InstrumentationSink;
+
+/// Everything the device needs to place one kernel launch.
+struct LaunchDesc {
+  Kernel kernel = Kernel::WalkTree;
+  /// Human-readable label; defaults to kernel_name(kernel). Distinguishes
+  /// e.g. the predict and correct halves of Kernel::PredictCorrect.
+  const char* label = nullptr;
+  /// Work items of the launch (bodies, warps, ...) — the grid size.
+  std::size_t items = 0;
+  Stream* stream = nullptr;
+  /// Explicit dependency events (null entries ignored).
+  std::array<Event, 4> deps{};
+  /// Destination of the LaunchRecord; the device's default sink when null.
+  InstrumentationSink* sink = nullptr;
+};
+
+/// One record per launch — the runtime's unified replacement for the
+/// hand-threaded KernelTimers + per-kernel OpCounts bookkeeping, and the
+/// stand-in for one row of an nvprof kernel trace.
+struct LaunchRecord {
+  Kernel kernel = Kernel::WalkTree;
+  const char* label = "";
+  const char* stream = "";
+  std::uint64_t id = 0;                 ///< launch sequence number
+  std::array<std::uint64_t, 4> deps{};  ///< dependency launch ids (0 = none)
+  std::size_t items = 0;                ///< launch configuration: work items
+  int workers = 0;                      ///< worker threads of the device
+  double seconds = 0.0;                 ///< wall-clock of the launch
+  simt::OpCounts ops;                   ///< nvprof-style counts
+
+  [[nodiscard]] std::uint64_t bytes() const { return ops.total_bytes(); }
+};
+
+/// Collects LaunchRecords and maintains cumulative per-kernel aggregates.
+/// The record list is bounded by its warm-up capacity as long as the owner
+/// clears it once per step (Simulation::step does), so steady-state
+/// recording performs no heap allocation.
+class InstrumentationSink {
+public:
+  InstrumentationSink() { records_.reserve(kReserve); }
+
+  void add(const LaunchRecord& r) {
+    timers_.add(r.kernel, r.seconds);
+    ops_[static_cast<std::size_t>(r.kernel)] += r.ops;
+    records_.push_back(r);
+  }
+
+  /// Drop the per-launch records (cumulative aggregates are kept). Called
+  /// at the start of each step so step_records() spans exactly one step.
+  void begin_step() { records_.clear(); }
+
+  /// Records added since the last begin_step().
+  [[nodiscard]] const std::vector<LaunchRecord>& step_records() const {
+    return records_;
+  }
+
+  /// Most recent record (valid only while step_records() is non-empty).
+  [[nodiscard]] const LaunchRecord& last() const { return records_.back(); }
+
+  /// Cumulative per-kernel wall-clock and call counts.
+  [[nodiscard]] const KernelTimers& timers() const { return timers_; }
+
+  /// Cumulative per-kernel operation tallies.
+  [[nodiscard]] const simt::OpCounts& kernel_ops(Kernel k) const {
+    return ops_[static_cast<std::size_t>(k)];
+  }
+
+  void reset() {
+    records_.clear();
+    timers_.reset();
+    ops_.fill(simt::OpCounts{});
+  }
+
+private:
+  static constexpr std::size_t kReserve = 64;
+  std::vector<LaunchRecord> records_;
+  KernelTimers timers_;
+  std::array<simt::OpCounts, static_cast<std::size_t>(Kernel::Count)> ops_{};
+};
+
+} // namespace gothic::runtime

@@ -7,10 +7,7 @@
 // flop_count_* semantics.
 #pragma once
 
-#include "util/parallel.hpp"
-
 #include <cstdint>
-#include <vector>
 
 namespace gothic::simt {
 
@@ -75,30 +72,8 @@ struct OpCounts {
   friend bool operator==(const OpCounts&, const OpCounts&) = default;
 };
 
-/// Per-thread accumulation slots (cache-line padded) so OpenMP workers
-/// never contend; total() sums across slots.
-class OpCounterPool {
-public:
-  OpCounterPool() : slots_(static_cast<std::size_t>(num_threads())) {}
-
-  /// The slot of the calling OpenMP thread.
-  OpCounts& local() { return slots_[static_cast<std::size_t>(thread_id())].counts; }
-
-  [[nodiscard]] OpCounts total() const {
-    OpCounts sum;
-    for (const auto& s : slots_) sum += s.counts;
-    return sum;
-  }
-
-  void reset() {
-    for (auto& s : slots_) s.counts = OpCounts{};
-  }
-
-private:
-  struct alignas(64) Padded {
-    OpCounts counts;
-  };
-  std::vector<Padded> slots_;
-};
+// Per-launch accumulation now lives in the runtime layer: each
+// runtime::Device worker tallies into a stack-local OpCounts and merges
+// once per launch, so no shared slots (and no false sharing) remain here.
 
 } // namespace gothic::simt

@@ -1,0 +1,418 @@
+// The kernel-launch runtime: arena reuse (zero steady-state heap traffic),
+// worker-pool collectives, stream/event dependency recording, and
+// bit-identical kernel results across worker counts and exec modes.
+#include "runtime/arena.hpp"
+#include "runtime/device.hpp"
+
+#include "gravity/walk_tree.hpp"
+#include "nbody/simulation.hpp"
+#include "octree/calc_node.hpp"
+#include "octree/tree_build.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gothic::runtime {
+namespace {
+
+// --- Arena ----------------------------------------------------------------
+
+TEST(Arena, AlignsToCacheLine) {
+  Arena a;
+  for (std::size_t bytes : {1, 3, 64, 100, 1000}) {
+    void* p = a.allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Arena::kAlignment, 0u);
+  }
+  auto span = a.alloc_span<double>(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(span.data()) % Arena::kAlignment,
+            0u);
+}
+
+TEST(Arena, ReusesRetainedChunkAfterReset) {
+  Arena a;
+  void* first = a.allocate(1024);
+  const std::uint64_t warm = a.heap_allocations();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    a.reset();
+    EXPECT_EQ(a.allocate(1024), first); // same retained storage
+  }
+  EXPECT_EQ(a.heap_allocations(), warm);
+}
+
+TEST(Arena, CoalescesOverflowChunksOnReset) {
+  Arena a;
+  // Overflow the first chunk so a second one is acquired.
+  (void)a.allocate(Arena::kMinChunk - 64);
+  (void)a.allocate(Arena::kMinChunk);
+  const std::size_t high_water = a.capacity();
+  a.reset();
+  EXPECT_GE(a.capacity(), high_water); // one chunk now fits everything
+  const std::uint64_t warm = a.heap_allocations();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    a.reset();
+    (void)a.allocate(Arena::kMinChunk - 64);
+    (void)a.allocate(Arena::kMinChunk);
+  }
+  EXPECT_EQ(a.heap_allocations(), warm); // steady state: no heap traffic
+}
+
+TEST(ArenaVector, PushResizeClear) {
+  Arena a;
+  ArenaVector<int> v(a);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.resize(8);
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v[7], 0); // value-initialised
+}
+
+// --- Device collectives ---------------------------------------------------
+
+TEST(Device, ParallelForCoversEveryIndexOnce) {
+  Device dev(4);
+  std::vector<int> hits(1000, 0);
+  dev.parallel_for(0, hits.size(),
+                   [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(Device, ParallelRangesUsesStaticChunks) {
+  Device dev(3);
+  const std::size_t n = 10;
+  const std::size_t chunk = dev.chunk_size(0, n);
+  EXPECT_EQ(chunk, 4u); // ceil(10/3) — the OpenMP static schedule
+  std::vector<int> owner(n, -1);
+  dev.parallel_ranges(0, n, [&](Worker& w, std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, static_cast<std::size_t>(w.id) * chunk);
+    for (std::size_t i = lo; i < hi; ++i) owner[i] = w.id;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(owner[i], static_cast<int>(i / chunk));
+  }
+}
+
+TEST(Device, PropagatesBodyExceptions) {
+  Device dev(4);
+  EXPECT_THROW(dev.parallel_for(0, 100,
+                                [](std::size_t i) {
+                                  if (i == 57) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  // The pool survives the throw and keeps working.
+  std::vector<int> hits(64, 0);
+  dev.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(Device, ScopedDeviceOverridesCurrent) {
+  Device& base = Device::current();
+  Device one(1);
+  {
+    ScopedDevice scope(one);
+    EXPECT_EQ(&Device::current(), &one);
+    Device two(2);
+    {
+      ScopedDevice nested(two);
+      EXPECT_EQ(&Device::current(), &two);
+    }
+    EXPECT_EQ(&Device::current(), &one);
+  }
+  EXPECT_EQ(&Device::current(), &base);
+}
+
+TEST(Device, GothicThreadsEnvSelectsWorkerCount) {
+  ASSERT_EQ(::setenv("GOTHIC_THREADS", "3", 1), 0);
+  EXPECT_EQ(Device::default_workers(), 3);
+  Device dev(0);
+  EXPECT_EQ(dev.workers(), 3);
+  ASSERT_EQ(::unsetenv("GOTHIC_THREADS"), 0);
+  EXPECT_GE(Device::default_workers(), 1);
+  Device pinned(2); // explicit count wins over the default
+  EXPECT_EQ(pinned.workers(), 2);
+}
+
+TEST(Device, WorkerArenasRetainCapacityAcrossLaunches) {
+  Device dev(2);
+  auto kernel = [&] {
+    dev.for_workers([](Worker& w) {
+      w.arena.reset();
+      auto scratch = w.arena.alloc_span<float>(4096);
+      scratch[0] = 1.0f;
+    });
+  };
+  kernel();
+  const std::uint64_t warm = dev.arena_heap_allocations();
+  EXPECT_GT(warm, 0u);
+  for (int i = 0; i < 10; ++i) kernel();
+  EXPECT_EQ(dev.arena_heap_allocations(), warm);
+}
+
+// --- Streams, events, instrumentation -------------------------------------
+
+TEST(Launch, RecordsIdsOpsAndSink) {
+  Device dev(2);
+  InstrumentationSink sink;
+  Stream s("tree");
+  LaunchDesc desc;
+  desc.kernel = Kernel::CalcNode;
+  desc.label = "calc";
+  desc.items = 128;
+  desc.stream = &s;
+  desc.sink = &sink;
+  const Event e = dev.launch(desc, [](simt::OpCounts& ops) {
+    ops.int_ops += 42;
+  });
+  EXPECT_TRUE(e.valid());
+  ASSERT_EQ(sink.step_records().size(), 1u);
+  const LaunchRecord& rec = sink.last();
+  EXPECT_EQ(rec.id, e.id);
+  EXPECT_EQ(rec.kernel, Kernel::CalcNode);
+  EXPECT_STREQ(rec.stream, "tree");
+  EXPECT_EQ(rec.items, 128u);
+  EXPECT_EQ(rec.workers, 2);
+  EXPECT_EQ(rec.ops.int_ops, 42u);
+  EXPECT_GE(rec.seconds, 0.0);
+  EXPECT_EQ(sink.kernel_ops(Kernel::CalcNode).int_ops, 42u);
+  EXPECT_EQ(sink.timers().calls(Kernel::CalcNode), 1u);
+  EXPECT_EQ(s.last().id, e.id);
+}
+
+TEST(Launch, SameStreamLaunchesAreImplicitlyOrdered) {
+  Device dev(1);
+  InstrumentationSink sink;
+  Stream s("tree");
+  LaunchDesc desc;
+  desc.stream = &s;
+  desc.sink = &sink;
+  const Event a = dev.launch(desc, [](simt::OpCounts&) {});
+  (void)dev.launch(desc, [](simt::OpCounts&) {});
+  const LaunchRecord& second = sink.last();
+  EXPECT_EQ(second.deps[0], a.id); // CUDA stream semantics, recorded
+}
+
+TEST(Launch, CrossStreamDepsAreRecordedAndDeduplicated) {
+  Device dev(1);
+  InstrumentationSink sink;
+  Stream tree("tree"), integrate("integrate");
+  LaunchDesc pd;
+  pd.stream = &integrate;
+  pd.sink = &sink;
+  const Event e_pred = dev.launch(pd, [](simt::OpCounts&) {});
+  LaunchDesc cd;
+  cd.stream = &tree;
+  cd.sink = &sink;
+  const Event e_calc = dev.launch(cd, [](simt::OpCounts&) {});
+  LaunchDesc wd;
+  wd.stream = &tree;
+  wd.deps = {e_pred, e_calc};
+  wd.sink = &sink;
+  (void)dev.launch(wd, [](simt::OpCounts&) {});
+  const LaunchRecord& walk = sink.last();
+  // Explicit {pred, calc}; the implicit same-stream dep duplicates calc and
+  // must not be recorded twice.
+  EXPECT_EQ(walk.deps[0], e_pred.id);
+  EXPECT_EQ(walk.deps[1], e_calc.id);
+  EXPECT_EQ(walk.deps[2], 0u);
+}
+
+TEST(Launch, UnsignaledDependencyThrows) {
+  Device dev(1);
+  LaunchDesc desc;
+  desc.deps = {Event{9999}};
+  EXPECT_THROW(dev.launch(desc, [](simt::OpCounts&) {}), std::logic_error);
+}
+
+// --- Kernel determinism across devices and modes --------------------------
+
+struct System {
+  std::vector<real> x, y, z, m;
+  std::vector<real> ax, ay, az, pot;
+  simt::OpCounts ops;
+  gravity::WalkStats stats;
+};
+
+/// Build + calc + walk the same Plummer realisation on the given device —
+/// the whole pipeline, so radix-sort stability and walk accumulation are
+/// both exercised.
+System pipeline(int workers, simt::ExecMode mode) {
+  Device dev(workers);
+  ScopedDevice scope(dev);
+  const std::size_t n = 2048;
+  Xoshiro256 rng(20190805);
+  System s;
+  s.x.resize(n);
+  s.y.resize(n);
+  s.z.resize(n);
+  s.m.assign(n, real(1.0 / static_cast<double>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform(1e-6, 0.999);
+    const double r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    s.x[i] = static_cast<real>(r * ux);
+    s.y[i] = static_cast<real>(r * uy);
+    s.z[i] = static_cast<real>(r * uz);
+  }
+  octree::Octree tree;
+  std::vector<index_t> perm;
+  octree::BuildConfig bcfg;
+  bcfg.mode = mode;
+  octree::build_tree(s.x, s.y, s.z, tree, perm, bcfg);
+  auto apply = [&perm](std::vector<real>& v) {
+    std::vector<real> out(v.size());
+    octree::gather(v, perm, out);
+    v = std::move(out);
+  };
+  apply(s.x);
+  apply(s.y);
+  apply(s.z);
+  apply(s.m);
+  octree::CalcNodeConfig ccfg;
+  ccfg.mode = mode;
+  octree::calc_node(tree, s.x, s.y, s.z, s.m, ccfg);
+  s.ax.resize(n);
+  s.ay.resize(n);
+  s.az.resize(n);
+  s.pot.resize(n);
+  gravity::WalkConfig wcfg;
+  wcfg.mode = mode;
+  gravity::walk_tree(tree, s.x, s.y, s.z, s.m, {}, wcfg, s.ax, s.ay, s.az,
+                     s.pot, &s.ops, &s.stats);
+  return s;
+}
+
+TEST(Determinism, WalkTreeBitIdenticalAcrossWorkerCounts) {
+  const System one = pipeline(1, simt::ExecMode::Volta);
+  const System four = pipeline(4, simt::ExecMode::Volta);
+  ASSERT_EQ(one.ax.size(), four.ax.size());
+  for (std::size_t i = 0; i < one.ax.size(); ++i) {
+    EXPECT_EQ(one.ax[i], four.ax[i]) << "body " << i;
+    EXPECT_EQ(one.ay[i], four.ay[i]) << "body " << i;
+    EXPECT_EQ(one.az[i], four.az[i]) << "body " << i;
+    EXPECT_EQ(one.pot[i], four.pot[i]) << "body " << i;
+  }
+  EXPECT_EQ(one.ops, four.ops);
+  EXPECT_EQ(one.stats.interactions, four.stats.interactions);
+}
+
+TEST(Determinism, WalkTreeBitIdenticalAcrossExecModes) {
+  const System pascal = pipeline(2, simt::ExecMode::Pascal);
+  const System volta = pipeline(2, simt::ExecMode::Volta);
+  for (std::size_t i = 0; i < pascal.ax.size(); ++i) {
+    EXPECT_EQ(pascal.ax[i], volta.ax[i]) << "body " << i;
+    EXPECT_EQ(pascal.ay[i], volta.ay[i]) << "body " << i;
+    EXPECT_EQ(pascal.az[i], volta.az[i]) << "body " << i;
+  }
+  // The modes differ only in synchronisation accounting.
+  EXPECT_EQ(pascal.ops.fp32_fma, volta.ops.fp32_fma);
+  EXPECT_EQ(pascal.ops.syncwarp, 0u);
+}
+
+// --- The step loop on the runtime -----------------------------------------
+
+nbody::Particles uniform_cloud(std::size_t n) {
+  Xoshiro256 rng(7);
+  nbody::Particles p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.y[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.z[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.m[i] = real(1.0 / static_cast<double>(n));
+  }
+  return p;
+}
+
+TEST(SimulationRuntime, SteadyStateStepsDoZeroArenaHeapAllocations) {
+  Device dev(2);
+  ScopedDevice scope(dev);
+  nbody::SimConfig cfg;
+  cfg.block_time_steps = false;  // identical work every step
+  cfg.dt_max = 1.0 / 4096;
+  cfg.auto_rebuild = false;
+  cfg.fixed_rebuild_interval = 1 << 30;
+  nbody::Simulation sim(uniform_cloud(1024), cfg);
+  for (int i = 0; i < 3; ++i) (void)sim.step(); // warm-up
+  const std::uint64_t warm = dev.arena_heap_allocations();
+  EXPECT_GT(warm, 0u);
+  for (int i = 0; i < 8; ++i) (void)sim.step();
+  EXPECT_EQ(dev.arena_heap_allocations(), warm);
+}
+
+TEST(SimulationRuntime, StepReportIsDrainedFromLaunchRecords) {
+  Device dev(2);
+  ScopedDevice scope(dev);
+  nbody::SimConfig cfg;
+  cfg.auto_rebuild = false;
+  cfg.fixed_rebuild_interval = 1 << 30;
+  nbody::Simulation sim(uniform_cloud(512), cfg);
+  const nbody::StepReport r = sim.step();
+
+  const auto& records = sim.sink().step_records();
+  ASSERT_EQ(records.size(), 4u); // predict, calcNode, walkTree, correct
+  EXPECT_EQ(records[0].kernel, Kernel::PredictCorrect);
+  EXPECT_EQ(records[1].kernel, Kernel::CalcNode);
+  EXPECT_EQ(records[2].kernel, Kernel::WalkTree);
+  EXPECT_EQ(records[3].kernel, Kernel::PredictCorrect);
+  EXPECT_STREQ(records[2].stream, "tree");
+
+  // walkTree depends on both predict and calcNode — the step's DAG.
+  EXPECT_EQ(records[2].deps[0], records[0].id);
+  EXPECT_EQ(records[2].deps[1], records[1].id);
+  // correct depends on walkTree (plus the integrate stream's predict).
+  EXPECT_EQ(records[3].deps[0], records[2].id);
+
+  // Report seconds/ops are exactly the records' sums.
+  double walk_s = 0.0, pred_s = 0.0;
+  for (const LaunchRecord& rec : records) {
+    if (rec.kernel == Kernel::WalkTree) walk_s += rec.seconds;
+    if (rec.kernel == Kernel::PredictCorrect) pred_s += rec.seconds;
+  }
+  EXPECT_DOUBLE_EQ(r.seconds[static_cast<std::size_t>(Kernel::WalkTree)],
+                   walk_s);
+  EXPECT_DOUBLE_EQ(
+      r.seconds[static_cast<std::size_t>(Kernel::PredictCorrect)], pred_s);
+  EXPECT_EQ(r.ops[static_cast<std::size_t>(Kernel::WalkTree)],
+            records[2].ops);
+  EXPECT_GT(records[2].ops.fp32_fma, 0u);
+
+  // Cumulative accessors read the same sink.
+  EXPECT_GE(sim.timers().calls(Kernel::WalkTree), 2u); // bootstrap + step
+  EXPECT_GT(sim.kernel_ops(Kernel::WalkTree).fp32_fma, 0u);
+}
+
+TEST(SimulationRuntime, StepsBitIdenticalAcrossWorkerCounts) {
+  auto run = [](int workers) {
+    Device dev(workers);
+    ScopedDevice scope(dev);
+    nbody::SimConfig cfg;
+    cfg.auto_rebuild = false;
+    cfg.fixed_rebuild_interval = 4;
+    nbody::Simulation sim(uniform_cloud(768), cfg);
+    sim.run(6);
+    return sim;
+  };
+  const auto a = run(1);
+  const auto b = run(4);
+  const auto& pa = a.particles();
+  const auto& pb = b.particles();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa.x[i], pb.x[i]) << "body " << i;
+    EXPECT_EQ(pa.y[i], pb.y[i]) << "body " << i;
+    EXPECT_EQ(pa.z[i], pb.z[i]) << "body " << i;
+    EXPECT_EQ(pa.vx[i], pb.vx[i]) << "body " << i;
+  }
+}
+
+} // namespace
+} // namespace gothic::runtime

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the runtime layer.
+#
+#   tools/check.sh            # full: verify + TSan runtime/walk tests
+#   tools/check.sh --fast     # verify only
+#
+# The TSan stage rebuilds test_runtime and test_walk_tree in a separate
+# build tree (build-tsan/) with GOTHIC_SANITIZE=thread, exercising the
+# Device worker pool's fork/join handshake and the per-launch merge locks
+# under a real data-race detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 verify =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--fast" ]]; then
+  exit 0
+fi
+
+echo "== TSan: runtime + walk_tree =="
+cmake -B build-tsan -S . -DGOTHIC_SANITIZE=thread \
+      -DGOTHIC_BUILD_BENCH=OFF -DGOTHIC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j --target test_runtime test_walk_tree
+(cd build-tsan && ./tests/test_runtime && ./tests/test_walk_tree)
+
+echo "check.sh: all stages passed"
