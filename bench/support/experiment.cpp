@@ -96,7 +96,11 @@ StepProfile profile_step(const nbody::Particles& init, double dacc,
   for (int s = 0; s < steps; ++s) {
     const nbody::StepReport r = sim.step();
     stats += r.walk_stats;
+    p.measured_kernel_seconds += r.total_seconds();
+    p.measured_wall_seconds += r.wall_seconds;
   }
+  p.measured_kernel_seconds /= std::max(steps, 1);
+  p.measured_wall_seconds /= std::max(steps, 1);
   auto minus = [](const simt::OpCounts& a, const simt::OpCounts& b) {
     simt::OpCounts d;
     d.int_ops = a.int_ops - b.int_ops;

@@ -41,8 +41,21 @@ struct StepProfile {
   gravity::WalkStats walk_stats;
   double rebuild_interval = 8.0; ///< modelled steps between rebuilds
 
+  /// Measured host-side launch timing of the profiled steps (per-step
+  /// averages): the sum of kernel body seconds vs the first-start-to-
+  /// last-end wall span of the step's launch DAG. Their gap is the overlap
+  /// the asynchronous stream scheduler achieved on this machine.
+  double measured_kernel_seconds = 0.0;
+  double measured_wall_seconds = 0.0;
+
   /// make amortised over the rebuild interval.
   [[nodiscard]] simt::OpCounts make_amortized() const;
+
+  /// Kernel seconds hidden by concurrent streams per step (>= 0).
+  [[nodiscard]] double measured_overlap_seconds() const {
+    const double o = measured_kernel_seconds - measured_wall_seconds;
+    return o > 0.0 ? o : 0.0;
+  }
 };
 
 /// The M31 realisation used by every bench (deterministic seed).

@@ -23,8 +23,10 @@ Simulation::Simulation(Particles particles, SimConfig cfg)
   naz_.resize(n);
   npot_.resize(n);
 
-  rebuild_tree(nullptr);
+  issue_rebuild(runtime::Event{}, nullptr).wait();
   bootstrap_forces();
+  runtime::Device::current().synchronize();
+  policy_.record_rebuild(step_make_seconds());
 
   // Assign initial block levels from the bootstrap accelerations.
   std::vector<double> dt_req(n);
@@ -34,28 +36,70 @@ Simulation::Simulation(Particles particles, SimConfig cfg)
   steps_.initialize(dt_req);
 }
 
-void Simulation::rebuild_tree(StepReport* report) {
+void Simulation::permute_scratch(std::vector<real>& v) {
+  permute_buf_.resize(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    permute_buf_[i] = v[perm_[i]];
+  }
+  v.swap(permute_buf_);
+}
+
+runtime::Event Simulation::issue_rebuild(runtime::Event e_pred,
+                                         StepReport* report) {
   runtime::Device& dev = runtime::Device::current();
+
+  // Build: read-only on the particle state, so it overlaps the predict
+  // launch drifting the same particles on the integration stream.
   runtime::LaunchDesc desc;
   desc.kernel = Kernel::MakeTree;
   desc.label = "makeTree";
   desc.items = particles_.size();
   desc.stream = &tree_stream_;
   desc.sink = &sink_;
-  dev.launch(desc, [&](simt::OpCounts& ops) {
-    std::vector<index_t> perm;
-    octree::build_tree(particles_.x, particles_.y, particles_.z, tree_, perm,
+  dev.launch(desc, [this](simt::OpCounts& ops) {
+    octree::build_tree(particles_.x, particles_.y, particles_.z, tree_, perm_,
                        cfg_.build, &ops);
-    particles_.apply_permutation(perm);
-    if (steps_.size() == particles_.size()) steps_.apply_permutation(perm);
-    groups_ = gravity::walk_groups(tree_, particles_.x, particles_.y,
-                                   particles_.z);
-    group_active_.assign(groups_.size(), 1);
   });
-  policy_.record_rebuild(sink_.last().seconds);
+
+  // Permute: the join of the two streams. It reorders the particle state
+  // (which predict reads) and the predicted positions (which predict
+  // writes), so it must wait for predict; elementwise prediction commutes
+  // with the permutation, so the result is identical to predicting after
+  // the reorder.
+  runtime::LaunchDesc jd;
+  jd.kernel = Kernel::MakeTree;
+  jd.label = "makeTree(permute)";
+  jd.items = particles_.size();
+  jd.stream = &tree_stream_;
+  jd.deps = {e_pred};
+  jd.sink = &sink_;
+  const bool with_pred = e_pred.valid();
+  const runtime::Event e_perm =
+      dev.launch(jd, [this, with_pred](simt::OpCounts& ops) {
+        (void)ops;
+        particles_.apply_permutation(perm_);
+        if (steps_.size() == particles_.size()) steps_.apply_permutation(perm_);
+        if (with_pred) {
+          permute_scratch(px_);
+          permute_scratch(py_);
+          permute_scratch(pz_);
+        }
+        groups_ = gravity::walk_groups(tree_, particles_.x, particles_.y,
+                                       particles_.z);
+        group_active_.assign(groups_.size(), 1);
+      });
   ++rebuilds_;
   steps_since_rebuild_ = 0;
   if (report != nullptr) report->rebuilt = true;
+  return e_perm;
+}
+
+double Simulation::step_make_seconds() const {
+  double s = 0.0;
+  for (const runtime::LaunchRecord& rec : sink_.step_records()) {
+    if (rec.kernel == Kernel::MakeTree) s += rec.seconds;
+  }
+  return s;
 }
 
 void Simulation::bootstrap_forces() {
@@ -69,7 +113,7 @@ void Simulation::bootstrap_forces() {
   cd.items = tree_.num_nodes();
   cd.stream = &tree_stream_;
   cd.sink = &sink_;
-  dev.launch(cd, [&](simt::OpCounts& ops) {
+  dev.launch(cd, [this](simt::OpCounts& ops) {
     octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
                       particles_.m, cfg_.calc, &ops);
   });
@@ -83,11 +127,12 @@ void Simulation::bootstrap_forces() {
   wd.items = particles_.size();
   wd.stream = &tree_stream_;
   wd.sink = &sink_;
-  dev.launch(wd, [&](simt::OpCounts& ops) {
+  dev.launch(wd, [this, &boot](simt::OpCounts& ops) {
     gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
                        particles_.m, {}, boot, particles_.ax, particles_.ay,
                        particles_.az, particles_.pot, &ops);
   });
+  dev.synchronize();
   for (std::size_t i = 0; i < particles_.size(); ++i) {
     particles_.aold_mag[i] = std::sqrt(
         particles_.ax[i] * particles_.ax[i] +
@@ -104,32 +149,46 @@ StepReport Simulation::step() {
 
   report.dt = steps_.advance();
 
-  // Tree rebuild, either auto-tuned (GOTHIC) or on a fixed cadence.
-  const bool due = cfg_.auto_rebuild
-                       ? policy_.should_rebuild()
-                       : steps_since_rebuild_ >= cfg_.fixed_rebuild_interval;
-  if (due) rebuild_tree(&report);
-
-  // predict ∥ calcNode: independent, so they go to different streams —
-  // predict drifts all particles on the integration stream while calcNode
-  // refreshes multipoles behind makeTree on the tree stream.
+  // predict goes first so the tree build can overlap it: it drifts all
+  // particles on the integration stream while makeTree reads the same
+  // (unreordered) positions on the tree stream.
   runtime::LaunchDesc pd;
   pd.kernel = Kernel::PredictCorrect;
   pd.label = "predict";
   pd.items = n;
   pd.stream = &integrate_stream_;
   pd.sink = &sink_;
-  const runtime::Event e_pred = dev.launch(pd, [&](simt::OpCounts& ops) {
+  const runtime::Event e_pred = dev.launch(pd, [this](simt::OpCounts& ops) {
     predict_positions(particles_, steps_, px_, py_, pz_, &ops);
   });
 
+  // Tree rebuild, either auto-tuned (GOTHIC) or on a fixed cadence. The
+  // returned event is the permute join: everything ordered after it sees
+  // the reordered particle state.
+  const bool due = cfg_.auto_rebuild
+                       ? policy_.should_rebuild()
+                       : steps_since_rebuild_ >= cfg_.fixed_rebuild_interval;
+  const runtime::Event e_join =
+      due ? issue_rebuild(e_pred, &report) : e_pred;
+
+  // On rebuild steps the host must join the DAG here: the build launch is
+  // resizing the tree this thread is about to measure, and the permute
+  // launch rewrites the groups and block levels the group-active loop
+  // reads. Waiting costs no kernel concurrency — everything issued below
+  // depends on e_join anyway, and predict/build are already in flight.
+  if (report.rebuilt) e_join.wait();
+
+  // calcNode refreshes the node multipoles from the predicted positions;
+  // the dependency on predict (or on the permute join that rewrote px_)
+  // is what orders the cross-stream read.
   runtime::LaunchDesc cd;
   cd.kernel = Kernel::CalcNode;
   cd.label = "calcNode";
   cd.items = tree_.num_nodes();
   cd.stream = &tree_stream_;
+  cd.deps = {e_join};
   cd.sink = &sink_;
-  const runtime::Event e_calc = dev.launch(cd, [&](simt::OpCounts& ops) {
+  const runtime::Event e_calc = dev.launch(cd, [this](simt::OpCounts& ops) {
     octree::calc_node(tree_, px_, py_, pz_, particles_.m, cfg_.calc, &ops);
   });
 
@@ -163,8 +222,6 @@ StepReport Simulation::step() {
                        particles_.aold_mag, cfg_.walk, nax_, nay_, naz_,
                        npot_, &ops, &stats, group_active_, groups_);
   });
-  report.walk_stats = stats;
-  policy_.record_walk(sink_.last().seconds);
 
   // correct the fired particles once the new accelerations exist.
   runtime::LaunchDesc kd;
@@ -174,17 +231,24 @@ StepReport Simulation::step() {
   kd.stream = &integrate_stream_;
   kd.deps = {e_walk};
   kd.sink = &sink_;
-  dev.launch(kd, [&](simt::OpCounts& ops) {
+  dev.launch(kd, [this](simt::OpCounts& ops) {
     correct_active(particles_, steps_, px_, py_, pz_, nax_, nay_, naz_,
                    npot_, cfg_.eta, cfg_.walk.eps, &ops);
   });
 
-  // The report's per-kernel seconds/ops are the step's LaunchRecords.
+  // Join the whole step, then harvest the measurements: the rebuild and
+  // walk costs feed the interval auto-tuner, and the report's per-kernel
+  // seconds/ops are the step's LaunchRecords.
+  dev.synchronize();
+  report.walk_stats = stats;
+  if (report.rebuilt) policy_.record_rebuild(step_make_seconds());
   for (const runtime::LaunchRecord& rec : sink_.step_records()) {
     const auto k = static_cast<std::size_t>(rec.kernel);
     report.seconds[k] += rec.seconds;
     report.ops[k] += rec.ops;
+    if (rec.kernel == Kernel::WalkTree) policy_.record_walk(rec.seconds);
   }
+  report.wall_seconds = sink_.step_wall_seconds();
 
   ++steps_since_rebuild_;
   ++step_count_;
@@ -205,7 +269,7 @@ void Simulation::refresh_forces() {
   cd.items = tree_.num_nodes();
   cd.stream = &tree_stream_;
   cd.sink = &sink_;
-  const runtime::Event e_calc = dev.launch(cd, [&](simt::OpCounts& ops) {
+  const runtime::Event e_calc = dev.launch(cd, [this](simt::OpCounts& ops) {
     octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
                       particles_.m, cfg_.calc, &ops);
   });
@@ -217,12 +281,13 @@ void Simulation::refresh_forces() {
   wd.stream = &tree_stream_;
   wd.deps = {e_calc};
   wd.sink = &sink_;
-  dev.launch(wd, [&](simt::OpCounts& ops) {
+  dev.launch(wd, [this](simt::OpCounts& ops) {
     gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
                        particles_.m, particles_.aold_mag, cfg_.walk,
                        particles_.ax, particles_.ay, particles_.az,
                        particles_.pot, &ops);
   });
+  dev.synchronize();
 }
 
 } // namespace gothic::nbody

@@ -54,11 +54,21 @@ struct StepReport {
   std::array<double, static_cast<std::size_t>(Kernel::Count)> seconds{};
   std::array<simt::OpCounts, static_cast<std::size_t>(Kernel::Count)> ops{};
   gravity::WalkStats walk_stats{};
+  /// Span from the first launch body start to the last body end — the
+  /// step's launch wall time under concurrent streams.
+  double wall_seconds = 0.0;
 
   [[nodiscard]] double total_seconds() const {
     double s = 0;
     for (double v : seconds) s += v;
     return s;
+  }
+
+  /// Kernel seconds hidden by stream overlap this step (>= 0): the gap
+  /// between sum-of-kernel-times and launch wall time.
+  [[nodiscard]] double overlap_seconds() const {
+    const double o = total_seconds() - wall_seconds;
+    return o > 0.0 ? o : 0.0;
   }
 };
 
@@ -106,8 +116,18 @@ public:
   [[nodiscard]] Momenta momenta() const { return compute_momenta(particles_); }
 
 private:
-  void rebuild_tree(StepReport* report);
+  /// Issue the rebuild pair onto the tree stream: a read-only makeTree
+  /// build (overlaps the in-flight predict) and a makeTree(permute) join
+  /// that waits on `e_pred` before reordering the particle state and the
+  /// predicted positions. Returns the join event; pass a null event when
+  /// no predict is in flight (construction).
+  runtime::Event issue_rebuild(runtime::Event e_pred, StepReport* report);
   void bootstrap_forces();
+  /// Apply perm_ to a scratch array out-of-place via permute_buf_ (both
+  /// retain capacity across rebuilds).
+  void permute_scratch(std::vector<real>& v);
+  /// Sum of the current step's MakeTree record seconds (build + permute).
+  [[nodiscard]] double step_make_seconds() const;
 
   Particles particles_;
   SimConfig cfg_;
@@ -128,6 +148,10 @@ private:
   // Scratch (predicted positions, fresh accelerations).
   std::vector<real> px_, py_, pz_;
   std::vector<real> nax_, nay_, naz_, npot_;
+  /// Rebuild scratch: the sort permutation handed from the build launch to
+  /// the permute launch, and the out-of-place buffer permute_scratch uses.
+  std::vector<index_t> perm_;
+  std::vector<real> permute_buf_;
   /// Tree-derived walk groups (refreshed on rebuild) and per-step flags.
   std::vector<gravity::GroupSpan> groups_;
   std::vector<std::uint8_t> group_active_;

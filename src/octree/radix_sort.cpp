@@ -1,17 +1,16 @@
 #include "octree/radix_sort.hpp"
 
 #include "runtime/device.hpp"
-#include "util/aligned_buffer.hpp"
 
 #include <array>
 #include <stdexcept>
-#include <vector>
 
 namespace gothic::octree {
 
 namespace {
 constexpr int kDigitBits = 8;
 constexpr int kBuckets = 1 << kDigitBits;
+using BucketTable = std::array<std::size_t, kBuckets>;
 } // namespace
 
 void radix_sort_pairs(std::span<std::uint64_t> keys,
@@ -28,30 +27,45 @@ void radix_sort_pairs(std::span<std::uint64_t> keys,
 
   const int passes = (bits + kDigitBits - 1) / kDigitBits;
 
-  AlignedBuffer<std::uint64_t> tmp_keys(n);
-  AlignedBuffer<index_t> tmp_payload(n);
+  runtime::Device& dev = runtime::Device::current();
+  const int nt = dev.workers();
+
+  // All scratch lives in the context workers' arenas (retained capacity,
+  // so steady-state sorts perform zero heap allocations). The sort owns
+  // the arenas for its duration: its only arena-using neighbour, walkTree,
+  // resets them itself at the start of every launch. The ping-pong buffers
+  // and the per-worker table pointers come from worker 0; each worker's
+  // histogram/offset pair sits in that worker's own arena so the counting
+  // and scatter phases touch only worker-local cache lines.
+  for (int t = 0; t < nt; ++t) dev.context_worker(t).arena.reset();
+  runtime::Arena& shared = dev.context_worker(0).arena;
+  std::span<std::uint64_t> tmp_keys = shared.alloc_span<std::uint64_t>(n);
+  std::span<index_t> tmp_payload = shared.alloc_span<index_t>(n);
+  std::span<BucketTable*> hist = shared.alloc_span<BucketTable*>(
+      static_cast<std::size_t>(nt));
+  std::span<BucketTable*> offset = shared.alloc_span<BucketTable*>(
+      static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    auto tables = dev.context_worker(t).arena.alloc_span<BucketTable>(2);
+    hist[static_cast<std::size_t>(t)] = &tables[0];
+    offset[static_cast<std::size_t>(t)] = &tables[1];
+  }
+
   std::uint64_t* src_k = keys.data();
   index_t* src_p = payload.data();
   std::uint64_t* dst_k = tmp_keys.data();
   index_t* dst_p = tmp_payload.data();
 
-  runtime::Device& dev = runtime::Device::current();
-  const int nt = dev.workers();
-  // Per-worker histograms; kBuckets entries keep each worker's table on
-  // separate cache lines.
-  std::vector<std::array<std::size_t, kBuckets>> hist(
-      static_cast<std::size_t>(nt));
-
   for (int pass = 0; pass < passes; ++pass) {
     const int shift = pass * kDigitBits;
-    for (auto& h : hist) h.fill(0);
+    for (int t = 0; t < nt; ++t) hist[static_cast<std::size_t>(t)]->fill(0);
 
     // Histogram phase: each worker owns the same contiguous chunk the
     // scatter phase will walk (parallel_ranges' static schedule), so the
     // sort stays stable and its output is independent of the worker count.
     dev.parallel_ranges(0, n, [&](runtime::Worker& w, std::size_t lo,
                                   std::size_t hi) {
-      auto& h = hist[static_cast<std::size_t>(w.id)];
+      auto& h = *hist[static_cast<std::size_t>(w.id)];
       for (std::size_t i = lo; i < hi; ++i) {
         ++h[(src_k[i] >> shift) & (kBuckets - 1)];
       }
@@ -60,19 +74,17 @@ void radix_sort_pairs(std::span<std::uint64_t> keys,
     // Exclusive scan over (bucket, worker) pairs — bucket-major so equal
     // digits preserve chunk order (stability).
     std::size_t running = 0;
-    std::vector<std::array<std::size_t, kBuckets>> offset(
-        static_cast<std::size_t>(nt));
     for (int b = 0; b < kBuckets; ++b) {
       for (int t = 0; t < nt; ++t) {
-        offset[static_cast<std::size_t>(t)][b] = running;
-        running += hist[static_cast<std::size_t>(t)][b];
+        (*offset[static_cast<std::size_t>(t)])[b] = running;
+        running += (*hist[static_cast<std::size_t>(t)])[b];
       }
     }
 
     // Scatter phase.
     dev.parallel_ranges(0, n, [&](runtime::Worker& w, std::size_t lo,
                                   std::size_t hi) {
-      auto& off = offset[static_cast<std::size_t>(w.id)];
+      auto& off = *offset[static_cast<std::size_t>(w.id)];
       for (std::size_t i = lo; i < hi; ++i) {
         const auto b = (src_k[i] >> shift) & (kBuckets - 1);
         const std::size_t dst = off[b]++;

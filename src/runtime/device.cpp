@@ -3,8 +3,11 @@
 #include "util/env.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -13,8 +16,158 @@
 namespace gothic::runtime {
 
 namespace {
+/// Innermost ScopedDevice override (also installed on lane leader threads,
+/// so Device::current() inside an async launch body resolves to the
+/// issuing device).
 thread_local Device* tl_current = nullptr;
+/// Execution context of the calling thread: when `tl_ctx_device` owns the
+/// thread as a lane leader, collectives route to lane `tl_ctx_lane`'s team
+/// instead of the full pool.
+thread_local Device* tl_ctx_device = nullptr;
+thread_local int tl_ctx_lane = -1;
 } // namespace
+
+// ---------------------------------------------------------------------------
+// Team: one fork/join group. Member 0 is the calling thread of run(); the
+// remaining members are dedicated threads parked on a condition variable.
+// The synchronous path uses one team over the whole pool; each lane of the
+// asynchronous engine owns a team over its slice.
+// ---------------------------------------------------------------------------
+
+class Device::Team {
+public:
+  explicit Team(std::vector<Worker*> members) : members_(std::move(members)) {
+    threads_.reserve(members_.size() - 1);
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+      threads_.emplace_back([this, i] { member_loop(*members_[i]); });
+    }
+  }
+
+  ~Team() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+  [[nodiscard]] Worker& member(int i) {
+    return *members_[static_cast<std::size_t>(i)];
+  }
+
+  /// Run `fn(ctx, worker)` once per member; the caller executes member 0.
+  /// All member exceptions land in one first-recorded-wins slot and exactly
+  /// that one is rethrown after every member finished, leaving the team
+  /// reusable. (The previous pool dropped a worker error whenever member 0
+  /// threw too, and left it set for the next collective.)
+  void run(JobFn fn, void* ctx) {
+    if (threads_.empty()) {
+      fn(ctx, *members_.front());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = fn;
+      job_ctx_ = ctx;
+      error_ = nullptr;
+      unfinished_ = static_cast<int>(threads_.size());
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    try {
+      fn(ctx, *members_.front());
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    lock.unlock();
+    if (err) std::rethrow_exception(err);
+  }
+
+private:
+  void member_loop(Worker& w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      JobFn job = nullptr;
+      void* ctx = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+        if (stopping_) return;
+        seen = generation_;
+        job = job_;
+        ctx = job_ctx_;
+      }
+      try {
+        job(ctx, w);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        last = --unfinished_ == 0;
+      }
+      if (last) done_cv_.notify_one();
+    }
+  }
+
+  std::vector<Worker*> members_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stopping_ = false;
+  std::uint64_t generation_ = 0;
+  int unfinished_ = 0;
+  JobFn job_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::exception_ptr error_;
+};
+
+// ---------------------------------------------------------------------------
+// Lane and launch-queue node of the asynchronous engine.
+// ---------------------------------------------------------------------------
+
+/// One queued launch: the type-erased body lives inline in `storage` (no
+/// per-launch heap traffic); nodes are pooled and recycled through the
+/// device free list.
+struct Device::LaunchNode {
+  alignas(64) std::byte storage[kMaxBodyBytes];
+  BodyInvoke invoke = nullptr;
+  BodyDestroy destroy = nullptr;
+  std::uint64_t id = 0;
+  std::array<std::uint64_t, 4> deps{};
+  InstrumentationSink* sink = nullptr;
+  std::size_t record_index = 0;
+  LaunchNode* next = nullptr;
+};
+
+/// One stream-execution lane: a slice of the worker budget with its own
+/// Worker slots (local ids 0..k-1, own arenas), a leader thread that pops
+/// the lane's FIFO queue, and a team the leader forks launch collectives
+/// onto.
+struct Device::Lane {
+  int index = 0;
+  std::vector<std::unique_ptr<Worker>> slots;
+  std::unique_ptr<Team> team;
+  std::thread leader;
+  LaunchNode* head = nullptr;
+  LaunchNode* tail = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
 
 int Device::default_workers() {
   const std::size_t env = env_size("GOTHIC_THREADS", 0);
@@ -28,27 +181,36 @@ int Device::default_workers() {
 #endif
 }
 
-Device::Device(int workers) {
+bool Device::default_async() { return env_size("GOTHIC_ASYNC", 1) != 0; }
+
+Device::Device(int workers, int async)
+    : async_(async < 0 ? default_async() : async != 0) {
   const int n = workers > 0 ? workers : default_workers();
   slots_.reserve(static_cast<std::size_t>(n));
+  std::vector<Worker*> members;
+  members.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     slots_.push_back(std::make_unique<Worker>());
     slots_.back()->id = i;
+    members.push_back(slots_.back().get());
   }
-  // Worker 0 is the calling thread; the pool supplies the rest.
-  threads_.reserve(static_cast<std::size_t>(n - 1));
-  for (int i = 1; i < n; ++i) {
-    threads_.emplace_back([this, i] { worker_loop(*slots_[static_cast<std::size_t>(i)]); });
-  }
+  // Full-pool team: worker 0 is whatever thread runs the collective.
+  pool_ = std::make_unique<Team>(std::move(members));
+  completed_gaps_.reserve(64);
 }
 
 Device::~Device() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    event_cv_.wait(lock, [&] { return inflight_ == 0; });
     stopping_ = true;
   }
-  start_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  queue_cv_.notify_all();
+  for (auto& lane : lanes_) {
+    if (lane->leader.joinable()) lane->leader.join();
+  }
+  lanes_.clear(); // joins each lane team's member threads
+  pool_.reset();
 }
 
 Device& Device::shared() {
@@ -60,116 +222,306 @@ Device& Device::current() {
   return tl_current != nullptr ? *tl_current : shared();
 }
 
-void Device::worker_loop(Worker& w) {
-  std::uint64_t seen = 0;
-  for (;;) {
-    JobFn job = nullptr;
-    void* ctx = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
-      seen = generation_;
-      job = job_;
-      ctx = job_ctx_;
-    }
-    try {
-      job(ctx, w);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!job_error_) job_error_ = std::current_exception();
-    }
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      last = --unfinished_ == 0;
-    }
-    if (last) done_cv_.notify_one();
+int Device::workers() const {
+  if (tl_ctx_device == this && tl_ctx_lane >= 0) {
+    return lanes_[static_cast<std::size_t>(tl_ctx_lane)]->team->size();
   }
+  return static_cast<int>(slots_.size());
+}
+
+Worker& Device::context_worker(int i) {
+  if (tl_ctx_device == this && tl_ctx_lane >= 0) {
+    return *lanes_[static_cast<std::size_t>(tl_ctx_lane)]
+                ->slots[static_cast<std::size_t>(i)];
+  }
+  return *slots_[static_cast<std::size_t>(i)];
 }
 
 void Device::dispatch(JobFn fn, void* ctx) {
-  if (threads_.empty()) {
-    fn(ctx, *slots_.front());
+  if (tl_ctx_device == this && tl_ctx_lane >= 0) {
+    lanes_[static_cast<std::size_t>(tl_ctx_lane)]->team->run(fn, ctx);
     return;
   }
+  pool_->run(fn, ctx);
+}
+
+// --- issue path ------------------------------------------------------------
+
+LaunchRecord Device::make_record_locked(const LaunchDesc& desc) {
+  LaunchRecord rec;
+  rec.kernel = desc.kernel;
+  rec.label =
+      desc.label != nullptr ? desc.label : kernel_name(desc.kernel).data();
+  rec.stream = desc.stream != nullptr ? desc.stream->name() : "default";
+  rec.id = next_launch_++;
+  rec.items = desc.items;
+
+  std::size_t slot = 0;
+  auto add_dep = [&](Event e, bool implicit) {
+    if (!e.valid() || slot >= rec.deps.size()) return;
+    if (e.device != nullptr && e.device != this) {
+      // A stream's implicit predecessor from a previous device is
+      // meaningless here; start the stream fresh instead of recording a
+      // bogus edge. Explicit foreign events are a caller bug.
+      if (implicit) return;
+      throw std::logic_error(
+          std::string("Device::launch: dependency event ") +
+          std::to_string(e.id) + " of '" + rec.label +
+          "' belongs to a different device");
+    }
+    for (std::size_t i = 0; i < slot; ++i) {
+      if (rec.deps[i] == e.id) return; // already recorded
+    }
+    if (e.id >= rec.id) {
+      throw std::logic_error(std::string("Device::launch: dependency event ") +
+                             std::to_string(e.id) + " of '" + rec.label +
+                             "' has not been issued");
+    }
+    rec.deps[slot++] = e.id;
+  };
+  for (Event e : desc.deps) add_dep(e, false);
+  // Same-stream launches are implicitly ordered (CUDA stream semantics);
+  // the lane executes its queue FIFO, the edge documents the order.
+  if (desc.stream != nullptr) add_dep(desc.stream->last(), true);
+  if (desc.stream != nullptr) desc.stream->last_ = Event{rec.id, this};
+  return rec;
+}
+
+Device::IssuedLaunch Device::issue_launch(const LaunchDesc& desc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const LaunchRecord rec = make_record_locked(desc);
+  IssuedLaunch issued;
+  issued.id = rec.id;
+  issued.sink = desc.sink != nullptr ? desc.sink : &sink_;
+  issued.record_index = issued.sink->begin_record(rec);
+  issued.workers = workers();
+  return issued;
+}
+
+void Device::finish_launch(const IssuedLaunch& issued, double t_begin,
+                           double t_end, const simt::OpCounts& ops) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  issued.sink->finish_record(issued.record_index, issued.id, t_begin, t_end,
+                             issued.workers, ops);
+  mark_complete_locked(issued.id);
+  event_cv_.notify_all();
+}
+
+Event Device::launch_async(const LaunchDesc& desc, BodyInvoke invoke,
+                           BodyCopy copy, BodyDestroy destroy,
+                           const void* body) {
+  std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = fn;
-    job_ctx_ = ctx;
-    job_error_ = nullptr;
-    unfinished_ = static_cast<int>(threads_.size());
-    ++generation_;
+    ensure_engine_locked();
+    Lane& lane = lane_for_locked(desc.stream);
+    const LaunchRecord rec = make_record_locked(desc); // may throw: no node yet
+    LaunchNode* node = free_nodes_;
+    if (node != nullptr) {
+      free_nodes_ = node->next;
+    } else {
+      nodes_.push_back(std::make_unique<LaunchNode>());
+      node = nodes_.back().get();
+    }
+    node->id = rec.id;
+    node->deps = rec.deps;
+    node->sink = desc.sink != nullptr ? desc.sink : &sink_;
+    node->record_index = node->sink->begin_record(rec);
+    node->invoke = invoke;
+    node->destroy = destroy;
+    copy(node->storage, body);
+    node->next = nullptr;
+    if (lane.tail != nullptr) {
+      lane.tail->next = node;
+    } else {
+      lane.head = node;
+    }
+    lane.tail = node;
+    ++inflight_;
+    id = rec.id;
   }
-  start_cv_.notify_all();
-  // The calling thread is worker 0.
-  try {
-    fn(ctx, *slots_.front());
-  } catch (...) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return unfinished_ == 0; });
-    throw;
+  queue_cv_.notify_all();
+  return Event{id, this};
+}
+
+// --- asynchronous engine ---------------------------------------------------
+
+void Device::ensure_engine_locked() {
+  if (!lanes_.empty()) return;
+  const int n = static_cast<int>(slots_.size());
+  const int l = static_cast<int>(std::clamp<std::size_t>(
+      env_size("GOTHIC_ASYNC_LANES", 2), 1, static_cast<std::size_t>(n)));
+  lanes_.reserve(static_cast<std::size_t>(l));
+  for (int i = 0; i < l; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->index = i;
+    const int k = n / l + (i < n % l ? 1 : 0);
+    std::vector<Worker*> members;
+    members.reserve(static_cast<std::size_t>(k));
+    for (int j = 0; j < k; ++j) {
+      lane->slots.push_back(std::make_unique<Worker>());
+      lane->slots.back()->id = j;
+      members.push_back(lane->slots.back().get());
+    }
+    lane->team = std::make_unique<Team>(std::move(members));
+    lanes_.push_back(std::move(lane));
   }
+  // Leaders start after lanes_ is fully built: they index into it.
+  for (auto& lane : lanes_) {
+    Lane* l_ptr = lane.get();
+    lane->leader = std::thread([this, l_ptr] { lane_loop(*l_ptr); });
+  }
+  nodes_.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    nodes_.push_back(std::make_unique<LaunchNode>());
+    nodes_.back()->next = free_nodes_;
+    free_nodes_ = nodes_.back().get();
+  }
+}
+
+Device::Lane& Device::lane_for_locked(const Stream* stream) {
+  for (const auto& [s, idx] : stream_lanes_) {
+    if (s == stream) return *lanes_[idx];
+  }
+  // Round-robin new streams over the lanes; several streams may share a
+  // lane (they serialize, which is always correct — just less overlap).
+  const std::size_t idx = stream_lanes_.size() % lanes_.size();
+  stream_lanes_.emplace_back(stream, idx);
+  return *lanes_[idx];
+}
+
+void Device::lane_loop(Lane& lane) {
+  // Launch bodies run on this thread; Device::current() must resolve to
+  // the issuing device, and collectives must fork onto the lane's team.
+  tl_current = this;
+  tl_ctx_device = this;
+  tl_ctx_lane = lane.index;
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
-  if (job_error_) {
-    std::exception_ptr err = job_error_;
-    job_error_ = nullptr;
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || lane.head != nullptr; });
+    if (lane.head == nullptr) {
+      if (stopping_) return; // queue drained (the destructor synchronizes)
+      continue;
+    }
+    LaunchNode* node = lane.head;
+    // Wait for the node's dependencies. Deadlock-free: every dependency
+    // has a smaller issue id, and each lane pops its queue FIFO in issue
+    // order, so the launch holding the smallest incomplete id always has
+    // complete dependencies and sits at the head of its lane — some lane
+    // can always make progress.
+    event_cv_.wait(lock, [&] { return deps_complete_locked(*node); });
+    lane.head = node->next;
+    if (lane.head == nullptr) lane.tail = nullptr;
+    lock.unlock();
+    run_node(lane, *node);
+    lock.lock();
+  }
+}
+
+void Device::run_node(Lane& lane, LaunchNode& node) {
+  simt::OpCounts ops;
+  std::exception_ptr err;
+  const double t0 = now();
+  try {
+    node.invoke(node.storage, ops);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  const double t1 = now();
+  node.destroy(node.storage);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    node.sink->finish_record(node.record_index, node.id, t0, t1,
+                             lane.team->size(), ops);
+    if (err && !async_error_) async_error_ = err;
+    mark_complete_locked(node.id);
+    node.next = free_nodes_;
+    free_nodes_ = &node;
+    --inflight_;
+  }
+  event_cv_.notify_all();
+}
+
+// --- completion tracking ---------------------------------------------------
+
+bool Device::is_complete_locked(std::uint64_t id) const {
+  if (id <= completed_floor_) return true;
+  return std::find(completed_gaps_.begin(), completed_gaps_.end(), id) !=
+         completed_gaps_.end();
+}
+
+bool Device::deps_complete_locked(const LaunchNode& node) const {
+  for (std::uint64_t d : node.deps) {
+    if (d != 0 && !is_complete_locked(d)) return false;
+  }
+  return true;
+}
+
+void Device::mark_complete_locked(std::uint64_t id) {
+  if (id != completed_floor_ + 1) {
+    completed_gaps_.push_back(id);
+    return;
+  }
+  ++completed_floor_;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (auto it = completed_gaps_.begin(); it != completed_gaps_.end(); ++it) {
+      if (*it == completed_floor_ + 1) {
+        ++completed_floor_;
+        completed_gaps_.erase(it);
+        advanced = true;
+        break;
+      }
+    }
+  }
+}
+
+void Device::wait_event(std::uint64_t id) {
+  if (id == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  event_cv_.wait(lock, [&] { return is_complete_locked(id); });
+}
+
+void Device::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  event_cv_.wait(lock, [&] { return inflight_ == 0; });
+  if (async_error_) {
+    std::exception_ptr err = std::exchange(async_error_, nullptr);
     lock.unlock();
     std::rethrow_exception(err);
   }
 }
 
-LaunchRecord Device::begin_launch(const LaunchDesc& desc) {
-  LaunchRecord rec;
-  rec.kernel = desc.kernel;
-  rec.label = desc.label != nullptr ? desc.label
-                                    : kernel_name(desc.kernel).data();
-  rec.stream = desc.stream != nullptr ? desc.stream->name() : "default";
-  rec.id = next_launch_++;
-  rec.items = desc.items;
-  rec.workers = workers();
-
-  std::size_t slot = 0;
-  auto add_dep = [&](Event e) {
-    if (!e.valid() || slot >= rec.deps.size()) return;
-    for (std::size_t i = 0; i < slot; ++i) {
-      if (rec.deps[i] == e.id) return; // already recorded
-    }
-    if (e.id >= next_launch_ - 1 || e.id > signaled_) {
-      throw std::logic_error(
-          std::string("Device::launch: dependency event ") +
-          std::to_string(e.id) + " of '" + rec.label +
-          "' is not signaled (launches are synchronous; the DAG must be "
-          "issued in topological order)");
-    }
-    rec.deps[slot++] = e.id;
-  };
-  for (Event e : desc.deps) add_dep(e);
-  // Same-stream launches are implicitly ordered (CUDA stream semantics).
-  if (desc.stream != nullptr) add_dep(desc.stream->last());
-  return rec;
+void Event::wait() const {
+  if (device != nullptr && id != 0) device->wait_event(id);
 }
 
-Event Device::end_launch(const LaunchDesc& desc, const LaunchRecord& rec) {
-  InstrumentationSink& s = desc.sink != nullptr ? *desc.sink : sink_;
-  s.add(rec);
-  signaled_ = rec.id; // synchronous execution: complete on return
-  const Event done{rec.id};
-  if (desc.stream != nullptr) desc.stream->last_ = done;
-  return done;
-}
+// --- introspection ---------------------------------------------------------
 
 std::uint64_t Device::arena_heap_allocations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& w : slots_) total += w->arena.heap_allocations();
+  for (const auto& lane : lanes_) {
+    for (const auto& w : lane->slots) total += w->arena.heap_allocations();
+  }
   return total;
 }
 
 std::size_t Device::arena_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& w : slots_) total += w->arena.capacity();
+  for (const auto& lane : lanes_) {
+    for (const auto& w : lane->slots) total += w->arena.capacity();
+  }
   return total;
+}
+
+std::uint64_t Device::launch_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_launch_ - 1;
 }
 
 ScopedDevice::ScopedDevice(Device& device) : previous_(tl_current) {

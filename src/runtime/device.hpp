@@ -9,15 +9,23 @@
 //    size is GOTHIC_THREADS-overridable, with one cache-line-padded Worker
 //    per thread carrying a scratch Arena that retains its high-water
 //    capacity across launches;
-//  * Stream/Event ordering: launches record their dependency edges, so the
-//    step loop's kernel DAG (predict ∥ calcNode, walkTree after both) is
-//    expressed even though execution is synchronous for now;
-//  * per-launch instrumentation: every launch emits a LaunchRecord into an
-//    InstrumentationSink.
+//  * Stream/Event scheduling: launches enqueue onto their stream's lane —
+//    a partitioned slice of the worker pool — and execute as soon as their
+//    dependency events complete, so independent streams (the step loop's
+//    predict ∥ makeTree) genuinely overlap. Event::wait() and
+//    synchronize() are real completion handles. GOTHIC_ASYNC=0 selects
+//    the synchronous escape hatch: launches run to completion on the
+//    calling thread plus the full pool, bit-identically;
+//  * per-launch instrumentation: every launch emits a LaunchRecord (with
+//    begin/end timestamps, so the sink can report achieved overlap) into
+//    an InstrumentationSink.
 //
 // Kernels obtain the device with Device::current(): the thread-local
 // override installed by ScopedDevice (tests pin worker counts this way) or
-// else the process-wide shared() device.
+// else the process-wide shared() device. Inside an asynchronous launch
+// body, current() resolves to the issuing device and its collectives run
+// on the launch's lane (workers() reports the lane width), so kernels are
+// oblivious to which scheduler drives them.
 #pragma once
 
 #include "runtime/arena.hpp"
@@ -31,13 +39,15 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace gothic::runtime {
 
 /// Per-thread execution context handed to range bodies: a stable worker
-/// index and the worker's scratch arena. Padded to a cache line so
-/// neighbouring workers never false-share.
+/// index (within the executing context — a lane under async scheduling,
+/// the full pool otherwise) and the worker's scratch arena. Padded to a
+/// cache line so neighbouring workers never false-share.
 struct alignas(64) Worker {
   int id = 0;
   Arena arena;
@@ -46,8 +56,10 @@ struct alignas(64) Worker {
 class Device {
 public:
   /// `workers` <= 0 selects the default: GOTHIC_THREADS when set, else the
-  /// OpenMP thread count / hardware concurrency.
-  explicit Device(int workers = 0);
+  /// OpenMP thread count / hardware concurrency. `async` < 0 selects the
+  /// GOTHIC_ASYNC default (asynchronous unless GOTHIC_ASYNC=0); 0 forces
+  /// the synchronous path, > 0 forces asynchronous scheduling.
+  explicit Device(int workers = 0, int async = -1);
   ~Device();
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -55,21 +67,36 @@ public:
   /// The process-wide device (created on first use).
   static Device& shared();
   /// The device kernels should run on: the innermost ScopedDevice override
-  /// on this thread, or shared().
+  /// on this thread, the owning device inside an async launch body, or
+  /// shared().
   static Device& current();
 
-  [[nodiscard]] int workers() const { return static_cast<int>(slots_.size()); }
+  /// Workers of the current execution context: the lane width inside an
+  /// asynchronous launch body, the full pool size otherwise.
+  [[nodiscard]] int workers() const;
+
+  /// The `i`-th worker of the current execution context (lane worker
+  /// inside an async launch body, pool worker otherwise). Serial access
+  /// only — never while a collective is in flight.
+  [[nodiscard]] Worker& context_worker(int i);
 
   /// The worker-count default the constructor would resolve for
   /// `workers <= 0` (GOTHIC_THREADS-aware); exposed for bench metadata.
   static int default_workers();
+  /// The scheduling default the constructor resolves for `async < 0`:
+  /// true unless GOTHIC_ASYNC=0.
+  static bool default_async();
+  /// True when this device schedules launches asynchronously.
+  [[nodiscard]] bool async() const { return async_; }
 
   // --- collectives --------------------------------------------------------
-  // All collectives run on the calling thread (worker 0) plus the pool and
-  // return only when every worker finished. Exceptions thrown by bodies
-  // are rethrown on the caller. Bodies must not re-enter the device.
+  // All collectives run on the calling thread (context worker 0) plus the
+  // context's remaining workers and return only when every worker
+  // finished. Exceptions thrown by bodies are recorded first-wins and
+  // exactly one is rethrown on the caller; the pool stays reusable.
+  // Bodies must not re-enter the device.
 
-  /// Invoke `fn(Worker&)` once per worker.
+  /// Invoke `fn(Worker&)` once per context worker.
   template <typename Fn>
   void for_workers(Fn&& fn) {
     using F = std::remove_reference_t<Fn>;
@@ -77,8 +104,10 @@ public:
   }
 
   /// Invoke `fn(Worker&, lo, hi)` on each worker's contiguous chunk of
-  /// [begin, end) — the static schedule the OpenMP loops used, so work
-  /// distribution (and hence any per-chunk-stable algorithm) is unchanged.
+  /// [begin, end) — the static schedule the OpenMP loops used. The chunk
+  /// map is fixed for the whole launch (the context's worker count never
+  /// changes mid-launch), so any per-chunk-stable algorithm sees one
+  /// consistent partition.
   template <typename Fn>
   void parallel_ranges(std::size_t begin, std::size_t end, Fn&& fn) {
     if (end <= begin) return;
@@ -109,56 +138,142 @@ public:
 
   // --- launch layer -------------------------------------------------------
 
-  /// Launch one kernel: wait for the descriptor's dependencies (which must
-  /// already be signaled — execution is synchronous), run `fn(ops)` where
-  /// the kernel accumulates its operation tallies, and emit a LaunchRecord
-  /// with the measured wall time. Returns the launch's completion event.
+  /// Upper bound on the captured state of a launch body (the body is
+  /// copied into a fixed slot of the launch queue — capture `this` or a
+  /// few references, not arrays).
+  static constexpr std::size_t kMaxBodyBytes = 256;
+
+  /// Launch one kernel: `fn(ops)` runs once, accumulating the kernel's
+  /// operation tallies, and one LaunchRecord is emitted with the measured
+  /// wall time and begin/end timestamps. Returns the launch's completion
+  /// event.
+  ///
+  /// Asynchronous devices enqueue the body onto the stream's lane and
+  /// return immediately; the body starts once every dependency event has
+  /// completed (streams themselves are FIFO). The caller must keep
+  /// everything the body references alive until the event completes, and
+  /// a body must not issue launches of its own. Body exceptions are held
+  /// and rethrown (first one wins) by the next synchronize().
+  ///
+  /// Synchronous devices (GOTHIC_ASYNC=0) run the body to completion on
+  /// the calling thread plus the full pool before returning; body
+  /// exceptions propagate directly, after the record is emitted and the
+  /// event signaled so the device stays consistent.
   template <typename Fn>
   Event launch(const LaunchDesc& desc, Fn&& fn) {
-    LaunchRecord rec = begin_launch(desc);
-    Stopwatch sw;
-    fn(rec.ops);
-    rec.seconds = sw.seconds();
-    return end_launch(desc, rec);
+    using F = std::decay_t<Fn>;
+    static_assert(sizeof(F) <= kMaxBodyBytes && alignof(F) <= 64,
+                  "launch body captures too much state; capture `this` or "
+                  "a few references");
+    if (async_) {
+      return launch_async(
+          desc,
+          +[](void* body, simt::OpCounts& ops) {
+            (*static_cast<F*>(body))(ops);
+          },
+          +[](void* dst, const void* src) {
+            ::new (dst) F(*static_cast<const F*>(src));
+          },
+          +[](void* body) { static_cast<F*>(body)->~F(); },
+          std::addressof(fn));
+    }
+    const IssuedLaunch issued = issue_launch(desc);
+    simt::OpCounts ops;
+    const double t0 = now();
+    try {
+      fn(ops);
+    } catch (...) {
+      finish_launch(issued, t0, now(), ops);
+      throw;
+    }
+    finish_launch(issued, t0, now(), ops);
+    return Event{issued.id, this};
   }
+
+  /// Block until the launch with the given id completed (its body
+  /// returned or threw). Immediate for already-complete ids.
+  void wait_event(std::uint64_t id);
+
+  /// Block until every issued launch completed, then rethrow the first
+  /// exception an asynchronous launch body raised since the previous
+  /// synchronize() (clearing it, so the device stays usable).
+  void synchronize();
 
   /// Default destination of LaunchRecords when LaunchDesc::sink is null.
   [[nodiscard]] InstrumentationSink& sink() { return sink_; }
 
   // --- introspection (runtime tests) --------------------------------------
 
-  /// Sum of heap allocations performed by all worker arenas — stable after
-  /// warm-up when steady-state launches reuse retained capacity.
+  /// Sum of heap allocations performed by all worker arenas (pool and
+  /// lane workers) — stable after warm-up when steady-state launches
+  /// reuse retained capacity.
   [[nodiscard]] std::uint64_t arena_heap_allocations() const;
   /// Total bytes retained by all worker arenas.
   [[nodiscard]] std::size_t arena_capacity() const;
   /// Launches issued so far.
-  [[nodiscard]] std::uint64_t launch_count() const { return next_launch_ - 1; }
+  [[nodiscard]] std::uint64_t launch_count() const;
 
 private:
   using JobFn = void (*)(void*, Worker&);
+  using BodyInvoke = void (*)(void*, simt::OpCounts&);
+  using BodyCopy = void (*)(void*, const void*);
+  using BodyDestroy = void (*)(void*);
+
+  class Team;
+  struct Lane;
+  struct LaunchNode;
+  struct Context;
+
+  /// Issue-time half of a launch: id assigned, deps validated and
+  /// recorded, placeholder record inserted into the sink.
+  struct IssuedLaunch {
+    std::uint64_t id = 0;
+    std::size_t record_index = 0;
+    InstrumentationSink* sink = nullptr;
+    int workers = 0;
+  };
 
   void dispatch(JobFn fn, void* ctx);
-  void worker_loop(Worker& w);
-  LaunchRecord begin_launch(const LaunchDesc& desc);
-  Event end_launch(const LaunchDesc& desc, const LaunchRecord& rec);
+  [[nodiscard]] double now() const { return epoch_.seconds(); }
+
+  IssuedLaunch issue_launch(const LaunchDesc& desc);
+  LaunchRecord make_record_locked(const LaunchDesc& desc);
+  void finish_launch(const IssuedLaunch& issued, double t_begin, double t_end,
+                     const simt::OpCounts& ops);
+  Event launch_async(const LaunchDesc& desc, BodyInvoke invoke, BodyCopy copy,
+                     BodyDestroy destroy, const void* body);
+
+  void ensure_engine_locked();
+  Lane& lane_for_locked(const Stream* stream);
+  void lane_loop(Lane& lane);
+  void run_node(Lane& lane, LaunchNode& node);
+  void mark_complete_locked(std::uint64_t id);
+  [[nodiscard]] bool is_complete_locked(std::uint64_t id) const;
+  [[nodiscard]] bool deps_complete_locked(const LaunchNode& node) const;
 
   std::vector<std::unique_ptr<Worker>> slots_;
-  std::vector<std::thread> threads_;
+  std::unique_ptr<Team> pool_;   ///< full-pool team of the synchronous path
+  const bool async_;
+  Stopwatch epoch_;              ///< timestamp origin of every LaunchRecord
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  int unfinished_ = 0;
+  // Launch bookkeeping (ids, completion, queues, sinks) — one lock; the
+  // per-collective fork/join hot path uses the teams' own locks.
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< lane leaders: work available / stop
+  std::condition_variable event_cv_;  ///< completions: event waits, sync, free nodes
   bool stopping_ = false;
-  JobFn job_ = nullptr;
-  void* job_ctx_ = nullptr;
-  std::exception_ptr job_error_;
+  std::uint64_t next_launch_ = 1;
+  std::uint64_t completed_floor_ = 0;      ///< all ids <= floor are complete
+  std::vector<std::uint64_t> completed_gaps_; ///< out-of-order completions
+  int inflight_ = 0;
+  std::exception_ptr async_error_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<LaunchNode>> nodes_;
+  LaunchNode* free_nodes_ = nullptr;
+  std::vector<std::pair<const Stream*, std::size_t>> stream_lanes_;
 
   InstrumentationSink sink_;
-  std::uint64_t next_launch_ = 1;
-  std::uint64_t signaled_ = 0;
 };
 
 /// RAII device override for the calling thread: kernels reached from this

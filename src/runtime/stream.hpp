@@ -3,44 +3,60 @@
 //
 // GOTHIC issues its device kernels on concurrent CUDA streams and orders
 // them with events; the per-kernel times the paper reports (Figs 3-5) are
-// nvprof measurements of exactly those launches. This layer reproduces the
-// shape: every kernel goes through Device::launch() with a LaunchDesc
-// naming its stream and dependency events, and every launch emits one
-// LaunchRecord (kernel id, wall seconds, nvprof-style OpCounts, bytes,
-// launch configuration, dependency edges) into an InstrumentationSink.
+// nvprof measurements of exactly those overlapped launches. This layer
+// reproduces the shape: every kernel goes through Device::launch() with a
+// LaunchDesc naming its stream and dependency events, and every launch
+// emits one LaunchRecord (kernel id, wall seconds, begin/end timestamps,
+// nvprof-style OpCounts, bytes, launch configuration, dependency edges)
+// into an InstrumentationSink.
 //
-// Execution is synchronous for now — a launch runs to completion on the
-// calling thread plus the device worker pool — but the DAG is recorded, so
-// overlapping independent streams later is a scheduling change inside
-// Device, not a rewrite of the kernels or the step loop.
+// Execution is asynchronous by default: launch() enqueues the kernel onto
+// its stream's lane (a partitioned slice of the device worker pool) and
+// returns immediately; Event::wait() and Device::synchronize() are real
+// completion handles, and independent streams execute concurrently.
+// GOTHIC_ASYNC=0 restores the old synchronous path (run-to-completion on
+// the calling thread plus the full pool) for A/B comparison and debugging
+// — results are bit-identical either way.
 #pragma once
 
 #include "simt/op_counter.hpp"
 #include "util/timer.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace gothic::runtime {
 
-/// Completion marker of a launch. Id 0 is the null event (never waited
-/// on); valid ids are assigned by the device in launch order.
+class Device;
+
+/// Completion handle of a launch. Id 0 is the null event (never waited
+/// on); valid ids are assigned by the device in issue order.
 struct Event {
   std::uint64_t id = 0;
+  /// Device that issued the launch (resolves waits; null for the null
+  /// event).
+  Device* device = nullptr;
   [[nodiscard]] bool valid() const { return id != 0; }
+  /// Block until the launch completed. No-op for the null event and under
+  /// synchronous execution (the launch already ran to completion).
+  void wait() const;
 };
 
 /// An in-order launch queue. Launches on the same stream are implicitly
 /// ordered (the device records the stream's previous launch as a
-/// dependency); cross-stream ordering takes explicit events.
+/// dependency and executes the stream FIFO); cross-stream ordering takes
+/// explicit events.
 class Stream {
 public:
   Stream() = default;
   explicit Stream(const char* name) : name_(name) {}
 
   [[nodiscard]] const char* name() const { return name_; }
-  /// Event of the most recent launch on this stream (null before any).
+  /// Event of the most recent launch issued on this stream (null before
+  /// any).
   [[nodiscard]] Event last() const { return last_; }
 
 private:
@@ -68,7 +84,9 @@ struct LaunchDesc {
 
 /// One record per launch — the runtime's unified replacement for the
 /// hand-threaded KernelTimers + per-kernel OpCounts bookkeeping, and the
-/// stand-in for one row of an nvprof kernel trace.
+/// stand-in for one row of an nvprof kernel trace. Records are inserted
+/// into the sink in issue order and completed in execution order; the
+/// timing fields are valid once the launch's event has completed.
 struct LaunchRecord {
   Kernel kernel = Kernel::WalkTree;
   const char* label = "";
@@ -76,8 +94,10 @@ struct LaunchRecord {
   std::uint64_t id = 0;                 ///< launch sequence number
   std::array<std::uint64_t, 4> deps{};  ///< dependency launch ids (0 = none)
   std::size_t items = 0;                ///< launch configuration: work items
-  int workers = 0;                      ///< worker threads of the device
-  double seconds = 0.0;                 ///< wall-clock of the launch
+  int workers = 0;                      ///< workers of the executing context
+  double seconds = 0.0;                 ///< wall-clock of the launch body
+  double t_begin = 0.0;                 ///< body start, seconds since device epoch
+  double t_end = 0.0;                   ///< body end, seconds since device epoch
   simt::OpCounts ops;                   ///< nvprof-style counts
 
   [[nodiscard]] std::uint64_t bytes() const { return ops.total_bytes(); }
@@ -87,14 +107,50 @@ struct LaunchRecord {
 /// The record list is bounded by its warm-up capacity as long as the owner
 /// clears it once per step (Simulation::step does), so steady-state
 /// recording performs no heap allocation.
+///
+/// Not internally synchronized: the issuing Device serializes begin/finish
+/// under its own lock, and readers must not overlap in-flight launches
+/// (wait on the event or Device::synchronize() first). In particular, do
+/// not begin_step()/reset() while launches that target this sink are in
+/// flight.
 class InstrumentationSink {
 public:
   InstrumentationSink() { records_.reserve(kReserve); }
 
-  void add(const LaunchRecord& r) {
-    timers_.add(r.kernel, r.seconds);
-    ops_[static_cast<std::size_t>(r.kernel)] += r.ops;
+  /// Insert the issue-time half of a record (id, deps, stream, items);
+  /// returns the record's index for finish_record(). Keeps records in
+  /// issue order even when completion is out of order.
+  std::size_t begin_record(const LaunchRecord& r) {
     records_.push_back(r);
+    return records_.size() - 1;
+  }
+
+  /// Complete the record at `index` with the measured timing and counts
+  /// and fold them into the cumulative aggregates. Returns false (and
+  /// skips the per-record fields) when the sink was cleared between issue
+  /// and completion — the aggregates are still updated so KernelTimers
+  /// stays truthful.
+  bool finish_record(std::size_t index, std::uint64_t id, double t_begin,
+                     double t_end, int workers, const simt::OpCounts& ops) {
+    const Kernel k = index < records_.size() && records_[index].id == id
+                         ? records_[index].kernel
+                         : Kernel::Count;
+    if (k == Kernel::Count) return false;
+    LaunchRecord& rec = records_[index];
+    rec.seconds = t_end - t_begin;
+    rec.t_begin = t_begin;
+    rec.t_end = t_end;
+    rec.workers = workers;
+    rec.ops = ops;
+    timers_.add(rec.kernel, rec.seconds);
+    ops_[static_cast<std::size_t>(rec.kernel)] += ops;
+    return true;
+  }
+
+  /// One-shot insert of an already-complete record (synchronous callers).
+  void add(const LaunchRecord& r) {
+    const std::size_t i = begin_record(r);
+    (void)finish_record(i, r.id, r.t_begin, r.t_end, r.workers, r.ops);
   }
 
   /// Drop the per-launch records (cumulative aggregates are kept). Called
@@ -106,8 +162,45 @@ public:
     return records_;
   }
 
-  /// Most recent record (valid only while step_records() is non-empty).
-  [[nodiscard]] const LaunchRecord& last() const { return records_.back(); }
+  /// Most recent record. Precondition: step_records() is non-empty —
+  /// reachable otherwise when a caller clears the sink between launch and
+  /// read, so the violation throws instead of invoking UB.
+  [[nodiscard]] const LaunchRecord& last() const {
+    if (records_.empty()) {
+      throw std::logic_error(
+          "InstrumentationSink::last(): no records since begin_step()");
+    }
+    return records_.back();
+  }
+
+  /// Sum of the step's per-launch body seconds — what the per-kernel
+  /// breakdown adds up to.
+  [[nodiscard]] double step_kernel_seconds() const {
+    double s = 0.0;
+    for (const LaunchRecord& r : records_) s += r.seconds;
+    return s;
+  }
+
+  /// Span from the first body start to the last body end of the step —
+  /// the step's launch wall time. With concurrent streams this is less
+  /// than step_kernel_seconds(); the difference is the achieved overlap
+  /// that separates sum-of-kernel-times from step elapsed time in the
+  /// Fig 3/4 breakdowns. Valid once the step's launches completed.
+  [[nodiscard]] double step_wall_seconds() const {
+    if (records_.empty()) return 0.0;
+    double lo = records_.front().t_begin;
+    double hi = records_.front().t_end;
+    for (const LaunchRecord& r : records_) {
+      lo = std::min(lo, r.t_begin);
+      hi = std::max(hi, r.t_end);
+    }
+    return hi - lo;
+  }
+
+  /// Kernel seconds hidden by concurrent execution this step (>= 0).
+  [[nodiscard]] double step_overlap_seconds() const {
+    return std::max(0.0, step_kernel_seconds() - step_wall_seconds());
+  }
 
   /// Cumulative per-kernel wall-clock and call counts.
   [[nodiscard]] const KernelTimers& timers() const { return timers_; }

@@ -7,15 +7,21 @@
 #include "gravity/walk_tree.hpp"
 #include "nbody/simulation.hpp"
 #include "octree/calc_node.hpp"
+#include "octree/radix_sort.hpp"
 #include "octree/tree_build.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace gothic::runtime {
@@ -161,7 +167,7 @@ TEST(Device, WorkerArenasRetainCapacityAcrossLaunches) {
 // --- Streams, events, instrumentation -------------------------------------
 
 TEST(Launch, RecordsIdsOpsAndSink) {
-  Device dev(2);
+  Device dev(2, /*async=*/0); // synchronous: the record is complete on return
   InstrumentationSink sink;
   Stream s("tree");
   LaunchDesc desc;
@@ -197,6 +203,7 @@ TEST(Launch, SameStreamLaunchesAreImplicitlyOrdered) {
   desc.sink = &sink;
   const Event a = dev.launch(desc, [](simt::OpCounts&) {});
   (void)dev.launch(desc, [](simt::OpCounts&) {});
+  dev.synchronize();
   const LaunchRecord& second = sink.last();
   EXPECT_EQ(second.deps[0], a.id); // CUDA stream semantics, recorded
 }
@@ -218,6 +225,7 @@ TEST(Launch, CrossStreamDepsAreRecordedAndDeduplicated) {
   wd.deps = {e_pred, e_calc};
   wd.sink = &sink;
   (void)dev.launch(wd, [](simt::OpCounts&) {});
+  dev.synchronize();
   const LaunchRecord& walk = sink.last();
   // Explicit {pred, calc}; the implicit same-stream dep duplicates calc and
   // must not be recorded twice.
@@ -226,11 +234,206 @@ TEST(Launch, CrossStreamDepsAreRecordedAndDeduplicated) {
   EXPECT_EQ(walk.deps[2], 0u);
 }
 
-TEST(Launch, UnsignaledDependencyThrows) {
+TEST(Launch, UnissuedDependencyThrows) {
   Device dev(1);
   LaunchDesc desc;
   desc.deps = {Event{9999}};
   EXPECT_THROW(dev.launch(desc, [](simt::OpCounts&) {}), std::logic_error);
+  // Issue validation failures must not wedge the device.
+  (void)dev.launch(LaunchDesc{}, [](simt::OpCounts&) {});
+  dev.synchronize();
+}
+
+TEST(Launch, ForeignDeviceDependencyThrows) {
+  Device a(1), b(1);
+  LaunchDesc desc;
+  const Event e = a.launch(desc, [](simt::OpCounts&) {});
+  a.synchronize();
+  LaunchDesc bad;
+  bad.deps = {e};
+  EXPECT_THROW(b.launch(bad, [](simt::OpCounts&) {}), std::logic_error);
+}
+
+TEST(Launch, AsyncRecordCompletesByEventWait) {
+  Device dev(2, /*async=*/1);
+  InstrumentationSink sink;
+  Stream s("tree");
+  LaunchDesc desc;
+  desc.kernel = Kernel::CalcNode;
+  desc.sink = &sink;
+  desc.stream = &s;
+  std::atomic<int> ran{0};
+  const Event e = dev.launch(desc, [&ran](simt::OpCounts& ops) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ops.int_ops += 7;
+    ran.store(1, std::memory_order_release);
+  });
+  e.wait(); // a real completion handle now
+  EXPECT_EQ(ran.load(std::memory_order_acquire), 1);
+  dev.synchronize();
+  const LaunchRecord& rec = sink.last();
+  EXPECT_EQ(rec.id, e.id);
+  EXPECT_EQ(rec.ops.int_ops, 7u);
+  EXPECT_GT(rec.workers, 0);
+  EXPECT_GE(rec.t_end, rec.t_begin);
+  EXPECT_DOUBLE_EQ(rec.seconds, rec.t_end - rec.t_begin);
+}
+
+TEST(Launch, CrossStreamEventOrdering) {
+  // Ping-pong a strictly ordered chain of launches across two streams:
+  // every launch depends on the previous one on the *other* stream, so the
+  // scheduler's cross-lane event waits carry the entire ordering. Run
+  // under TSan this doubles as the data-race stress test for the
+  // dependency machinery.
+  Device dev(2, /*async=*/1);
+  Stream a("a"), b("b");
+  constexpr int kRounds = 64;
+  std::vector<int> seq;
+  seq.reserve(2 * kRounds);
+  Event prev{};
+  for (int i = 0; i < 2 * kRounds; ++i) {
+    LaunchDesc desc;
+    desc.stream = (i % 2 == 0) ? &a : &b;
+    desc.deps = {prev};
+    prev = dev.launch(desc, [&seq, i](simt::OpCounts&) {
+      seq.push_back(i);
+    });
+  }
+  dev.synchronize();
+  ASSERT_EQ(seq.size(), static_cast<std::size_t>(2 * kRounds));
+  for (int i = 0; i < 2 * kRounds; ++i) EXPECT_EQ(seq[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Launch, IndependentStreamsOverlap) {
+  // Two sleeping launches on independent streams must genuinely overlap:
+  // the step wall span stays well under the serial sum.
+  Device dev(2, /*async=*/1);
+  InstrumentationSink sink;
+  Stream a("a"), b("b");
+  auto sleeper = [](simt::OpCounts&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  };
+  LaunchDesc da;
+  da.stream = &a;
+  da.sink = &sink;
+  LaunchDesc db;
+  db.stream = &b;
+  db.sink = &sink;
+  (void)dev.launch(da, sleeper);
+  (void)dev.launch(db, sleeper);
+  dev.synchronize();
+  EXPECT_GE(sink.step_kernel_seconds(), 0.18);
+  EXPECT_LT(sink.step_wall_seconds(), 0.9 * sink.step_kernel_seconds());
+  EXPECT_GT(sink.step_overlap_seconds(), 0.0);
+}
+
+TEST(Launch, AsyncBodyErrorSurfacesAtSynchronize) {
+  Device dev(2, /*async=*/1);
+  LaunchDesc desc;
+  (void)dev.launch(desc, [](simt::OpCounts&) {
+    throw std::runtime_error("body failed");
+  });
+  EXPECT_THROW(dev.synchronize(), std::runtime_error);
+  // The error is cleared and the device stays usable.
+  std::atomic<int> ran{0};
+  (void)dev.launch(desc, [&ran](simt::OpCounts&) { ran.store(1); });
+  dev.synchronize();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Sink, LastThrowsWhenEmpty) {
+  InstrumentationSink sink;
+  EXPECT_THROW((void)sink.last(), std::logic_error);
+  sink.begin_step();
+  EXPECT_THROW((void)sink.last(), std::logic_error);
+}
+
+TEST(Device, DispatchPropagatesExactlyOneError) {
+  Device dev(4, /*async=*/0);
+  auto reusable = [&dev] {
+    std::vector<int> hits(16, 0);
+    dev.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] = 1; });
+    return std::accumulate(hits.begin(), hits.end(), 0) == 16;
+  };
+  // Worker 0 (the calling thread) throws.
+  EXPECT_THROW(dev.for_workers([](Worker& w) {
+                 if (w.id == 0) throw std::runtime_error("w0");
+               }),
+               std::runtime_error);
+  EXPECT_TRUE(reusable());
+  // A pool worker throws.
+  EXPECT_THROW(dev.for_workers([](Worker& w) {
+                 if (w.id == 3) throw std::runtime_error("w3");
+               }),
+               std::runtime_error);
+  EXPECT_TRUE(reusable());
+  // Every worker throws: exactly one propagates (first recorded wins) and
+  // none is left latched for the next collective — the old pool dropped
+  // the pool-worker error when worker 0 also threw, and kept it latched.
+  EXPECT_THROW(dev.for_workers([](Worker&) {
+                 throw std::runtime_error("all");
+               }),
+               std::runtime_error);
+  EXPECT_TRUE(reusable());
+  dev.for_workers([](Worker&) {}); // must not rethrow a stale error
+}
+
+// --- Radix sort on arena scratch ------------------------------------------
+
+std::pair<std::vector<std::uint64_t>, std::vector<index_t>>
+random_pairs(std::size_t n, int bits, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<index_t> payload(n);
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.next() & mask;
+    payload[i] = static_cast<index_t>(i);
+  }
+  return {std::move(keys), std::move(payload)};
+}
+
+TEST(RadixSort, MultiPassDeterministicAcrossWorkerCounts) {
+  // 3 passes (odd, so the copy-back path runs) over duplicate-rich keys:
+  // stability makes the payload order unique, so a reference stable_sort
+  // and every worker count must agree exactly.
+  constexpr std::size_t kN = 4096;
+  constexpr int kBits = 24;
+  auto [ref_keys, ref_payload] = random_pairs(kN, 10, 42); // many duplicates
+  std::vector<std::size_t> order(kN);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ref_keys[a] < ref_keys[b];
+                   });
+  for (int workers : {1, 3, 4}) {
+    Device dev(workers);
+    ScopedDevice scope(dev);
+    auto [keys, payload] = random_pairs(kN, 10, 42);
+    octree::radix_sort_pairs(keys, payload, kBits, nullptr);
+    EXPECT_TRUE(octree::is_sorted_keys(keys));
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(keys[i], ref_keys[order[i]]) << "workers " << workers;
+      EXPECT_EQ(payload[i], static_cast<index_t>(order[i]))
+          << "workers " << workers;
+    }
+  }
+}
+
+TEST(RadixSort, SteadyStateSortsDoZeroArenaHeapAllocations) {
+  Device dev(3);
+  ScopedDevice scope(dev);
+  auto sort_once = [] {
+    auto [keys, payload] = random_pairs(2048, 48, 7);
+    octree::radix_sort_pairs(keys, payload, 48, nullptr);
+    ASSERT_TRUE(octree::is_sorted_keys(keys));
+  };
+  sort_once(); // warm-up sizes the arenas
+  const std::uint64_t warm = dev.arena_heap_allocations();
+  EXPECT_GT(warm, 0u); // the scratch really lives in the arenas now
+  for (int i = 0; i < 6; ++i) sort_once();
+  EXPECT_EQ(dev.arena_heap_allocations(), warm);
 }
 
 // --- Kernel determinism across devices and modes --------------------------
@@ -340,13 +543,61 @@ TEST(SimulationRuntime, SteadyStateStepsDoZeroArenaHeapAllocations) {
   cfg.block_time_steps = false;  // identical work every step
   cfg.dt_max = 1.0 / 4096;
   cfg.auto_rebuild = false;
-  cfg.fixed_rebuild_interval = 1 << 30;
+  // Rebuild every other step so the steady state includes makeTree and its
+  // radix sort — the sort scratch lives in the worker arenas too now.
+  cfg.fixed_rebuild_interval = 2;
   nbody::Simulation sim(uniform_cloud(1024), cfg);
-  for (int i = 0; i < 3; ++i) (void)sim.step(); // warm-up
+  for (int i = 0; i < 4; ++i) (void)sim.step(); // warm-up incl. rebuilds
   const std::uint64_t warm = dev.arena_heap_allocations();
   EXPECT_GT(warm, 0u);
   for (int i = 0; i < 8; ++i) (void)sim.step();
   EXPECT_EQ(dev.arena_heap_allocations(), warm);
+}
+
+TEST(SimulationRuntime, AsyncMatchesSyncBitIdentical) {
+  // The tentpole's acceptance gate: a full step loop (including rebuild
+  // steps) produces bit-identical particle state whether the launch DAG is
+  // executed synchronously or by the asynchronous stream scheduler.
+  auto run = [](int workers, int async) {
+    Device dev(workers, async);
+    ScopedDevice scope(dev);
+    nbody::SimConfig cfg;
+    cfg.auto_rebuild = false;
+    cfg.fixed_rebuild_interval = 3;
+    nbody::Simulation sim(uniform_cloud(640), cfg);
+    sim.run(7);
+    return sim;
+  };
+  for (int workers : {1, 2, 4}) {
+    const auto sync = run(workers, 0);
+    const auto async = run(workers, 1);
+    const auto& ps = sync.particles();
+    const auto& pa = async.particles();
+    ASSERT_EQ(ps.size(), pa.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      EXPECT_EQ(ps.x[i], pa.x[i]) << "workers " << workers << " body " << i;
+      EXPECT_EQ(ps.y[i], pa.y[i]) << "workers " << workers << " body " << i;
+      EXPECT_EQ(ps.z[i], pa.z[i]) << "workers " << workers << " body " << i;
+      EXPECT_EQ(ps.vx[i], pa.vx[i]) << "workers " << workers << " body " << i;
+      EXPECT_EQ(ps.vy[i], pa.vy[i]) << "workers " << workers << " body " << i;
+      EXPECT_EQ(ps.vz[i], pa.vz[i]) << "workers " << workers << " body " << i;
+    }
+    EXPECT_EQ(sync.rebuild_count(), async.rebuild_count());
+  }
+}
+
+TEST(SimulationRuntime, StepReportCarriesWallAndOverlap) {
+  Device dev(2, /*async=*/1);
+  ScopedDevice scope(dev);
+  nbody::SimConfig cfg;
+  cfg.auto_rebuild = false;
+  cfg.fixed_rebuild_interval = 1 << 30;
+  nbody::Simulation sim(uniform_cloud(512), cfg);
+  const nbody::StepReport r = sim.step();
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GE(r.overlap_seconds(), 0.0);
+  // Wall time never exceeds the serial sum by more than scheduling slack.
+  EXPECT_DOUBLE_EQ(r.wall_seconds, sim.sink().step_wall_seconds());
 }
 
 TEST(SimulationRuntime, StepReportIsDrainedFromLaunchRecords) {

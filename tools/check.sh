@@ -1,29 +1,41 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a ThreadSanitizer pass over the runtime layer.
 #
-#   tools/check.sh            # full: verify + TSan runtime/walk tests
+#   tools/check.sh            # full: verify (both schedulers) + TSan
 #   tools/check.sh --fast     # verify only
 #
+# The tier-1 suite runs twice: once with GOTHIC_ASYNC=1 (the default
+# asynchronous stream scheduler) and once with GOTHIC_ASYNC=0 (the
+# synchronous escape hatch) — results must be identical.
+#
 # The TSan stage rebuilds test_runtime and test_walk_tree in a separate
-# build tree (build-tsan/) with GOTHIC_SANITIZE=thread, exercising the
-# Device worker pool's fork/join handshake and the per-launch merge locks
-# under a real data-race detector.
+# build tree (build-tsan/) with GOTHIC_SANITIZE=thread and runs them under
+# both scheduler modes, exercising the lane leaders' queue handshake, the
+# cross-stream event waits, the team fork/join, and the per-launch merge
+# locks under a real data-race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1 verify =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+echo "-- ctest (GOTHIC_ASYNC=1, stream scheduler) --"
+(cd build && GOTHIC_ASYNC=1 ctest --output-on-failure -j)
+echo "-- ctest (GOTHIC_ASYNC=0, synchronous escape hatch) --"
+(cd build && GOTHIC_ASYNC=0 ctest --output-on-failure -j)
 
 if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== TSan: runtime + walk_tree =="
+echo "== TSan: runtime + walk_tree (both scheduler modes) =="
 cmake -B build-tsan -S . -DGOTHIC_SANITIZE=thread \
       -DGOTHIC_BUILD_BENCH=OFF -DGOTHIC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j --target test_runtime test_walk_tree
-(cd build-tsan && ./tests/test_runtime && ./tests/test_walk_tree)
+(cd build-tsan &&
+  GOTHIC_ASYNC=1 ./tests/test_runtime &&
+  GOTHIC_ASYNC=1 ./tests/test_walk_tree &&
+  GOTHIC_ASYNC=0 ./tests/test_runtime &&
+  GOTHIC_ASYNC=0 ./tests/test_walk_tree)
 
 echo "check.sh: all stages passed"
