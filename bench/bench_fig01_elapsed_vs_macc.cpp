@@ -7,6 +7,7 @@
 // are measured at bench scale; shapes and ratios are the reproduction
 // target (EXPERIMENTS.md).
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include <iostream>
 
@@ -20,11 +21,14 @@ int main() {
 
   std::cout << "# M31 model, N = " << scale.n
             << " (paper: 8388608), steps = " << scale.steps << "\n";
+  BenchReport rep("fig01_elapsed_vs_macc");
+  rep.set_scale(scale);
   Table t("Fig 1 - elapsed time per step [s] vs dacc",
           {"dacc", "V100 c60", "V100 c70", "P100", "TITAN X", "K20X",
            "M2090"});
   for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
     const StepProfile p = profile_step(init, dacc, scale.steps);
+    rep.add_profile(dacc_label(dacc), p);
     std::vector<std::string> row{dacc_label(dacc)};
     // V100 Pascal mode, V100 Volta mode.
     row.push_back(Table::sci(predict_step_time(p, gpus[0], false).total()));
@@ -37,5 +41,9 @@ int main() {
   t.print(std::cout);
   std::cout << "expected shape: later GPUs always faster; V100 c60 always "
                "below c70; time rises steeply as dacc shrinks.\n";
+  rep.add_table(t);
+  rep.add_note("expected shape: later GPUs always faster; V100 c60 always "
+               "below c70; time rises steeply as dacc shrinks.");
+  rep.write(std::cout);
   return 0;
 }

@@ -4,6 +4,7 @@
 // Paper: (a) is flat at 1.1-1.2; (b) runs 1.4-2.2 with the >2 region at
 // dacc <~ 1e-3 and a decline toward large dacc.
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include <iostream>
 
@@ -17,11 +18,14 @@ int main() {
   const auto p100 = perfmodel::tesla_p100();
 
   std::cout << "# M31 model, N = " << scale.n << "\n";
+  BenchReport rep("fig02_speedup");
+  rep.set_scale(scale);
   Table t("Fig 2 - speed-up of V100 (compute_60)",
           {"dacc", "vs V100 compute_70", "vs P100"});
   double min_mode = 1e30, max_mode = 0, min_p100 = 1e30, max_p100 = 0;
   for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
     const StepProfile p = profile_step(init, dacc, scale.steps);
+    rep.add_profile(dacc_label(dacc), p);
     const double t60 = predict_step_time(p, v100, false).total();
     const double t70 = predict_step_time(p, v100, true).total();
     const double tp = predict_step_time(p, p100, false).total();
@@ -40,5 +44,8 @@ int main() {
             << "); P100 speed-up 1.4-2.2 (measured "
             << Table::fix(min_p100, 2) << "-" << Table::fix(max_p100, 2)
             << "), peak-performance ratio = 1.48\n";
+  rep.add_table(t);
+  rep.add_note("paper: mode speed-up 1.1-1.2; P100 speed-up 1.4-2.2");
+  rep.write(std::cout);
   return 0;
 }

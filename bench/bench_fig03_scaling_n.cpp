@@ -7,8 +7,11 @@
 // Ntot ~ 1e4. (Paper reaches 25*2^20 particles; bench scale is capped by
 // the container, override with GOTHIC_BENCH_NMAX.)
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include "perfmodel/capacity.hpp"
+#include "runtime/device.hpp"
+#include "trace/session.hpp"
 #include "util/env.hpp"
 
 #include <iostream>
@@ -23,6 +26,11 @@ int main() {
 
   std::cout << "# runtime workers = " << BenchScale::from_env().threads
             << " (override with GOTHIC_THREADS)\n";
+  BenchReport rep("fig03_scaling_n");
+  rep.set_scale(BenchScale::from_env());
+  // Observe every profiled launch: per-kernel latency histograms for the
+  // report, plus a Perfetto trace when GOTHIC_TRACE is set.
+  trace::Session session;
   Table t("Fig 3 - elapsed time per step [s] vs Ntot (V100 compute_60, "
           "dacc=2^-9)",
           {"Ntot", "total", "walkTree", "calcNode", "makeTree", "pred/corr"});
@@ -33,7 +41,8 @@ int main() {
   bool monotone = true;
   for (std::size_t n = 1024; n <= n_max; n *= 4) {
     const auto init = m31_workload(n);
-    const StepProfile p = profile_step(init, dacc, 1);
+    const StepProfile p = profile_step(init, dacc, 1, 128, &session);
+    rep.add_profile("N=" + std::to_string(n), p);
     const GpuStepTime gt = predict_step_time(p, v100, false);
     t.add_row({Table::num(static_cast<long long>(n)),
                Table::sci(gt.total()), Table::sci(gt.walk),
@@ -64,5 +73,15 @@ int main() {
             << " (paper 31457280); V100 32GB -> "
             << perfmodel::max_particles(perfmodel::tesla_v100_32gb())
             << ".\n";
+  session.finish(runtime::Device::current());
+  if (session.tracing()) {
+    std::cout << "perfetto trace: " << session.trace_path() << "\n";
+  }
+  rep.add_table(t);
+  rep.add_table(ov);
+  rep.add_metrics(session.metrics());
+  rep.add_note("expected shape: gravity dominates; small-N region sits on "
+               "the launch-latency floor");
+  rep.write(std::cout);
   return 0;
 }

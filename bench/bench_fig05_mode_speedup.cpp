@@ -6,6 +6,7 @@
 // smaller gain (tiled Cooperative-Groups sync + block-scope radix sort);
 // predict/correct shows none (no warp synchronisation at all).
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include <iostream>
 
@@ -18,10 +19,13 @@ int main() {
   const auto v100 = perfmodel::tesla_v100();
 
   std::cout << "# M31 model, N = " << scale.n << "\n";
+  BenchReport rep("fig05_mode_speedup");
+  rep.set_scale(scale);
   Table t("Fig 5 - Pascal-mode speed-up per function (V100)",
           {"dacc", "walkTree", "calcNode", "makeTree", "pred/corr"});
   for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
     const StepProfile p = profile_step(init, dacc, scale.steps);
+    rep.add_profile(dacc_label(dacc), p);
     const GpuStepTime pas = predict_step_time(p, v100, false);
     const GpuStepTime vol = predict_step_time(p, v100, true);
     t.add_row({dacc_label(dacc), Table::fix(vol.walk / pas.walk, 3),
@@ -32,5 +36,9 @@ int main() {
   t.print(std::cout);
   std::cout << "paper: walkTree ~1.15, calcNode ~1.23, makeTree smaller, "
                "pred/corr 1.00 (identical operations in both modes).\n";
+  rep.add_table(t);
+  rep.add_note("paper: walkTree ~1.15, calcNode ~1.23, makeTree smaller, "
+               "pred/corr 1.00");
+  rep.write(std::cout);
   return 0;
 }

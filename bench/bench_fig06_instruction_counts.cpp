@@ -6,6 +6,7 @@
 // special (rsqrt) lowest (~10x below FMA); the integer count falls more
 // slowly than the FP32 counts, converging toward them at dacc ~ 2^-1.
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include <iostream>
 
@@ -18,11 +19,14 @@ int main() {
 
   std::cout << "# walkTree instruction counts per step, M31, N = " << scale.n
             << " (paper: N = 2^23, nvprof)\n";
+  BenchReport rep("fig06_instruction_counts");
+  rep.set_scale(scale);
   Table t("Fig 6 - instructions per step in walkTree",
           {"dacc", "integer", "FP32 FMA", "FP32 mul", "FP32 add", "FP32 sp",
            "int/FP32"});
   for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
     const StepProfile p = profile_step(init, dacc, scale.steps);
+    rep.add_profile(dacc_label(dacc), p);
     const auto& w = p.walk;
     const double ratio =
         static_cast<double>(w.int_ops) /
@@ -38,5 +42,9 @@ int main() {
   t.print(std::cout);
   std::cout << "expected shape: FMA > mul/add > special (~10x below FMA); "
                "integer share rises as dacc grows.\n";
+  rep.add_table(t);
+  rep.add_note("expected shape: FMA > mul/add > special; integer share "
+               "rises as dacc grows");
+  rep.write(std::cout);
   return 0;
 }

@@ -5,6 +5,7 @@
 // split hides the entire integer column; the sum is what a pre-Volta GPU
 // must execute.
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include <iostream>
 
@@ -16,12 +17,15 @@ int main() {
   const auto init = m31_workload(scale.n);
 
   std::cout << "# walkTree per step, M31, N = " << scale.n << "\n";
+  BenchReport rep("fig07_operating_units");
+  rep.set_scale(scale);
   Table t("Fig 7 - instructions by operating unit",
           {"dacc", "integer", "FP32", "max(int,FP32)", "int+FP32",
            "hiding ratio"});
   bool fp_always_max = true;
   for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
     const StepProfile p = profile_step(init, dacc, scale.steps);
+    rep.add_profile(dacc_label(dacc), p);
     const std::uint64_t fp = p.walk.fp32_core_instructions();
     const std::uint64_t in = p.walk.int_ops;
     const std::uint64_t mx = std::max(fp, in);
@@ -37,5 +41,9 @@ int main() {
   std::cout << "paper: FP32 counts always above integer => max(int,FP32) "
                "== FP32: " << (fp_always_max ? "holds" : "VIOLATED")
             << " in this run.\n";
+  rep.add_table(t);
+  rep.add_note(std::string("max(int,FP32) == FP32: ") +
+               (fp_always_max ? "holds" : "VIOLATED"));
+  rep.write(std::cout);
   return 0;
 }

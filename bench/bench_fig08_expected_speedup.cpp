@@ -7,6 +7,7 @@
 // quantity), which falls below the expectation at large dacc exactly as
 // the paper observes (§4.2).
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include <iostream>
 
@@ -20,11 +21,14 @@ int main() {
   const auto p100 = perfmodel::tesla_p100();
 
   std::cout << "# M31 model, N = " << scale.n << "\n";
+  BenchReport rep("fig08_expected_speedup");
+  rep.set_scale(scale);
   Table t("Fig 8 - expected V100/P100 speed-up decomposition (walkTree)",
           {"dacc", "peak ratio", "BW ratio", "hiding ratio", "expected",
            "full model"});
   for (const double dacc : dacc_sweep(scale.dacc_min_exp)) {
     const StepProfile p = profile_step(init, dacc, scale.steps);
+    rep.add_profile(dacc_label(dacc), p);
     const auto s =
         perfmodel::expected_speedup(v100, p100, pascal_view(p.walk));
     const double observed = predict_step_time(p, p100, false).walk /
@@ -37,5 +41,9 @@ int main() {
   std::cout << "paper: expected ~2.2-2.7 (rising with dacc); observed "
                "agrees at dacc <~ 1e-3 and falls below the expectation at "
                "larger dacc (memory/latency effects).\n";
+  rep.add_table(t);
+  rep.add_note("paper: expected ~2.2-2.7; observed falls below at large "
+               "dacc");
+  rep.write(std::cout);
   return 0;
 }

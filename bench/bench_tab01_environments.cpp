@@ -3,6 +3,7 @@
 // model runs on, so this bench prints every descriptor next to the values
 // quoted in §1/Table 1 and fails loudly if a descriptor drifts.
 #include "perfmodel/gpu_spec.hpp"
+#include "support/report.hpp"
 #include "util/table.hpp"
 
 #include <iostream>
@@ -35,5 +36,9 @@ int main() {
   std::cout << "paper Fig 8: measured-bandwidth ratio ~1.55, model = "
             << Table::fix(v.mem_bw_measured_gbs / p.mem_bw_measured_gbs, 2)
             << "\n";
+  bench::BenchReport rep("tab01_environments");
+  rep.add_table(t);
+  rep.add_note("descriptor table; no measured profiles in this bench");
+  rep.write(std::cout);
   return 0;
 }

@@ -10,6 +10,7 @@
 //   walkTree 512/32, calcNode 128/32 (V100) 256/16 (P100),
 //   makeTree 512/8, predict 512/-, correct 512/32.
 #include "support/experiment.hpp"
+#include "support/report.hpp"
 
 #include "octree/calc_node.hpp"
 #include "octree/tree_build.hpp"
@@ -133,5 +134,12 @@ int main() {
   t.print(std::cout);
   std::cout << "note: predict has no sub-warp phase; its Tsub column is "
                "degenerate by construction.\n";
+  BenchReport rep("tab02_block_config");
+  rep.set_scale(scale);
+  rep.add_profile("dacc=2^-9", prof);
+  rep.add_table(t);
+  rep.add_note("note: predict has no sub-warp phase; its Tsub column is "
+               "degenerate by construction");
+  rep.write(std::cout);
   return 0;
 }

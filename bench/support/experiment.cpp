@@ -28,6 +28,7 @@ BenchScale BenchScale::from_env() {
   s.steps = static_cast<int>(env_size("GOTHIC_BENCH_STEPS", 1));
   s.dacc_min_exp = static_cast<int>(env_size("GOTHIC_BENCH_DACC_MIN", 14));
   s.threads = runtime::Device::default_workers();
+  s.async = runtime::Device::default_async();
   return s;
 }
 
@@ -60,7 +61,8 @@ nbody::Particles m31_workload(std::size_t n) {
 }
 
 StepProfile profile_step(const nbody::Particles& init, double dacc,
-                         int steps, int list_capacity) {
+                         int steps, int list_capacity,
+                         runtime::RecordListener* listener) {
   nbody::SimConfig cfg;
   cfg.walk.mac.type = gravity::MacType::Acceleration;
   cfg.walk.mac.dacc = static_cast<real>(dacc);
@@ -73,6 +75,7 @@ StepProfile profile_step(const nbody::Particles& init, double dacc,
   cfg.fixed_rebuild_interval = 1 << 30; // rebuilds measured separately
 
   nbody::Simulation sim(init, cfg);
+  if (listener != nullptr) sim.set_instrumentation_listener(listener);
 
   StepProfile p;
   p.n = init.size();

@@ -28,6 +28,7 @@ struct BenchScale {
   int steps;            ///< measured steps per configuration
   int dacc_min_exp;     ///< sweep reaches 2^-dacc_min_exp
   int threads;          ///< runtime::Device workers (GOTHIC_THREADS override)
+  bool async;           ///< stream-scheduling default (GOTHIC_ASYNC)
   static BenchScale from_env();
 };
 
@@ -53,8 +54,14 @@ struct StepProfile {
 
   /// Kernel seconds hidden by concurrent streams per step (>= 0).
   [[nodiscard]] double measured_overlap_seconds() const {
-    const double o = measured_kernel_seconds - measured_wall_seconds;
+    const double o = measured_raw_overlap_seconds();
     return o > 0.0 ? o : 0.0;
+  }
+
+  /// The same gap, signed; negative values flag scheduler anomalies that
+  /// the clamped accessor hides (counted by trace::MetricsRegistry).
+  [[nodiscard]] double measured_raw_overlap_seconds() const {
+    return measured_kernel_seconds - measured_wall_seconds;
   }
 };
 
@@ -63,8 +70,11 @@ nbody::Particles m31_workload(std::size_t n);
 
 /// Profile `steps` GOTHIC steps at the given accuracy on `init`
 /// (copied internally). Counts are per step, measured in Volta mode.
+/// A non-null `listener` (e.g. a trace::Session) observes every launch
+/// and step of the internal Simulation, warm-up step included.
 StepProfile profile_step(const nbody::Particles& init, double dacc,
-                         int steps, int list_capacity = 128);
+                         int steps, int list_capacity = 128,
+                         runtime::RecordListener* listener = nullptr);
 
 /// Strip the synchronisation events: the Pascal-mode view of a profile.
 simt::OpCounts pascal_view(const simt::OpCounts& volta_counts);

@@ -242,17 +242,33 @@ StepReport Simulation::step() {
   dev.synchronize();
   report.walk_stats = stats;
   if (report.rebuilt) policy_.record_rebuild(step_make_seconds());
+  double t_lo = 0.0;
+  double t_hi = 0.0;
+  bool first = true;
   for (const runtime::LaunchRecord& rec : sink_.step_records()) {
     const auto k = static_cast<std::size_t>(rec.kernel);
     report.seconds[k] += rec.seconds;
     report.ops[k] += rec.ops;
     if (rec.kernel == Kernel::WalkTree) policy_.record_walk(rec.seconds);
+    if (first || rec.t_begin < t_lo) t_lo = rec.t_begin;
+    if (first || rec.t_end > t_hi) t_hi = rec.t_end;
+    first = false;
   }
-  report.wall_seconds = sink_.step_wall_seconds();
+  report.wall_seconds = first ? 0.0 : t_hi - t_lo;
 
   ++steps_since_rebuild_;
   ++step_count_;
   report.time = steps_.time();
+  if (runtime::RecordListener* l = sink_.listener()) {
+    runtime::StepMark mark;
+    mark.index = static_cast<std::uint64_t>(step_count_);
+    mark.rebuilt = report.rebuilt;
+    mark.t_begin = t_lo;
+    mark.t_end = t_hi;
+    mark.kernel_seconds = report.total_seconds();
+    mark.wall_seconds = report.wall_seconds;
+    l->on_step(mark);
+  }
   return report;
 }
 

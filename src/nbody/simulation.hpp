@@ -67,8 +67,15 @@ struct StepReport {
   /// Kernel seconds hidden by stream overlap this step (>= 0): the gap
   /// between sum-of-kernel-times and launch wall time.
   [[nodiscard]] double overlap_seconds() const {
-    const double o = total_seconds() - wall_seconds;
+    const double o = raw_overlap_seconds();
     return o > 0.0 ? o : 0.0;
+  }
+
+  /// The same gap, signed. A negative value is a scheduler anomaly (the
+  /// step's wall span exceeded the work it contained) that the clamped
+  /// accessor hides; the metrics registry counts such steps.
+  [[nodiscard]] double raw_overlap_seconds() const {
+    return total_seconds() - wall_seconds;
   }
 };
 
@@ -108,6 +115,14 @@ public:
   /// a LaunchRecord here; step_records() spans the most recent step().
   [[nodiscard]] const runtime::InstrumentationSink& sink() const {
     return sink_;
+  }
+
+  /// Attach an observability hook (e.g. trace::Session): `l` receives
+  /// every completed LaunchRecord and one StepMark per step() until
+  /// detached with nullptr. The listener must outlive its attachment; set
+  /// only between steps (never while launches are in flight).
+  void set_instrumentation_listener(runtime::RecordListener* l) {
+    sink_.set_listener(l);
   }
 
   [[nodiscard]] Energies energies() const {

@@ -25,7 +25,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace gothic::runtime {
@@ -89,6 +91,9 @@ struct LaunchDesc {
 /// timing fields are valid once the launch's event has completed.
 struct LaunchRecord {
   Kernel kernel = Kernel::WalkTree;
+  /// Label / stream name. In records stored by an InstrumentationSink both
+  /// point into the sink's interned string table (valid for the sink's
+  /// lifetime, independent of the originating Stream object).
   const char* label = "";
   const char* stream = "";
   std::uint64_t id = 0;                 ///< launch sequence number
@@ -101,6 +106,41 @@ struct LaunchRecord {
   simt::OpCounts ops;                   ///< nvprof-style counts
 
   [[nodiscard]] std::uint64_t bytes() const { return ops.total_bytes(); }
+};
+
+/// Per-step summary a Simulation hands to its RecordListener after each
+/// step() completed: the device-epoch span of the step's launches and the
+/// kernel-sum vs wall-span timing whose signed gap is the achieved (or
+/// anomalously negative) stream overlap.
+struct StepMark {
+  std::uint64_t index = 0; ///< step count after the step (1-based)
+  bool rebuilt = false;
+  double t_begin = 0.0;    ///< earliest body start, device-epoch seconds
+  double t_end = 0.0;      ///< latest body end, device-epoch seconds
+  double kernel_seconds = 0.0; ///< sum of the step's launch body seconds
+  double wall_seconds = 0.0;   ///< first-start-to-last-end span
+
+  /// Signed overlap gap. Positive: kernel seconds hidden by concurrent
+  /// streams. Negative: a scheduler anomaly (the wall span exceeded the
+  /// work it contained) — the clamped StepReport::overlap_seconds() hides
+  /// it, this field and the metrics registry surface it.
+  [[nodiscard]] double raw_overlap_seconds() const {
+    return kernel_seconds - wall_seconds;
+  }
+};
+
+/// Observer of the instrumentation stream — the hook the trace/metrics
+/// layer attaches to. The sink invokes on_record() for every launch whose
+/// timing completed, and Simulation::step() invokes on_step() once per
+/// step. on_record() runs under the issuing device's launch lock: keep it
+/// short, never call back into the device. A null listener costs one
+/// pointer test per launch, so instrumentation consumers add zero overhead
+/// when detached.
+class RecordListener {
+public:
+  virtual ~RecordListener() = default;
+  virtual void on_record(const LaunchRecord& rec) = 0;
+  virtual void on_step(const StepMark& mark) { (void)mark; }
 };
 
 /// Collects LaunchRecords and maintains cumulative per-kernel aggregates.
@@ -119,9 +159,16 @@ public:
 
   /// Insert the issue-time half of a record (id, deps, stream, items);
   /// returns the record's index for finish_record(). Keeps records in
-  /// issue order even when completion is out of order.
+  /// issue order even when completion is out of order. The label and
+  /// stream names are interned into a sink-owned string table, so the
+  /// record stays readable after the Stream object (or a transient label
+  /// buffer) is gone — a trace flushed at shutdown must not chase freed
+  /// name pointers.
   std::size_t begin_record(const LaunchRecord& r) {
     records_.push_back(r);
+    LaunchRecord& rec = records_.back();
+    rec.label = intern(rec.label);
+    rec.stream = intern(rec.stream);
     return records_.size() - 1;
   }
 
@@ -144,6 +191,7 @@ public:
     rec.ops = ops;
     timers_.add(rec.kernel, rec.seconds);
     ops_[static_cast<std::size_t>(rec.kernel)] += ops;
+    if (listener_ != nullptr) listener_->on_record(rec);
     return true;
   }
 
@@ -210,6 +258,26 @@ public:
     return ops_[static_cast<std::size_t>(k)];
   }
 
+  /// Attach (or detach, with nullptr) the observer notified on every
+  /// completed record. Set only while no launch targeting this sink is in
+  /// flight (same discipline as begin_step()/reset()). The listener must
+  /// outlive every launch issued while it is attached.
+  void set_listener(RecordListener* l) { listener_ = l; }
+  [[nodiscard]] RecordListener* listener() const { return listener_; }
+
+  /// Sink-owned copy of `s`, deduplicated: after warm-up every kernel
+  /// label / stream name is already present and interning allocates
+  /// nothing. Pointers stay valid for the sink's lifetime (reset() keeps
+  /// the table — it is a cache, not per-step state).
+  [[nodiscard]] const char* intern(const char* s) {
+    if (s == nullptr) return "";
+    for (const std::string& owned : names_) {
+      if (owned == s) return owned.c_str();
+    }
+    names_.emplace_back(s);
+    return names_.back().c_str();
+  }
+
   void reset() {
     records_.clear();
     timers_.reset();
@@ -221,6 +289,9 @@ private:
   std::vector<LaunchRecord> records_;
   KernelTimers timers_;
   std::array<simt::OpCounts, static_cast<std::size_t>(Kernel::Count)> ops_{};
+  /// Interned label/stream names (std::deque: stable element addresses).
+  std::deque<std::string> names_;
+  RecordListener* listener_ = nullptr;
 };
 
 } // namespace gothic::runtime

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace gothic::simt {
 
@@ -75,5 +76,44 @@ struct OpCounts {
 // Per-launch accumulation now lives in the runtime layer: each
 // runtime::Device worker tallies into a stack-local OpCounts and merges
 // once per launch, so no shared slots (and no false sharing) remain here.
+
+/// The operation categories the observability layer exposes as trace
+/// counter tracks and report columns: the paper's Fig 6/7 instruction
+/// series (FP32 core vs integer vs SFU), memory traffic, and the syncwarp
+/// count — the Volta-vs-Pascal headline metric (§2.1/Fig 5).
+enum class OpCategory : int {
+  Int32 = 0,   ///< inst_integer
+  Fp32,        ///< FP32 CUDA-core instructions (fma + mul + add)
+  SpecialFp32, ///< SFU instructions (rsqrtf)
+  BytesLoad,   ///< device-memory loads, bytes
+  BytesStore,  ///< device-memory stores, bytes
+  Syncwarp,    ///< __syncwarp() executions
+  Count
+};
+
+[[nodiscard]] constexpr std::string_view op_category_name(OpCategory c) {
+  switch (c) {
+    case OpCategory::Int32: return "int32";
+    case OpCategory::Fp32: return "fp32";
+    case OpCategory::SpecialFp32: return "fp32_special";
+    case OpCategory::BytesLoad: return "bytes_load";
+    case OpCategory::BytesStore: return "bytes_store";
+    case OpCategory::Syncwarp: return "syncwarp";
+    default: return "?";
+  }
+}
+
+[[nodiscard]] inline std::uint64_t op_category_value(const OpCounts& ops,
+                                                     OpCategory c) {
+  switch (c) {
+    case OpCategory::Int32: return ops.int_ops;
+    case OpCategory::Fp32: return ops.fp32_core_instructions();
+    case OpCategory::SpecialFp32: return ops.fp32_special;
+    case OpCategory::BytesLoad: return ops.bytes_load;
+    case OpCategory::BytesStore: return ops.bytes_store;
+    case OpCategory::Syncwarp: return ops.syncwarp;
+    default: return 0;
+  }
+}
 
 } // namespace gothic::simt

@@ -1,0 +1,118 @@
+#include "trace/metrics.hpp"
+
+#include "runtime/device.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace gothic::trace {
+
+// --- LatencyHistogram ------------------------------------------------------
+
+int LatencyHistogram::bin_index(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  int exp = 0;
+  // seconds = m * 2^exp with m in [0.5, 1) => seconds in [2^(exp-1), 2^exp).
+  (void)std::frexp(seconds, &exp);
+  return std::clamp(exp - 1 - kMinExp, 0, kBins - 1);
+}
+
+double LatencyHistogram::bin_upper_edge(int i) {
+  return std::ldexp(1.0, kMinExp + i + 1);
+}
+
+void LatencyHistogram::add(double seconds) {
+  bins_[static_cast<std::size_t>(bin_index(seconds))] += 1;
+  count_ += 1;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBins; ++i) {
+    seen += bins_[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bin_upper_edge(i);
+  }
+  return bin_upper_edge(kBins - 1);
+}
+
+void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+
+// --- MetricsRegistry -------------------------------------------------------
+
+void MetricsRegistry::record_launch(const runtime::LaunchRecord& rec) {
+  KernelStats& k = kernels_[static_cast<std::size_t>(rec.kernel)];
+  k.latency.add(rec.seconds);
+  k.launches += 1;
+  k.seconds += rec.seconds;
+  k.ops += rec.ops;
+}
+
+void MetricsRegistry::record_step(const runtime::StepMark& mark) {
+  steps_ += 1;
+  const double raw = mark.raw_overlap_seconds();
+  if (raw < 0.0) {
+    negative_overlap_steps_ += 1;
+    min_raw_overlap_ = std::min(min_raw_overlap_, raw);
+  } else {
+    overlap_sum_ += raw;
+  }
+}
+
+void MetricsRegistry::observe_device(const runtime::Device& dev) {
+  arena_capacity_ = std::max(arena_capacity_, dev.arena_capacity());
+  arena_heap_allocations_ =
+      std::max(arena_heap_allocations_, dev.arena_heap_allocations());
+  workers_ = std::max(workers_, dev.workers());
+}
+
+std::uint64_t MetricsRegistry::launches() const {
+  std::uint64_t n = 0;
+  for (const KernelStats& k : kernels_) n += k.launches;
+  return n;
+}
+
+void MetricsRegistry::print(std::ostream& os) const {
+  Table t("per-kernel launch metrics",
+          {"kernel", "launches", "seconds", "p50", "p95", "max", "fp32",
+           "int32", "bytes", "syncwarp"});
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    const KernelStats& k = kernels_[i];
+    if (k.launches == 0) continue;
+    t.add_row({std::string(kernel_name(static_cast<Kernel>(i))),
+               Table::num(static_cast<long long>(k.launches)),
+               Table::sci(k.seconds), Table::sci(k.latency.p50_seconds()),
+               Table::sci(k.latency.p95_seconds()),
+               Table::sci(k.latency.max_seconds()),
+               Table::num(static_cast<long long>(
+                   k.ops.fp32_core_instructions())),
+               Table::num(static_cast<long long>(k.ops.int_ops)),
+               Table::num(static_cast<long long>(k.ops.total_bytes())),
+               Table::num(static_cast<long long>(k.ops.syncwarp))});
+  }
+  t.print(os);
+  os << "steps observed: " << steps_
+     << ", overlap hidden by streams: " << Table::sci(overlap_sum_)
+     << " s, negative-overlap steps: " << negative_overlap_steps_;
+  if (negative_overlap_steps_ > 0) {
+    os << " (worst " << Table::sci(min_raw_overlap_) << " s)";
+  }
+  os << "\n";
+  if (workers_ > 0) {
+    os << "arena gauges: " << workers_ << " workers, high-water capacity "
+       << arena_capacity_ << " B, heap allocations "
+       << arena_heap_allocations_ << "\n";
+  }
+}
+
+void MetricsRegistry::reset() { *this = MetricsRegistry{}; }
+
+} // namespace gothic::trace

@@ -1,0 +1,133 @@
+// Per-kernel latency histograms and cumulative counters over the
+// instrumentation stream — the aggregate half of the observability layer
+// (the repo's stand-in for nvprof's summary mode).
+//
+// The registry is updated from completed LaunchRecords and per-step
+// StepMarks; all state is fixed-size (log2-binned histograms, per-kernel
+// counter slots), so steady-state recording performs no heap allocation.
+// GOTHIC's companion paper tunes every kernel from exactly such per-kernel
+// latency/instruction aggregates; the figure benches and gothic_run
+// --metrics print this table, and BENCH_*.json embeds its summary.
+#pragma once
+
+#include "runtime/stream.hpp"
+#include "simt/op_counter.hpp"
+#include "util/timer.hpp"
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace gothic::runtime {
+class Device;
+}
+
+namespace gothic::trace {
+
+/// Fixed-bin log2 latency histogram: bin i counts samples in
+/// [2^(kMinExp+i), 2^(kMinExp+i+1)) seconds. The range spans ~1 ns to
+/// ~4.6 h, so no kernel launch ever falls off either end (out-of-range
+/// samples clamp into the edge bins). Percentiles resolve to the upper
+/// edge of the bin holding the requested rank — deterministic, and an
+/// overestimate by at most one bin width (a factor of 2).
+class LatencyHistogram {
+public:
+  static constexpr int kBins = 44;
+  static constexpr int kMinExp = -30;
+
+  void add(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum_seconds() const { return sum_; }
+  [[nodiscard]] double max_seconds() const { return max_; }
+  [[nodiscard]] double mean_seconds() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Upper edge of the bin containing the rank-ceil(p*count) sample
+  /// (p in [0, 1]); 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50_seconds() const { return percentile(0.50); }
+  [[nodiscard]] double p95_seconds() const { return percentile(0.95); }
+
+  [[nodiscard]] std::uint64_t bin(int i) const {
+    return bins_[static_cast<std::size_t>(i)];
+  }
+  /// Bin index a sample of `seconds` lands in (clamped to the edge bins).
+  [[nodiscard]] static int bin_index(double seconds);
+  /// Exclusive upper edge of bin i in seconds: 2^(kMinExp+i+1).
+  [[nodiscard]] static double bin_upper_edge(int i);
+
+  void reset();
+
+private:
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregates of one kernel across every observed launch.
+struct KernelStats {
+  LatencyHistogram latency;
+  std::uint64_t launches = 0;
+  double seconds = 0.0; ///< cumulative body wall-clock
+  simt::OpCounts ops;   ///< cumulative operation tallies
+};
+
+/// Cumulative metrics over the instrumentation stream: per-kernel latency
+/// histograms with p50/p95/max, per-kernel counters, step/overlap
+/// accounting (including the count of negative-overlap steps the clamped
+/// accessors hide), and device arena high-water gauges.
+class MetricsRegistry {
+public:
+  /// Fold one completed launch in (called from RecordListener::on_record —
+  /// fixed work, no allocation).
+  void record_launch(const runtime::LaunchRecord& rec);
+  /// Fold one step summary in.
+  void record_step(const runtime::StepMark& mark);
+  /// Sample the device's arena gauges; high-water values are kept.
+  void observe_device(const runtime::Device& dev);
+
+  [[nodiscard]] const KernelStats& kernel(Kernel k) const {
+    return kernels_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t launches() const;
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  /// Steps whose signed overlap gap was negative — scheduler anomalies
+  /// that the clamped overlap accessors silently zero out.
+  [[nodiscard]] std::uint64_t negative_overlap_steps() const {
+    return negative_overlap_steps_;
+  }
+  /// Most negative signed overlap gap observed (0 when none was negative).
+  [[nodiscard]] double min_raw_overlap_seconds() const {
+    return min_raw_overlap_;
+  }
+  [[nodiscard]] double overlap_seconds_total() const { return overlap_sum_; }
+
+  // Arena gauges (high-water across observe_device() samples).
+  [[nodiscard]] std::size_t arena_capacity_bytes() const {
+    return arena_capacity_;
+  }
+  [[nodiscard]] std::uint64_t arena_heap_allocations() const {
+    return arena_heap_allocations_;
+  }
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Render the per-kernel table plus the step/arena footer.
+  void print(std::ostream& os) const;
+
+  void reset();
+
+private:
+  std::array<KernelStats, static_cast<std::size_t>(Kernel::Count)> kernels_{};
+  std::uint64_t steps_ = 0;
+  std::uint64_t negative_overlap_steps_ = 0;
+  double min_raw_overlap_ = 0.0;
+  double overlap_sum_ = 0.0;
+  std::size_t arena_capacity_ = 0;
+  std::uint64_t arena_heap_allocations_ = 0;
+  int workers_ = 0;
+};
+
+} // namespace gothic::trace

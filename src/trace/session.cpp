@@ -1,0 +1,31 @@
+#include "trace/session.hpp"
+
+#include "util/env.hpp"
+
+namespace gothic::trace {
+
+std::string Session::env_trace_path() {
+  return env_string("GOTHIC_TRACE", "");
+}
+
+Session::Session(std::string trace_path) : path_(std::move(trace_path)) {
+  if (!path_.empty()) writer_ = std::make_unique<TraceWriter>();
+}
+
+void Session::on_record(const runtime::LaunchRecord& rec) {
+  if (writer_) writer_->on_record(rec);
+  metrics_.record_launch(rec);
+}
+
+void Session::on_step(const runtime::StepMark& mark) {
+  if (writer_) writer_->on_step(mark);
+  metrics_.record_step(mark);
+}
+
+bool Session::finish(const runtime::Device& dev) {
+  metrics_.observe_device(dev);
+  if (!writer_) return true;
+  return writer_->write_file(path_);
+}
+
+} // namespace gothic::trace

@@ -1,0 +1,52 @@
+// trace::Session — the one-stop observability hook.
+//
+// A Session implements runtime::RecordListener and fans the stream out to
+// (a) a MetricsRegistry (always on — fixed-size aggregation) and (b) an
+// optional TraceWriter created when a trace path is configured, either
+// explicitly or via GOTHIC_TRACE=<path>. Attach it with
+// Simulation::set_instrumentation_listener(&session) (or
+// Device::sink().set_listener(&session) for raw device launches), run, and
+// call finish() to sample the device gauges and flush the trace file.
+//
+// When GOTHIC_TRACE is unset and no session is attached anywhere, the
+// instrumentation stream has no observer: the only residual cost is the
+// sink's null-listener pointer test per launch.
+#pragma once
+
+#include "trace/metrics.hpp"
+#include "trace/trace_writer.hpp"
+
+#include <memory>
+#include <string>
+
+namespace gothic::trace {
+
+class Session : public runtime::RecordListener {
+public:
+  /// Trace destination from GOTHIC_TRACE; empty = tracing off.
+  [[nodiscard]] static std::string env_trace_path();
+
+  /// An empty `trace_path` enables metrics only; a non-empty path also
+  /// buffers a Perfetto trace destined for that file.
+  explicit Session(std::string trace_path = env_trace_path());
+
+  [[nodiscard]] bool tracing() const { return writer_ != nullptr; }
+  [[nodiscard]] const std::string& trace_path() const { return path_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] TraceWriter* writer() { return writer_.get(); }
+
+  void on_record(const runtime::LaunchRecord& rec) override;
+  void on_step(const runtime::StepMark& mark) override;
+
+  /// Sample the device's arena gauges into the registry and flush the
+  /// trace file when tracing. Returns false only on trace I/O failure.
+  bool finish(const runtime::Device& dev);
+
+private:
+  std::string path_;
+  std::unique_ptr<TraceWriter> writer_;
+  MetricsRegistry metrics_;
+};
+
+} // namespace gothic::trace

@@ -35,6 +35,10 @@ public:
   /// Render as CSV (headers + rows), for replotting.
   void print_csv(std::ostream& os) const;
 
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t cols() const { return headers_.size(); }
   [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const {

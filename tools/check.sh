@@ -24,6 +24,25 @@ echo "-- ctest (GOTHIC_ASYNC=1, stream scheduler) --"
 echo "-- ctest (GOTHIC_ASYNC=0, synchronous escape hatch) --"
 (cd build && GOTHIC_ASYNC=0 ctest --output-on-failure -j)
 
+echo "== observability smoke (trace + bench JSON, both scheduler modes) =="
+# A traced driver step must emit valid Perfetto JSON, and a figure bench
+# must emit a parseable BENCH_*.json, under both schedulers.
+for mode in 1 0; do
+  echo "-- GOTHIC_ASYNC=$mode --"
+  (cd build &&
+    GOTHIC_ASYNC=$mode GOTHIC_TRACE=smoke_trace.json \
+      ./tools/gothic_run --model=plummer --n=2048 --steps=2 --metrics \
+        >/dev/null &&
+    python3 -m json.tool smoke_trace.json >/dev/null &&
+    rm -f smoke_trace.json &&
+    GOTHIC_ASYNC=$mode GOTHIC_BENCH_N=4096 GOTHIC_BENCH_STEPS=1 \
+      GOTHIC_BENCH_DACC_MIN=2 ./bench/bench_fig04_breakdown_macc \
+        >/dev/null &&
+    python3 -m json.tool BENCH_fig04_breakdown_macc.json >/dev/null &&
+    rm -f BENCH_fig04_breakdown_macc.json)
+done
+echo "observability smoke passed"
+
 if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi

@@ -26,12 +26,20 @@
 //   --snapshot-every=<int>        checkpoint cadence in steps (0 = off)
 //   --out=<prefix>                snapshot file prefix (default gothic_)
 //   --csv=<file>                  dump final state as CSV
+//   --trace=<file>                write a Perfetto trace of the run's
+//                                 launch DAG (default: $GOTHIC_TRACE)
+//   --metrics                     print per-kernel latency histograms
+//                                 (p50/p95/max) and arena gauges at exit
 #include "galaxy/m31.hpp"
 #include "galaxy/spherical_sampler.hpp"
 #include "nbody/simulation.hpp"
 #include "nbody/snapshot.hpp"
+#include "runtime/device.hpp"
+#include "trace/session.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+
+#include <memory>
 
 #include <cmath>
 #include <cstdio>
@@ -116,10 +124,21 @@ int main(int argc, char** argv) {
         static_cast<int>(args.get_int("snapshot-every", 0));
     const std::string prefix = args.get("out", "gothic_");
     const std::string csv = args.get("csv", "");
+    const std::string trace_path =
+        args.get("trace", trace::Session::env_trace_path());
+    const bool metrics = args.get_flag("metrics");
 
     nbody::Simulation sim(make_initial(args), make_config(args));
     for (const std::string& key : args.unused()) {
       std::cerr << "warning: unused option --" << key << "\n";
+    }
+
+    // Observability is opt-in: with neither --trace nor --metrics the
+    // simulation runs with a null listener (no per-launch overhead).
+    std::unique_ptr<trace::Session> session;
+    if (metrics || !trace_path.empty()) {
+      session = std::make_unique<trace::Session>(trace_path);
+      sim.set_instrumentation_listener(session.get());
     }
 
     sim.refresh_forces();
@@ -159,6 +178,20 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       nbody::write_csv(csv, sim.particles());
       std::cout << "final state written to " << csv << "\n";
+    }
+    if (session) {
+      sim.set_instrumentation_listener(nullptr);
+      const bool ok = session->finish(runtime::Device::current());
+      if (metrics) session->metrics().print(std::cout);
+      if (session->tracing()) {
+        if (ok) {
+          std::cout << "perfetto trace written to " << session->trace_path()
+                    << " (load at ui.perfetto.dev)\n";
+        } else {
+          std::cerr << "warning: could not write trace to "
+                    << session->trace_path() << "\n";
+        }
+      }
     }
     return 0;
   } catch (const std::exception& e) {
