@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -117,6 +118,23 @@ public:
     return total;
   }
 
+  /// Fault-injection seam (process-wide, all arenas): consulted on the
+  /// cold grow() path just before a fresh heap chunk would be acquired.
+  /// Returning false makes the allocation fail with std::bad_alloc — the
+  /// testkit drives the arena-exhaustion error path this way. The hot bump
+  /// path never reaches grow(), so a null hook (the default) costs nothing
+  /// in steady state.
+  using GrowHook = bool (*)(void* ctx, std::size_t bytes);
+  static void set_grow_hook(GrowHook hook, void* ctx) {
+    if (hook == nullptr) {
+      grow_hook().store(nullptr, std::memory_order_release);
+      grow_hook_ctx().store(nullptr, std::memory_order_release);
+    } else {
+      grow_hook_ctx().store(ctx, std::memory_order_release);
+      grow_hook().store(hook, std::memory_order_release);
+    }
+  }
+
 private:
   struct Chunk {
     std::byte* mem = nullptr;
@@ -141,8 +159,22 @@ private:
   void grow(std::size_t at_least) {
     const std::size_t next =
         std::max({at_least, capacity(), kMinChunk});
+    if (const GrowHook hook = grow_hook().load(std::memory_order_acquire)) {
+      if (!hook(grow_hook_ctx().load(std::memory_order_acquire), next)) {
+        throw std::bad_alloc();
+      }
+    }
     chunks_.push_back(acquire(next));
     cursor_ = chunks_.size() - 1;
+  }
+
+  static std::atomic<GrowHook>& grow_hook() {
+    static std::atomic<GrowHook> hook{nullptr};
+    return hook;
+  }
+  static std::atomic<void*>& grow_hook_ctx() {
+    static std::atomic<void*> ctx{nullptr};
+    return ctx;
   }
 
   std::vector<Chunk> chunks_;

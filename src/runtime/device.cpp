@@ -3,6 +3,8 @@
 #include "util/env.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 #include <stdexcept>
@@ -183,8 +185,9 @@ int Device::default_workers() {
 
 bool Device::default_async() { return env_size("GOTHIC_ASYNC", 1) != 0; }
 
-Device::Device(int workers, int async)
-    : async_(async < 0 ? default_async() : async != 0) {
+Device::Device(int workers, int async, int lanes)
+    : async_(async < 0 ? default_async() : async != 0),
+      lanes_requested_(lanes) {
   const int n = workers > 0 ? workers : default_workers();
   slots_.reserve(static_cast<std::size_t>(n));
   std::vector<Worker*> members;
@@ -202,7 +205,13 @@ Device::Device(int workers, int async)
 Device::~Device() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    event_cv_.wait(lock, [&] { return inflight_ == 0; });
+    if (gating_) {
+      // A serializing controller holds queued launches until granted; the
+      // destructor must keep pumping grants or the drain below never ends.
+      pump_locked(lock, [&] { return inflight_ == 0; });
+    } else {
+      event_cv_.wait(lock, [&] { return inflight_ == 0; });
+    }
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -339,6 +348,7 @@ Event Device::launch_async(const LaunchDesc& desc, BodyInvoke invoke,
     lane.tail = node;
     ++inflight_;
     id = rec.id;
+    if (controller_ != nullptr) controller_->on_enqueue(lane.index, id);
   }
   queue_cv_.notify_all();
   return Event{id, this};
@@ -346,11 +356,45 @@ Event Device::launch_async(const LaunchDesc& desc, BodyInvoke invoke,
 
 // --- asynchronous engine ---------------------------------------------------
 
+Device::LaneConfig Device::resolve_lanes(int requested, int workers) {
+  LaneConfig cfg;
+  cfg.requested = requested;
+  cfg.lanes = std::clamp(requested, 1, std::max(1, workers));
+  cfg.clamped = cfg.lanes != requested;
+  return cfg;
+}
+
 void Device::ensure_engine_locked() {
   if (!lanes_.empty()) return;
   const int n = static_cast<int>(slots_.size());
-  const int l = static_cast<int>(std::clamp<std::size_t>(
-      env_size("GOTHIC_ASYNC_LANES", 2), 1, static_cast<std::size_t>(n)));
+  // A lane request from the constructor wins; otherwise GOTHIC_ASYNC_LANES;
+  // otherwise the default of 2. Out-of-range explicit requests (0, or more
+  // lanes than workers) clamp loudly instead of silently misconfiguring
+  // the lane partition, and an explicit single lane warns that stream
+  // overlap is off.
+  int requested = lanes_requested_;
+  bool explicit_request = lanes_requested_ != 0;
+  if (!explicit_request) {
+    if (std::getenv("GOTHIC_ASYNC_LANES") != nullptr) {
+      explicit_request = true;
+      requested = static_cast<int>(
+          std::min<std::size_t>(env_size("GOTHIC_ASYNC_LANES", 2), 1 << 20));
+    } else {
+      requested = 2;
+    }
+  }
+  const LaneConfig cfg = resolve_lanes(requested, n);
+  if (explicit_request && cfg.clamped) {
+    std::fprintf(stderr,
+                 "gothic: requested %d stream lanes, clamped to %d "
+                 "(valid range 1..%d for %d workers)\n",
+                 cfg.requested, cfg.lanes, n, n);
+  } else if (explicit_request && cfg.lanes == 1) {
+    std::fprintf(stderr,
+                 "gothic: 1 stream lane requested; all streams share it and "
+                 "cannot overlap\n");
+  }
+  const int l = cfg.lanes;
   lanes_.reserve(static_cast<std::size_t>(l));
   for (int i = 0; i < l; ++i) {
     auto lane = std::make_unique<Lane>();
@@ -408,8 +452,12 @@ void Device::lane_loop(Lane& lane) {
     // has a smaller issue id, and each lane pops its queue FIFO in issue
     // order, so the launch holding the smallest incomplete id always has
     // complete dependencies and sits at the head of its lane — some lane
-    // can always make progress.
-    event_cv_.wait(lock, [&] { return deps_complete_locked(*node); });
+    // can always make progress. Under a serializing schedule controller
+    // the node additionally needs the grant (issued by the host-side pump
+    // in wait_event/synchronize, which keeps the same progress guarantee).
+    event_cv_.wait(lock, [&] {
+      return deps_complete_locked(*node) && may_run_locked(*node);
+    });
     lane.head = node->next;
     if (lane.head == nullptr) lane.tail = nullptr;
     lock.unlock();
@@ -423,6 +471,10 @@ void Device::run_node(Lane& lane, LaunchNode& node) {
   std::exception_ptr err;
   const double t0 = now();
   try {
+    // The fault/stall injection point runs outside the lock, so a stalled
+    // body blocks only its own lane. controller_ cannot change while this
+    // node is in flight (set_schedule_controller requires an idle device).
+    if (controller_ != nullptr) controller_->before_body(lane.index, node.id);
     node.invoke(node.storage, ops);
   } catch (...) {
     err = std::current_exception();
@@ -434,6 +486,7 @@ void Device::run_node(Lane& lane, LaunchNode& node) {
     node.sink->finish_record(node.record_index, node.id, t0, t1,
                              lane.team->size(), ops);
     if (err && !async_error_) async_error_ = err;
+    if (controller_ != nullptr) controller_->on_complete(lane.index, node.id);
     mark_complete_locked(node.id);
     node.next = free_nodes_;
     free_nodes_ = &node;
@@ -477,15 +530,104 @@ void Device::mark_complete_locked(std::uint64_t id) {
   }
 }
 
+// --- schedule-control pump -------------------------------------------------
+
+bool Device::may_run_locked(const LaunchNode& node) const {
+  return !gating_ || grant_ == node.id;
+}
+
+void Device::gather_ready_locked() {
+  ready_.clear();
+  for (const auto& lane : lanes_) {
+    const LaunchNode* node = lane->head;
+    if (node != nullptr && deps_complete_locked(*node)) {
+      ready_.push_back(ReadyLaunch{lane->index, node->id, node->deps});
+    }
+  }
+}
+
+template <typename Pred>
+void Device::pump_locked(std::unique_lock<std::mutex>& lock, Pred done) {
+  // Grants are issued exclusively here, while the host thread is blocked,
+  // so the controller observes a choice sequence that depends only on the
+  // program's issue order — never on OS thread timing. A new grant is
+  // picked only after the previous one completed, so execution under a
+  // serializing controller is one launch at a time, in grant order.
+  for (;;) {
+    if (grant_ != 0 && is_complete_locked(grant_)) grant_ = 0;
+    if (done()) return;
+    if (grant_ == 0) {
+      gather_ready_locked();
+      if (ready_.empty()) {
+        // Impossible when the wait target is reachable: the smallest
+        // incomplete launch always has complete dependencies and sits at
+        // its lane's head. Reaching this means the caller waits on work
+        // that was never issued.
+        throw std::logic_error(
+            "Device: schedule pump stalled with no ready launch");
+      }
+      const std::uint64_t choice =
+          controller_->pick(std::span<const ReadyLaunch>(ready_));
+      bool admissible = false;
+      for (const ReadyLaunch& r : ready_) admissible |= r.id == choice;
+      if (!admissible) {
+        throw std::logic_error(
+            "ScheduleController::pick chose launch " + std::to_string(choice) +
+            ", which is not ready");
+      }
+      grant_ = choice;
+      queue_cv_.notify_all();
+      event_cv_.notify_all();
+    }
+    event_cv_.wait(lock, [&] {
+      return done() || (grant_ != 0 && is_complete_locked(grant_));
+    });
+  }
+}
+
+void Device::set_schedule_controller(ScheduleController* c) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_ != 0) {
+    throw std::logic_error(
+        "Device::set_schedule_controller: device has launches in flight");
+  }
+  controller_ = c;
+  gating_ = c != nullptr && c->serializing();
+  grant_ = 0;
+  if (c != nullptr) ready_.reserve(8);
+}
+
+ScheduleController* Device::schedule_controller() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return controller_;
+}
+
+int Device::lane_count() {
+  if (!async_) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ensure_engine_locked();
+  return static_cast<int>(lanes_.size());
+}
+
+// --- waits -----------------------------------------------------------------
+
 void Device::wait_event(std::uint64_t id) {
   if (id == 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
+  if (gating_) {
+    pump_locked(lock, [&] { return is_complete_locked(id); });
+    return;
+  }
   event_cv_.wait(lock, [&] { return is_complete_locked(id); });
 }
 
 void Device::synchronize() {
   std::unique_lock<std::mutex> lock(mutex_);
-  event_cv_.wait(lock, [&] { return inflight_ == 0; });
+  if (gating_) {
+    pump_locked(lock, [&] { return inflight_ == 0; });
+  } else {
+    event_cv_.wait(lock, [&] { return inflight_ == 0; });
+  }
   if (async_error_) {
     std::exception_ptr err = std::exchange(async_error_, nullptr);
     lock.unlock();

@@ -29,6 +29,7 @@
 #pragma once
 
 #include "runtime/arena.hpp"
+#include "runtime/schedule.hpp"
 #include "runtime/stream.hpp"
 #include "simt/op_counter.hpp"
 #include "util/timer.hpp"
@@ -58,8 +59,11 @@ public:
   /// `workers` <= 0 selects the default: GOTHIC_THREADS when set, else the
   /// OpenMP thread count / hardware concurrency. `async` < 0 selects the
   /// GOTHIC_ASYNC default (asynchronous unless GOTHIC_ASYNC=0); 0 forces
-  /// the synchronous path, > 0 forces asynchronous scheduling.
-  explicit Device(int workers = 0, int async = -1);
+  /// the synchronous path, > 0 forces asynchronous scheduling. `lanes` = 0
+  /// defers to GOTHIC_ASYNC_LANES (default 2); any other value requests
+  /// that many stream lanes (clamped to [1, workers] with a warning, see
+  /// resolve_lanes).
+  explicit Device(int workers = 0, int async = -1, int lanes = 0);
   ~Device();
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -181,6 +185,7 @@ public:
     simt::OpCounts ops;
     const double t0 = now();
     try {
+      fault_point(issued.id);
       fn(ops);
     } catch (...) {
       finish_launch(issued, t0, now(), ops);
@@ -201,6 +206,35 @@ public:
 
   /// Default destination of LaunchRecords when LaunchDesc::sink is null.
   [[nodiscard]] InstrumentationSink& sink() { return sink_; }
+
+  // --- schedule control (testkit seam) ------------------------------------
+
+  /// Install (or remove, with nullptr) a schedule controller. Only while
+  /// the device is idle (no launches in flight) — throws std::logic_error
+  /// otherwise. The controller must outlive its installation; its
+  /// serializing() flag is sampled here. See runtime/schedule.hpp for the
+  /// grant protocol.
+  void set_schedule_controller(ScheduleController* c);
+  [[nodiscard]] ScheduleController* schedule_controller() const;
+
+  // --- lane configuration -------------------------------------------------
+
+  /// Resolved lane request. `lanes` is always in [1, workers]; `clamped`
+  /// marks a request outside that range (0, negative, or > workers) that
+  /// had to be adjusted; a resolved count of 1 means every stream shares
+  /// one lane and streams cannot overlap.
+  struct LaneConfig {
+    int requested = 0;
+    int lanes = 1;
+    bool clamped = false;
+  };
+  /// Pure lane-count resolution: clamp `requested` into [1, workers].
+  /// The engine warns on stderr when an *explicit* request (ctor argument
+  /// or GOTHIC_ASYNC_LANES) was clamped or disables overlap (1 lane).
+  static LaneConfig resolve_lanes(int requested, int workers);
+  /// Lanes this device schedules streams over; materializes the engine on
+  /// first call. Always 0 for synchronous devices (no lanes exist).
+  [[nodiscard]] int lane_count();
 
   // --- introspection (runtime tests) --------------------------------------
 
@@ -235,6 +269,11 @@ private:
 
   void dispatch(JobFn fn, void* ctx);
   [[nodiscard]] double now() const { return epoch_.seconds(); }
+  /// Synchronous-path fault hook: forwards to the controller's
+  /// before_body() with lane -1. One pointer test when none is installed.
+  void fault_point(std::uint64_t id) {
+    if (controller_ != nullptr) controller_->before_body(-1, id);
+  }
 
   IssuedLaunch issue_launch(const LaunchDesc& desc);
   LaunchRecord make_record_locked(const LaunchDesc& desc);
@@ -250,10 +289,18 @@ private:
   void mark_complete_locked(std::uint64_t id);
   [[nodiscard]] bool is_complete_locked(std::uint64_t id) const;
   [[nodiscard]] bool deps_complete_locked(const LaunchNode& node) const;
+  /// Launch a leader may execute now: gating off, or holding the grant.
+  [[nodiscard]] bool may_run_locked(const LaunchNode& node) const;
+  void gather_ready_locked();
+  /// Drive the schedule controller while the host blocks: grant launches
+  /// one at a time until `done()` holds. The only place grants are issued.
+  template <typename Pred>
+  void pump_locked(std::unique_lock<std::mutex>& lock, Pred done);
 
   std::vector<std::unique_ptr<Worker>> slots_;
   std::unique_ptr<Team> pool_;   ///< full-pool team of the synchronous path
   const bool async_;
+  const int lanes_requested_;    ///< ctor lane request (0 = env default)
   Stopwatch epoch_;              ///< timestamp origin of every LaunchRecord
 
   // Launch bookkeeping (ids, completion, queues, sinks) — one lock; the
@@ -272,6 +319,15 @@ private:
   std::vector<std::unique_ptr<LaunchNode>> nodes_;
   LaunchNode* free_nodes_ = nullptr;
   std::vector<std::pair<const Stream*, std::size_t>> stream_lanes_;
+
+  // Schedule-control seam (runtime/schedule.hpp). `controller_` is set
+  // only while the device is idle, so leaders may read it unlocked while a
+  // launch is in flight. `gating_` caches controller_->serializing();
+  // `grant_` is the single launch id leaders may execute under gating.
+  ScheduleController* controller_ = nullptr;
+  bool gating_ = false;
+  std::uint64_t grant_ = 0;
+  std::vector<ReadyLaunch> ready_; ///< pump scratch (controller runs only)
 
   InstrumentationSink sink_;
 };

@@ -1,0 +1,298 @@
+#include "testkit/fuzz.hpp"
+
+#include "runtime/device.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace gothic::testkit {
+
+std::string hex_seed(std::uint64_t seed) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+nbody::Particles fuzz_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  nbody::Particles p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.y[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.z[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.vx[i] = static_cast<real>(rng.uniform(-0.1, 0.1));
+    p.vy[i] = static_cast<real>(rng.uniform(-0.1, 0.1));
+    p.vz[i] = static_cast<real>(rng.uniform(-0.1, 0.1));
+    p.m[i] = real(1.0 / static_cast<double>(n));
+  }
+  return p;
+}
+
+nbody::SimConfig fuzz_sim_config(int rebuild_interval) {
+  nbody::SimConfig cfg;
+  // Shared global step with a fixed rebuild cadence: every run issues the
+  // identical launch DAG, so schedules are the only degree of freedom.
+  cfg.block_time_steps = false;
+  cfg.dt_max = 1.0 / 4096.0;
+  cfg.auto_rebuild = false;
+  cfg.fixed_rebuild_interval = rebuild_interval;
+  return cfg;
+}
+
+std::vector<real> pack_state(const nbody::Particles& p) {
+  std::vector<real> out;
+  out.reserve(p.size() * 11);
+  for (const std::vector<real>* v :
+       {&p.x, &p.y, &p.z, &p.vx, &p.vy, &p.vz, &p.ax, &p.ay, &p.az, &p.pot,
+        &p.aold_mag}) {
+    out.insert(out.end(), v->begin(), v->end());
+  }
+  return out;
+}
+
+std::vector<real> run_controlled(const FuzzConfig& cfg, bool async,
+                                 runtime::ScheduleController* controller) {
+  runtime::Device dev(cfg.workers, async ? 1 : 0, cfg.lanes);
+  runtime::ScopedDevice scope(dev);
+  if (controller != nullptr) dev.set_schedule_controller(controller);
+  nbody::Simulation sim(fuzz_cloud(cfg.n, cfg.workload_seed),
+                        fuzz_sim_config(cfg.rebuild_interval));
+  for (int i = 0; i < cfg.steps; ++i) (void)sim.step();
+  // step() ends with a synchronize, so the device is idle here and the
+  // controller can be detached before it goes out of the caller's scope.
+  if (controller != nullptr) dev.set_schedule_controller(nullptr);
+  return pack_state(sim.particles());
+}
+
+RunOutcome replay_seed(const FuzzConfig& cfg, std::uint64_t seed,
+                       const std::vector<real>& reference) {
+  SeededSchedule ctrl(seed);
+  const std::vector<real> state = run_controlled(cfg, true, &ctrl);
+  RunOutcome out;
+  out.signature = ctrl.signature();
+  out.decision_points = ctrl.decision_points();
+  out.bit_identical = state == reference;
+  out.violations = ctrl.violations();
+  return out;
+}
+
+namespace {
+
+void append_run_failure(SweepReport& rep, const std::string& who,
+                        bool bit_identical,
+                        const std::vector<std::string>& violations) {
+  std::string line = who;
+  const char* sep = ": ";
+  if (!bit_identical) {
+    line += sep;
+    line += "state diverged from the synchronous reference";
+    sep = "; ";
+  }
+  for (const std::string& v : violations) {
+    line += sep;
+    line += v;
+    sep = "; ";
+  }
+  rep.failures.push_back(line);
+}
+
+} // namespace
+
+SweepReport sweep_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
+                        std::size_t count) {
+  const std::vector<real> ref = run_controlled(cfg, false, nullptr);
+  SweepReport rep;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const RunOutcome out = replay_seed(cfg, seed, ref);
+    ++rep.runs;
+    rep.signatures.insert(out.signature);
+    rep.decision_points_total += out.decision_points;
+    if (!out.bit_identical || !out.violations.empty()) {
+      rep.failing_seeds.push_back(seed);
+      append_run_failure(rep, "seed " + hex_seed(seed), out.bit_identical,
+                         out.violations);
+    }
+  }
+  return rep;
+}
+
+SweepReport enumerate_schedules(const FuzzConfig& cfg, std::size_t max_runs) {
+  const std::vector<real> ref = run_controlled(cfg, false, nullptr);
+  SweepReport rep;
+  std::vector<std::size_t> path;
+  while (rep.runs < max_runs) {
+    ScriptedSchedule ctrl(path);
+    const std::vector<real> state = run_controlled(cfg, true, &ctrl);
+    ++rep.runs;
+    std::string who = "path [";
+    for (std::size_t i = 0; i < ctrl.decisions().size(); ++i) {
+      if (i != 0) who += ' ';
+      who += std::to_string(ctrl.decisions()[i].chosen);
+    }
+    who += ']';
+    // Distinct decision vectors pick a different launch at some grant, so
+    // every DFS leaf must execute a signature never seen before.
+    if (!rep.signatures.insert(ctrl.signature()).second) {
+      rep.failures.push_back(who + ": interleaving repeated an earlier path");
+    }
+    rep.decision_points_total += ctrl.decisions().size();
+    if (state != ref || !ctrl.violations().empty()) {
+      append_run_failure(rep, who, state == ref, ctrl.violations());
+    }
+    auto next = ScriptedSchedule::next_path(ctrl.decisions());
+    if (!next) break; // tree exhausted
+    path = std::move(*next);
+  }
+  return rep;
+}
+
+namespace {
+
+std::size_t count_in_dag(const std::vector<std::uint64_t>& ids) {
+  std::size_t k = 0;
+  for (std::uint64_t id : ids) k += (id >= 1 && id <= kFaultLaunches) ? 1 : 0;
+  return k;
+}
+
+} // namespace
+
+FaultOutcome run_fault_plan(const FuzzConfig& cfg, const FaultPlan& plan) {
+  FaultOutcome out;
+  FaultController ctrl(plan);
+  runtime::Device dev(cfg.workers, 1, cfg.lanes);
+  dev.set_schedule_controller(&ctrl);
+
+  runtime::Stream a("fault-a");
+  runtime::Stream b("fault-b");
+  std::atomic<int> ran{0};
+  auto body = [&ran](simt::OpCounts&) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto issue = [&](const char* label, runtime::Stream* s, runtime::Event dep) {
+    runtime::LaunchDesc desc;
+    desc.label = label;
+    desc.items = 1;
+    desc.stream = s;
+    desc.deps = {dep, runtime::Event{}, runtime::Event{}, runtime::Event{}};
+    return dev.launch(desc, body);
+  };
+
+  // The fixed DAG (kFaultLaunches = 8): two streams with cross-stream
+  // dependencies, so an injected stall or throw sits upstream of work on
+  // the other lane.
+  const runtime::Event e1 = issue("fault-a0", &a, runtime::Event{});
+  const runtime::Event e2 = issue("fault-b0", &b, runtime::Event{});
+  const runtime::Event e3 = issue("fault-a1", &a, e2);
+  const runtime::Event e4 = issue("fault-b1", &b, e1);
+  (void)issue("fault-a2", &a, runtime::Event{});
+  (void)issue("fault-b2", &b, e3);
+  (void)issue("fault-a3", &a, e4);
+  (void)issue("fault-b3", &b, runtime::Event{});
+
+  bool threw = false;
+  bool foreign_error = false;
+  std::uint64_t faulted_id = 0;
+  try {
+    dev.synchronize();
+  } catch (const InjectedFault& f) {
+    threw = true;
+    faulted_id = f.launch_id();
+  } catch (...) {
+    foreign_error = true;
+  }
+
+  bool second_clean = true;
+  try {
+    dev.synchronize();
+  } catch (...) {
+    second_clean = false;
+  }
+
+  bool reuse_ok = true;
+  const int before_reuse = ran.load(std::memory_order_relaxed);
+  try {
+    const runtime::Event er = issue("fault-reuse", &a, runtime::Event{});
+    dev.synchronize();
+    reuse_ok = er.valid() &&
+               ran.load(std::memory_order_relaxed) == before_reuse + 1;
+  } catch (...) {
+    reuse_ok = false;
+  }
+  dev.set_schedule_controller(nullptr);
+
+  out.injected_throws = ctrl.injected_throws();
+  out.injected_stalls = ctrl.injected_stalls();
+  out.error_thrown = threw;
+  out.single_error = second_clean;
+  out.device_reusable = reuse_ok;
+  const auto expect_throws = static_cast<int>(count_in_dag(plan.throw_at));
+  const auto expect_stalls = static_cast<int>(count_in_dag(plan.stall_at));
+  const int expect_ran =
+      static_cast<int>(kFaultLaunches) + 1 - out.injected_throws;
+  out.bodies_consistent = ran.load(std::memory_order_relaxed) == expect_ran;
+
+  std::string d;
+  if (foreign_error) d += "synchronize raised a non-injected exception; ";
+  if (threw != (expect_throws > 0)) {
+    d += threw ? "synchronize raised an error with no throw planned; "
+               : "planned throw did not propagate out of synchronize; ";
+  }
+  if (threw &&
+      std::find(plan.throw_at.begin(), plan.throw_at.end(), faulted_id) ==
+          plan.throw_at.end()) {
+    d += "propagated fault id " + std::to_string(faulted_id) +
+         " was not in the plan; ";
+  }
+  if (out.injected_throws != expect_throws) {
+    d += "injected " + std::to_string(out.injected_throws) + " throws, plan " +
+         std::to_string(expect_throws) + "; ";
+  }
+  if (out.injected_stalls != expect_stalls) {
+    d += "injected " + std::to_string(out.injected_stalls) + " stalls, plan " +
+         std::to_string(expect_stalls) + "; ";
+  }
+  if (!second_clean) d += "error propagated twice (second synchronize); ";
+  if (!reuse_ok) d += "device not reusable after the fault; ";
+  if (!out.bodies_consistent) {
+    d += "ran " + std::to_string(ran.load(std::memory_order_relaxed)) +
+         " bodies, expected " + std::to_string(expect_ran) + "; ";
+  }
+  if (d.size() >= 2) d.resize(d.size() - 2); // drop trailing "; "
+  out.detail = d;
+  return out;
+}
+
+FaultSweepReport sweep_faults(const FuzzConfig& cfg, std::uint64_t base_seed,
+                              std::size_t count) {
+  FaultSweepReport rep;
+  Xoshiro256 rng(base_seed);
+  auto pick_ids = [&rng](std::vector<std::uint64_t>& ids, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(1 + rng.next() % kFaultLaunches);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultPlan plan;
+    // Cycle the fault classes: throw-only, stall-only, mixed.
+    const std::size_t kind = i % 3;
+    if (kind != 1) pick_ids(plan.throw_at, 1 + rng.next() % 2);
+    if (kind != 0) pick_ids(plan.stall_at, 1 + rng.next() % 2);
+    const FaultOutcome out = run_fault_plan(cfg, plan);
+    ++rep.plans;
+    if (!plan.throw_at.empty()) ++rep.with_throws;
+    if (!plan.stall_at.empty()) ++rep.with_stalls;
+    if (!out.ok()) {
+      rep.failures.push_back("plan " + std::to_string(i) + " (base seed " +
+                             hex_seed(base_seed) + "): " + out.detail);
+    }
+  }
+  return rep;
+}
+
+} // namespace gothic::testkit

@@ -1,0 +1,123 @@
+// Schedule-fuzz and fault-sweep drivers over Simulation::step.
+//
+// One controlled run executes a deterministic workload (fixed particle
+// cloud, fixed rebuild cadence) on a fresh async Device driven by a
+// schedule controller, and compares the final particle state bit-for-bit
+// against the synchronous (GOTHIC_ASYNC=0 semantics) reference run of the
+// identical workload. Two sweep strategies share that runner:
+//
+//  * sweep_seeds — N independent SeededSchedule runs; any failure is
+//    reproducible from the failing 64-bit seed alone (replay_seed).
+//  * enumerate_schedules — depth-first exhaustion of the schedule tree via
+//    ScriptedSchedule::next_path; every run is a distinct interleaving, so
+//    the distinct-signature count lower-bounds the coverage directly.
+//
+// sweep_faults drives randomized FaultPlans (launch-body exceptions and
+// lane stalls) through a small cross-stream launch DAG on a raw Device,
+// asserting the error contract per plan: exactly one first-wins error, and
+// a reusable device afterwards.
+//
+// Shared by tests/test_testkit.cpp and the tools/gothic_fuzz driver.
+#pragma once
+
+#include "nbody/simulation.hpp"
+#include "testkit/fault.hpp"
+#include "testkit/schedule.hpp"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gothic::testkit {
+
+struct FuzzConfig {
+  std::size_t n = 192;      ///< particles of the fuzz workload
+  int steps = 10;           ///< steps per controlled run
+  int workers = 2;          ///< device worker pool
+  int lanes = 2;            ///< stream lanes (pinned, env-independent)
+  int rebuild_interval = 1; ///< fixed rebuild cadence (1 = every step)
+  std::uint64_t workload_seed = 7; ///< particle-cloud seed
+};
+
+/// Deterministic uniform cloud (equal masses), the fuzz workload.
+nbody::Particles fuzz_cloud(std::size_t n, std::uint64_t seed);
+/// Deterministic step configuration: fixed cadence, shared global steps.
+nbody::SimConfig fuzz_sim_config(int rebuild_interval);
+/// Pack the integration state for exact (bitwise) comparison.
+std::vector<real> pack_state(const nbody::Particles& p);
+
+/// Run cfg.steps steps of the fuzz workload on a fresh device and return
+/// the packed final state. `async` false with a null controller is the
+/// synchronous reference; `async` true runs the stream scheduler under
+/// `controller` (may be null for a free-running async run).
+std::vector<real> run_controlled(const FuzzConfig& cfg, bool async,
+                                 runtime::ScheduleController* controller);
+
+/// Outcome of one controlled schedule run.
+struct RunOutcome {
+  std::string signature;
+  std::size_t decision_points = 0;
+  bool bit_identical = false;
+  std::vector<std::string> violations;
+};
+
+/// Replay one seed against a reference state (from run_controlled(cfg,
+/// false, nullptr)). Deterministic: equal seeds yield equal signatures.
+RunOutcome replay_seed(const FuzzConfig& cfg, std::uint64_t seed,
+                       const std::vector<real>& reference);
+
+/// Aggregate of a schedule sweep.
+struct SweepReport {
+  std::size_t runs = 0;
+  std::set<std::string> signatures; ///< distinct interleavings executed
+  std::size_t decision_points_total = 0;
+  std::vector<std::uint64_t> failing_seeds; ///< seeded sweeps only
+  std::vector<std::string> failures; ///< one line per failing run
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+SweepReport sweep_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
+                        std::size_t count);
+SweepReport enumerate_schedules(const FuzzConfig& cfg, std::size_t max_runs);
+
+/// Launches of the fixed fault DAG run_fault_plan issues (ids 1..k, two
+/// cross-dependent streams). FaultPlans should target ids in this range;
+/// the post-fault reuse launch takes the next id.
+inline constexpr std::uint64_t kFaultLaunches = 8;
+
+/// "0x%016x" rendering of a seed — the replay token sweeps print.
+std::string hex_seed(std::uint64_t seed);
+
+/// Outcome of one fault plan against the error contract.
+struct FaultOutcome {
+  int injected_throws = 0;
+  int injected_stalls = 0;
+  bool error_thrown = false;    ///< synchronize raised an InjectedFault
+  bool single_error = false;    ///< the next synchronize was clean
+  bool device_reusable = false; ///< a post-fault launch ran to completion
+  bool bodies_consistent = false; ///< non-faulted bodies all executed
+  std::string detail;           ///< failure description (empty when ok)
+
+  [[nodiscard]] bool ok() const { return detail.empty(); }
+};
+
+/// Drive one plan through a fixed cross-stream launch DAG on a raw device.
+FaultOutcome run_fault_plan(const FuzzConfig& cfg, const FaultPlan& plan);
+
+/// Randomized fault plans (throw-only, stall-only, and mixed) derived from
+/// `base_seed`.
+struct FaultSweepReport {
+  std::size_t plans = 0;
+  std::size_t with_throws = 0;
+  std::size_t with_stalls = 0;
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+FaultSweepReport sweep_faults(const FuzzConfig& cfg, std::uint64_t base_seed,
+                              std::size_t count);
+
+} // namespace gothic::testkit

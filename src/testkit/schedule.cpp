@@ -1,0 +1,124 @@
+#include "testkit/schedule.hpp"
+
+#include <algorithm>
+
+namespace gothic::testkit {
+
+void RecordingController::flag(const std::string& what) {
+  // Collected, not thrown: the hooks run inside the engine (partly under
+  // its launch lock) and must never unwind through it.
+  if (violations_.size() < 64) violations_.push_back(what);
+}
+
+void RecordingController::on_enqueue(int lane, std::uint64_t id) {
+  if (lane < 0) {
+    flag("enqueue on negative lane " + std::to_string(lane));
+    return;
+  }
+  if (id <= last_enqueued_) {
+    flag("issue ids not monotonic: " + std::to_string(id) + " after " +
+         std::to_string(last_enqueued_));
+  }
+  last_enqueued_ = std::max(last_enqueued_, id);
+  ++enqueued_;
+  if (lanes_.size() <= static_cast<std::size_t>(lane)) {
+    lanes_.resize(static_cast<std::size_t>(lane) + 1);
+  }
+  lanes_[static_cast<std::size_t>(lane)].pending.push_back(id);
+}
+
+bool RecordingController::is_complete(std::uint64_t id) const {
+  return std::find(completed_.begin(), completed_.end(), id) !=
+         completed_.end();
+}
+
+std::uint64_t RecordingController::pick(
+    std::span<const runtime::ReadyLaunch> ready) {
+  if (ready.empty()) {
+    flag("pick called with no candidates");
+    return 0;
+  }
+  int prev_lane = -1;
+  for (const runtime::ReadyLaunch& r : ready) {
+    if (r.lane <= prev_lane) {
+      flag("candidates not in lane order at launch " + std::to_string(r.id));
+    }
+    prev_lane = r.lane;
+    // Lane FIFO: the candidate must be the oldest ungranted launch of its
+    // lane — anything else would reorder a stream.
+    const auto li = static_cast<std::size_t>(r.lane);
+    if (li >= lanes_.size() || lanes_[li].pending.empty() ||
+        lanes_[li].pending.front() != r.id) {
+      flag("candidate " + std::to_string(r.id) +
+           " is not the head of lane " + std::to_string(r.lane));
+    }
+    // No dependency inversion: every dep completed before the launch is
+    // offered, and deps always carry smaller issue ids.
+    for (std::uint64_t d : r.deps) {
+      if (d == 0) continue;
+      if (d >= r.id) {
+        flag("dependency " + std::to_string(d) + " of launch " +
+             std::to_string(r.id) + " is not older than it");
+      }
+      if (!is_complete(d)) {
+        flag("launch " + std::to_string(r.id) +
+             " offered before dependency " + std::to_string(d) +
+             " completed");
+      }
+    }
+  }
+  if (ready.size() > 1) ++decision_points_;
+  const std::size_t c = std::min(choose(ready), ready.size() - 1);
+  const std::uint64_t id = ready[c].id;
+  const auto li = static_cast<std::size_t>(ready[c].lane);
+  if (li < lanes_.size() && !lanes_[li].pending.empty() &&
+      lanes_[li].pending.front() == id) {
+    lanes_[li].pending.erase(lanes_[li].pending.begin());
+  }
+  executed_.push_back(id);
+  return id;
+}
+
+void RecordingController::on_complete(int lane, std::uint64_t id) {
+  (void)lane;
+  if (is_complete(id)) {
+    flag("launch " + std::to_string(id) + " completed twice");
+    return;
+  }
+  // Serializing protocol: a new grant is only issued after the previous
+  // one completed, so publications arrive in grant order.
+  const std::size_t k = completed_.size();
+  if (k >= executed_.size() || executed_[k] != id) {
+    flag("completion of " + std::to_string(id) +
+         " out of grant order (expected " +
+         (k < executed_.size() ? std::to_string(executed_[k]) : "none") +
+         ")");
+  }
+  completed_.push_back(id);
+}
+
+std::string RecordingController::signature() const {
+  std::string s;
+  s.reserve(executed_.size() * 4);
+  for (std::size_t i = 0; i < executed_.size(); ++i) {
+    if (i != 0) s += ',';
+    s += std::to_string(executed_[i]);
+  }
+  return s;
+}
+
+std::optional<std::vector<std::size_t>> ScriptedSchedule::next_path(
+    const std::vector<Decision>& decisions) {
+  for (std::size_t i = decisions.size(); i-- > 0;) {
+    if (decisions[i].chosen + 1 < decisions[i].fanout) {
+      std::vector<std::size_t> path;
+      path.reserve(i + 1);
+      for (std::size_t j = 0; j < i; ++j) path.push_back(decisions[j].chosen);
+      path.push_back(decisions[i].chosen + 1);
+      return path;
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace gothic::testkit

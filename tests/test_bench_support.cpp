@@ -1,9 +1,17 @@
 // Integration tests of the bench pipeline: profile_step must produce
-// counts with the paper's qualitative structure, and predict_step_time
-// must order the GPUs/modes the way the paper reports.
+// counts with the paper's qualitative structure, predict_step_time
+// must order the GPUs/modes the way the paper reports, and the
+// BENCH_<name>.json document must keep its published schema (the golden
+// contract downstream replot scripts depend on).
 #include "support/experiment.hpp"
+#include "support/report.hpp"
+#include "trace/metrics.hpp"
+
+#include "mini_json.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 namespace gothic::bench {
 namespace {
@@ -138,6 +146,193 @@ TEST(BenchSupport, ScaleReadsEnvironment) {
   EXPECT_EQ(s.steps, 3);
   ::unsetenv("GOTHIC_BENCH_N");
   ::unsetenv("GOTHIC_BENCH_STEPS");
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_<name>.json golden schema.
+
+using minijson::JsonParser;
+using minijson::JsonValue;
+
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         JsonValue::Type type) {
+  EXPECT_TRUE(obj.has(key)) << "missing key \"" << key << '"';
+  const JsonValue& v = obj.at(key);
+  EXPECT_EQ(static_cast<int>(v.type), static_cast<int>(type))
+      << "key \"" << key << "\" has the wrong JSON type";
+  return v;
+}
+
+/// Every ops block carries one number per OpCategory, keyed by its
+/// nvprof-style name.
+void check_ops_block(const JsonValue& ops) {
+  ASSERT_EQ(static_cast<int>(ops.type),
+            static_cast<int>(JsonValue::Type::Object));
+  for (int c = 0; c < static_cast<int>(simt::OpCategory::Count); ++c) {
+    const auto name =
+        std::string(simt::op_category_name(static_cast<simt::OpCategory>(c)));
+    require(ops, name, JsonValue::Type::Number);
+  }
+}
+
+class ReportSchema : public ProfileRig {
+protected:
+  /// A report exercising every section: scale, table, profile, metrics
+  /// with several kernels and spread-out latencies, notes.
+  static BenchReport golden_report(const StepProfile& profile) {
+    BenchReport r("schema_check");
+
+    BenchScale scale;
+    scale.n = profile.n;
+    scale.steps = 2;
+    r.set_scale(scale);
+
+    Table t("step timings", {"n", "mode", "seconds"});
+    t.add_row({"8192", "volta", Table::sci(3.3e-2)});
+    t.add_row({"8192", "pascal", Table::sci(2.9e-2)});
+    r.add_table(t);
+
+    r.add_profile("volta", profile);
+
+    trace::MetricsRegistry metrics;
+    for (int i = 0; i < 32; ++i) {
+      runtime::LaunchRecord rec;
+      rec.kernel = (i % 2 == 0) ? Kernel::WalkTree : Kernel::PredictCorrect;
+      rec.id = static_cast<std::uint64_t>(i + 1);
+      // Latencies spanning several histogram bins, so p50 < p95 < max is
+      // a real ordering rather than three copies of one bin edge.
+      rec.seconds = 1e-6 * static_cast<double>((i % 16) + 1) *
+                    static_cast<double>(i + 1);
+      rec.ops.fp32_fma = 100u + static_cast<std::uint64_t>(i);
+      rec.ops.int_ops = 40u;
+      metrics.record_launch(rec);
+    }
+    runtime::StepMark mark;
+    mark.index = 1;
+    mark.kernel_seconds = 2e-4;
+    mark.wall_seconds = 1.5e-4;
+    metrics.record_step(mark);
+    r.add_metrics(metrics);
+
+    r.add_note("golden-schema regression fixture");
+    return r;
+  }
+};
+
+TEST_F(ReportSchema, JsonKeepsRequiredKeysAndSectionTypes) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const BenchReport r = golden_report(p);
+  const JsonValue doc = JsonParser(r.json()).parse();
+  ASSERT_EQ(static_cast<int>(doc.type),
+            static_cast<int>(JsonValue::Type::Object));
+
+  EXPECT_EQ(require(doc, "bench", JsonValue::Type::String).str,
+            "schema_check");
+
+  const JsonValue& scale = require(doc, "scale", JsonValue::Type::Object);
+  EXPECT_EQ(require(scale, "n", JsonValue::Type::Number).number, 8192.0);
+  require(scale, "steps", JsonValue::Type::Number);
+  require(scale, "dacc_min_exp", JsonValue::Type::Number);
+  require(scale, "threads", JsonValue::Type::Number);
+  require(scale, "async", JsonValue::Type::Bool);
+
+  require(doc, "tables", JsonValue::Type::Array);
+  require(doc, "profiles", JsonValue::Type::Array);
+  require(doc, "metrics", JsonValue::Type::Object);
+  const JsonValue& notes = require(doc, "notes", JsonValue::Type::Array);
+  ASSERT_EQ(notes.array.size(), 1u);
+  EXPECT_EQ(notes.array[0].str, "golden-schema regression fixture");
+}
+
+TEST_F(ReportSchema, TablesKeepRectangularShape) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const JsonValue doc = JsonParser(golden_report(p).json()).parse();
+  const JsonValue& tables = doc.at("tables");
+  ASSERT_EQ(tables.array.size(), 1u);
+  for (const JsonValue& t : tables.array) {
+    require(t, "title", JsonValue::Type::String);
+    const JsonValue& headers = require(t, "headers", JsonValue::Type::Array);
+    ASSERT_FALSE(headers.array.empty());
+    for (const JsonValue& h : headers.array) {
+      EXPECT_EQ(static_cast<int>(h.type),
+                static_cast<int>(JsonValue::Type::String));
+    }
+    const JsonValue& rows = require(t, "rows", JsonValue::Type::Array);
+    ASSERT_FALSE(rows.array.empty());
+    for (const JsonValue& row : rows.array) {
+      ASSERT_EQ(static_cast<int>(row.type),
+                static_cast<int>(JsonValue::Type::Array));
+      EXPECT_EQ(row.array.size(), headers.array.size())
+          << "ragged row in table \"" << t.at("title").str << '"';
+    }
+  }
+}
+
+TEST_F(ReportSchema, ProfilesCarryMeasurementsAndPerKernelOps) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const JsonValue doc = JsonParser(golden_report(p).json()).parse();
+  const JsonValue& profiles = doc.at("profiles");
+  ASSERT_EQ(profiles.array.size(), 1u);
+  const JsonValue& prof = profiles.array[0];
+  EXPECT_EQ(require(prof, "label", JsonValue::Type::String).str, "volta");
+  EXPECT_EQ(require(prof, "n", JsonValue::Type::Number).number, 8192.0);
+  require(prof, "dacc", JsonValue::Type::Number);
+  require(prof, "rebuild_interval", JsonValue::Type::Number);
+
+  const JsonValue& meas = require(prof, "measured", JsonValue::Type::Object);
+  require(meas, "kernel_seconds", JsonValue::Type::Number);
+  require(meas, "wall_seconds", JsonValue::Type::Number);
+  require(meas, "overlap_seconds", JsonValue::Type::Number);
+  require(meas, "raw_overlap_seconds", JsonValue::Type::Number);
+
+  const JsonValue& ops = require(prof, "ops", JsonValue::Type::Object);
+  for (const char* kernel :
+       {"walkTree", "calcNode", "makeTree_rebuild", "pred_corr"}) {
+    check_ops_block(require(ops, kernel, JsonValue::Type::Object));
+  }
+  // Spot-check a value against the source profile: the schema must not
+  // just exist, it must carry the measured counts.
+  EXPECT_EQ(ops.at("walkTree").at("fp32").number,
+            static_cast<double>(p.walk.fp32_core_instructions()));
+}
+
+TEST_F(ReportSchema, MetricsKernelsKeepMonotonePercentiles) {
+  const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
+  const JsonValue doc = JsonParser(golden_report(p).json()).parse();
+  const JsonValue& metrics = doc.at("metrics");
+  require(metrics, "steps", JsonValue::Type::Number);
+  require(metrics, "negative_overlap_steps", JsonValue::Type::Number);
+  require(metrics, "min_raw_overlap_seconds", JsonValue::Type::Number);
+  require(metrics, "overlap_seconds_total", JsonValue::Type::Number);
+  require(metrics, "arena_capacity_bytes", JsonValue::Type::Number);
+  require(metrics, "arena_heap_allocations", JsonValue::Type::Number);
+  require(metrics, "workers", JsonValue::Type::Number);
+
+  const JsonValue& kernels = require(metrics, "kernels", JsonValue::Type::Array);
+  ASSERT_EQ(kernels.array.size(), 2u); // WalkTree + PredictCorrect
+  for (const JsonValue& k : kernels.array) {
+    require(k, "kernel", JsonValue::Type::String);
+    EXPECT_GT(require(k, "launches", JsonValue::Type::Number).number, 0.0);
+    require(k, "seconds", JsonValue::Type::Number);
+    const double p50 = require(k, "p50_seconds", JsonValue::Type::Number).number;
+    const double p95 = require(k, "p95_seconds", JsonValue::Type::Number).number;
+    const double mx = require(k, "max_seconds", JsonValue::Type::Number).number;
+    EXPECT_GT(p50, 0.0) << k.at("kernel").str;
+    EXPECT_LE(p50, p95) << k.at("kernel").str;
+    EXPECT_LE(p95, mx * 2.0) << k.at("kernel").str; // p95 is a bin upper edge
+    check_ops_block(k.at("ops"));
+  }
+}
+
+TEST(BenchReportPath, HonorsJsonDirEnvironment) {
+  BenchReport r("path_check");
+  ::unsetenv("GOTHIC_BENCH_JSON_DIR");
+  EXPECT_EQ(r.path(), "BENCH_path_check.json");
+  ::setenv("GOTHIC_BENCH_JSON_DIR", "/tmp/gothic-bench", 1);
+  EXPECT_EQ(r.path(), "/tmp/gothic-bench/BENCH_path_check.json");
+  ::setenv("GOTHIC_BENCH_JSON_DIR", "/tmp/gothic-bench/", 1);
+  EXPECT_EQ(r.path(), "/tmp/gothic-bench/BENCH_path_check.json");
+  ::unsetenv("GOTHIC_BENCH_JSON_DIR");
 }
 
 } // namespace

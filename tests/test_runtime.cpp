@@ -665,5 +665,163 @@ TEST(SimulationRuntime, StepsBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+// --- lane configuration boundaries ----------------------------------------
+
+void LaneConfigCheck(const Device::LaneConfig& cfg, int lanes, bool clamped) {
+  EXPECT_EQ(cfg.lanes, lanes) << "requested " << cfg.requested;
+  EXPECT_EQ(cfg.clamped, clamped) << "requested " << cfg.requested;
+}
+
+TEST(LaneConfig, ResolveLanesClampsEveryBoundary) {
+  // Zero / negative requests clamp to one lane.
+  LaneConfigCheck(Device::resolve_lanes(0, 4), 1, true);
+  LaneConfigCheck(Device::resolve_lanes(-3, 4), 1, true);
+  // One lane is valid (no overlap, but legal) — not clamped.
+  LaneConfigCheck(Device::resolve_lanes(1, 4), 1, false);
+  // More lanes than workers clamp to the pool size.
+  LaneConfigCheck(Device::resolve_lanes(9, 4), 4, true);
+  LaneConfigCheck(Device::resolve_lanes(5, 4), 4, true);
+  // In-range requests pass through.
+  LaneConfigCheck(Device::resolve_lanes(3, 4), 3, false);
+  LaneConfigCheck(Device::resolve_lanes(4, 4), 4, false);
+  // A degenerate pool still yields one lane.
+  LaneConfigCheck(Device::resolve_lanes(2, 0), 1, true);
+}
+
+TEST(LaneConfig, RequestAboveWorkerCountClampsWithWarning) {
+  Device dev(2, 1, 8);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(dev.lane_count(), 2);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("clamped to 2"), std::string::npos) << err;
+}
+
+TEST(LaneConfig, SingleLaneRequestWarnsThatStreamsCannotOverlap) {
+  Device dev(2, 1, 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(dev.lane_count(), 1);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("cannot overlap"), std::string::npos) << err;
+}
+
+TEST(LaneConfig, ZeroLaneEnvRequestClampsToOneWithWarning) {
+  const char* old = std::getenv("GOTHIC_ASYNC_LANES");
+  const std::string saved = old != nullptr ? old : "";
+  setenv("GOTHIC_ASYNC_LANES", "0", 1);
+  {
+    Device dev(2, 1); // lanes from the environment
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(dev.lane_count(), 1);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("clamped to 1"), std::string::npos) << err;
+  }
+  if (old != nullptr) {
+    setenv("GOTHIC_ASYNC_LANES", saved.c_str(), 1);
+  } else {
+    unsetenv("GOTHIC_ASYNC_LANES");
+  }
+}
+
+TEST(LaneConfig, DefaultLaneCountNeverWarns) {
+  Device dev(2, 1); // no ctor request; default when env is unset
+  if (std::getenv("GOTHIC_ASYNC_LANES") != nullptr) {
+    GTEST_SKIP() << "GOTHIC_ASYNC_LANES set in the environment";
+  }
+  testing::internal::CaptureStderr();
+  EXPECT_GE(dev.lane_count(), 1);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LaneConfig, SyncDeviceReportsZeroLanes) {
+  Device dev(2, 0);
+  EXPECT_EQ(dev.lane_count(), 0);
+}
+
+TEST(LaneConfig, ClampedAndSingleLaneDevicesExecuteCrossStreamDags) {
+  // Boundary lane counts must stay functionally correct: a single shared
+  // lane and a clamped over-request both execute a cross-stream DAG with
+  // its dependency order intact.
+  for (int lanes : {1, 8}) {
+    Device dev(2, 1, lanes);
+    Stream a("A");
+    Stream b("B");
+    std::atomic<int> stage{0};
+    LaunchDesc desc;
+    desc.items = 1;
+    desc.label = "lane-dag";
+    desc.stream = &a;
+    const Event e1 = dev.launch(desc, [&stage](simt::OpCounts&) {
+      int expected = 0;
+      stage.compare_exchange_strong(expected, 1);
+    });
+    desc.stream = &b;
+    desc.deps = {e1, Event{}, Event{}, Event{}};
+    const Event e2 = dev.launch(desc, [&stage](simt::OpCounts&) {
+      int expected = 1;
+      stage.compare_exchange_strong(expected, 2);
+    });
+    desc.stream = &a;
+    desc.deps = {e2, Event{}, Event{}, Event{}};
+    (void)dev.launch(desc, [&stage](simt::OpCounts&) {
+      int expected = 2;
+      stage.compare_exchange_strong(expected, 3);
+    });
+    dev.synchronize();
+    EXPECT_EQ(stage.load(), 3) << "lanes " << lanes;
+  }
+}
+
+// --- schedule stress -------------------------------------------------------
+
+TEST(LaunchEngine, StressRandomCrossStreamDagsKeepDependencyOrder) {
+  // Free-running stress over random DAGs: every body asserts that all of
+  // its dependencies published their completion flags before it started,
+  // across varying lane counts.
+  Xoshiro256 rng(99);
+  constexpr int kN = 200;
+  for (int round = 0; round < 4; ++round) {
+    const int lanes = 1 + static_cast<int>(rng.next() % 4);
+    Device dev(4, 1, lanes);
+    Stream streams[4] = {Stream{"s0"}, Stream{"s1"}, Stream{"s2"},
+                         Stream{"s3"}};
+    std::vector<std::atomic<int>> done(kN + 1);
+    for (auto& d : done) d.store(0, std::memory_order_relaxed);
+    std::atomic<int> violations{0};
+    std::vector<Event> events(kN + 1);
+    for (int i = 1; i <= kN; ++i) {
+      LaunchDesc desc;
+      desc.label = "stress";
+      desc.items = 1;
+      desc.stream = &streams[rng.next() % 4];
+      std::array<std::uint64_t, 4> dep_ids{};
+      for (int d = 0; d < 2; ++d) {
+        if (i > 1 && (rng.next() & 1u) != 0) {
+          const auto j = static_cast<std::size_t>(
+              1 + rng.next() % static_cast<std::uint64_t>(i - 1));
+          desc.deps[static_cast<std::size_t>(d)] = events[j];
+          dep_ids[static_cast<std::size_t>(d)] = events[j].id;
+        }
+      }
+      std::atomic<int>* flags = done.data();
+      events[static_cast<std::size_t>(i)] =
+          dev.launch(desc, [flags, dep_ids, i, &violations](simt::OpCounts&) {
+            for (std::uint64_t d : dep_ids) {
+              if (d != 0 &&
+                  flags[d].load(std::memory_order_acquire) == 0) {
+                violations.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            flags[i].store(1, std::memory_order_release);
+          });
+    }
+    dev.synchronize();
+    EXPECT_EQ(violations.load(), 0) << "round " << round;
+    for (int i = 1; i <= kN; ++i) {
+      ASSERT_EQ(done[static_cast<std::size_t>(i)].load(), 1)
+          << "launch " << i << " never ran";
+    }
+  }
+}
+
 } // namespace
 } // namespace gothic::runtime

@@ -1,0 +1,262 @@
+// Property-based tests for the warp collectives: random lane values and
+// active masks across every tile width (2..32), checking the algebraic
+// contracts (segment prefix sums, segment reductions, dense compaction
+// slots), bit-identical Pascal/Volta results on identical inputs, the
+// Volta syncwarp counts against the log2(width) stage formula, and the
+// mask-coverage pitfall (§2.1) under both modes.
+#include "simt/scan.hpp"
+#include "simt/warp.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace gothic::simt {
+namespace {
+
+constexpr std::array<int, 5> kWidths{2, 4, 8, 16, 32};
+
+std::uint64_t stages(int width) {
+  return static_cast<std::uint64_t>(
+      std::countr_zero(static_cast<unsigned>(width)));
+}
+
+LaneArray<int> random_ints(Xoshiro256& rng) {
+  LaneArray<int> v{};
+  for (auto& x : v) x = static_cast<int>(rng.next() % 201) - 100;
+  return v;
+}
+
+LaneArray<float> random_floats(Xoshiro256& rng) {
+  LaneArray<float> v{};
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+lane_mask random_mask(Xoshiro256& rng) {
+  const auto m = static_cast<lane_mask>(rng.next());
+  return m == 0 ? lane_mask{1} : m;
+}
+
+TEST(WarpProperties, InclusiveScanMatchesSequentialPrefixForEveryWidth) {
+  Xoshiro256 rng(101);
+  for (int width : kWidths) {
+    for (int trial = 0; trial < 8; ++trial) {
+      OpCounts c;
+      Warp w(ExecMode::Volta, c);
+      LaneArray<int> v = random_ints(rng);
+      const LaneArray<int> orig = v;
+      inclusive_scan_add(w, v, width);
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        int expect = 0;
+        for (int j = (lane / width) * width; j <= lane; ++j) {
+          expect += orig[j];
+        }
+        ASSERT_EQ(v[lane], expect) << "width " << width << " lane " << lane;
+      }
+    }
+  }
+}
+
+TEST(WarpProperties, ExclusiveScanYieldsOffsetsAndSegmentTotals) {
+  Xoshiro256 rng(102);
+  for (int width : kWidths) {
+    for (int trial = 0; trial < 8; ++trial) {
+      OpCounts c;
+      Warp w(ExecMode::Volta, c);
+      LaneArray<int> v = random_ints(rng);
+      const LaneArray<int> orig = v;
+      LaneArray<int> total{};
+      exclusive_scan_add(w, v, width, kFullMask, &total);
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        const int base = (lane / width) * width;
+        int expect = 0;
+        for (int j = base; j < lane; ++j) expect += orig[j];
+        int seg = 0;
+        for (int j = base; j < base + width; ++j) seg += orig[j];
+        ASSERT_EQ(v[lane], expect) << "width " << width << " lane " << lane;
+        ASSERT_EQ(total[lane], seg) << "width " << width << " lane " << lane;
+      }
+    }
+  }
+}
+
+TEST(WarpProperties, ReductionsMatchSegmentAggregatesForEveryWidth) {
+  Xoshiro256 rng(103);
+  for (int width : kWidths) {
+    for (int trial = 0; trial < 8; ++trial) {
+      OpCounts c;
+      Warp w(ExecMode::Volta, c);
+      const LaneArray<int> orig = random_ints(rng);
+      LaneArray<int> sum = orig;
+      LaneArray<int> lo = orig;
+      LaneArray<int> hi = orig;
+      reduce_add(w, sum, width);
+      reduce_min(w, lo, width);
+      reduce_max(w, hi, width);
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        const int base = (lane / width) * width;
+        int s = 0;
+        int mn = orig[base];
+        int mx = orig[base];
+        for (int j = base; j < base + width; ++j) {
+          s += orig[j];
+          mn = std::min(mn, orig[j]);
+          mx = std::max(mx, orig[j]);
+        }
+        ASSERT_EQ(sum[lane], s) << "width " << width << " lane " << lane;
+        ASSERT_EQ(lo[lane], mn) << "width " << width << " lane " << lane;
+        ASSERT_EQ(hi[lane], mx) << "width " << width << " lane " << lane;
+      }
+    }
+  }
+}
+
+TEST(WarpProperties, PascalAndVoltaAreBitIdenticalOnRandomMasks) {
+  // The modes differ in synchronisation, never in data: identical inputs
+  // (values, active mask, width) must produce identical registers on every
+  // lane, including float operations (same order of operations).
+  Xoshiro256 rng(202);
+  for (int width : kWidths) {
+    for (int trial = 0; trial < 16; ++trial) {
+      const lane_mask active = random_mask(rng);
+      const LaneArray<float> base = random_floats(rng);
+      auto run = [&](ExecMode mode) {
+        OpCounts c;
+        Warp w(mode, c);
+        w.diverge(active);
+        LaneArray<float> v = base;
+        switch (trial % 4) {
+          case 0: inclusive_scan_add(w, v, width); break;
+          case 1: {
+            LaneArray<float> total{};
+            exclusive_scan_add(w, v, width, kFullMask, &total);
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+              v[lane] += total[lane];
+            }
+            break;
+          }
+          case 2: reduce_add(w, v, width); break;
+          default: reduce_min(w, v, width); break;
+        }
+        return v;
+      };
+      const LaneArray<float> pascal = run(ExecMode::Pascal);
+      const LaneArray<float> volta = run(ExecMode::Volta);
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        ASSERT_EQ(pascal[lane], volta[lane])
+            << "width " << width << " trial " << trial << " lane " << lane;
+      }
+    }
+  }
+}
+
+TEST(WarpProperties, VoltaSyncCountsMatchTheStageFormula) {
+  // Every *_sync collective carries one implicit syncwarp; a width-w scan
+  // or butterfly reduction is log2(w) shuffle stages.
+  Xoshiro256 rng(301);
+  for (int width : kWidths) {
+    const std::uint64_t log2w = stages(width);
+    auto count = [&](auto&& op) {
+      OpCounts c;
+      Warp w(ExecMode::Volta, c);
+      LaneArray<int> v = random_ints(rng);
+      op(w, v);
+      return c.syncwarp;
+    };
+    EXPECT_EQ(count([&](Warp& w, LaneArray<int>& v) {
+                inclusive_scan_add(w, v, width);
+              }),
+              log2w);
+    EXPECT_EQ(count([&](Warp& w, LaneArray<int>& v) {
+                exclusive_scan_add(w, v, width);
+              }),
+              log2w);
+    // The segment-total broadcast is one extra shfl.
+    EXPECT_EQ(count([&](Warp& w, LaneArray<int>& v) {
+                LaneArray<int> total{};
+                exclusive_scan_add(w, v, width, kFullMask, &total);
+              }),
+              log2w + 1);
+    EXPECT_EQ(count([&](Warp& w, LaneArray<int>& v) {
+                reduce_add(w, v, width);
+              }),
+              log2w);
+    EXPECT_EQ(count([&](Warp& w, LaneArray<int>& v) {
+                reduce_min(w, v, width);
+              }),
+              log2w);
+    EXPECT_EQ(count([&](Warp& w, LaneArray<int>& v) {
+                reduce_max(w, v, width);
+              }),
+              log2w);
+  }
+}
+
+TEST(WarpProperties, PascalExecutesAndCountsZeroSynchronisation) {
+  Xoshiro256 rng(302);
+  for (int width : kWidths) {
+    OpCounts c;
+    Warp w(ExecMode::Pascal, c);
+    LaneArray<int> v = random_ints(rng);
+    inclusive_scan_add(w, v, width);
+    reduce_add(w, v, width);
+    LaneArray<int> total{};
+    exclusive_scan_add(w, v, width, kFullMask, &total);
+    EXPECT_EQ(c.syncwarp, 0u) << "width " << width;
+    EXPECT_EQ(c.tile_sync, 0u) << "width " << width;
+  }
+}
+
+TEST(WarpProperties, BallotCompactionAssignsDenseSlotsInLaneOrder) {
+  Xoshiro256 rng(303);
+  for (int trial = 0; trial < 16; ++trial) {
+    OpCounts c;
+    Warp w(ExecMode::Volta, c);
+    LaneArray<bool> pred{};
+    for (auto& p : pred) p = (rng.next() & 1u) != 0;
+    const lane_mask votes = w.ballot(pred);
+    EXPECT_EQ(c.syncwarp, 1u); // one implicit barrier per ballot
+    int rank = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      EXPECT_EQ(lane_active(votes, lane), pred[lane]) << "lane " << lane;
+      if (pred[lane]) {
+        EXPECT_EQ(compact_slot(w, votes, lane), rank) << "lane " << lane;
+        ++rank;
+      }
+    }
+    EXPECT_EQ(rank, popc(votes));
+  }
+}
+
+TEST(WarpProperties, UndercoveringMaskThrowsUnderVoltaOnly) {
+  // The paper's half-warp pitfall: a mask that misses an arriving lane is
+  // undefined behaviour on Volta (modelled as WarpError) and harmless on
+  // Pascal, which has no mask argument to get wrong.
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 16; ++trial) {
+    const lane_mask active = random_mask(rng) | 0x3u; // at least two lanes
+    const lane_mask bad = active & ~lane_bit(lowest_lane(active));
+    {
+      OpCounts c;
+      Warp w(ExecMode::Volta, c);
+      w.diverge(active);
+      LaneArray<int> v{};
+      EXPECT_THROW(w.shfl_down(v, 1, kWarpSize, bad), WarpError);
+    }
+    {
+      OpCounts c;
+      Warp w(ExecMode::Pascal, c);
+      w.diverge(active);
+      LaneArray<int> v{};
+      EXPECT_NO_THROW(w.shfl_down(v, 1, kWarpSize, bad));
+    }
+  }
+}
+
+} // namespace
+} // namespace gothic::simt

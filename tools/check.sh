@@ -8,11 +8,18 @@
 # asynchronous stream scheduler) and once with GOTHIC_ASYNC=0 (the
 # synchronous escape hatch) — results must be identical.
 #
-# The TSan stage rebuilds test_runtime and test_walk_tree in a separate
-# build tree (build-tsan/) with GOTHIC_SANITIZE=thread and runs them under
-# both scheduler modes, exercising the lane leaders' queue handshake, the
-# cross-stream event waits, the team fork/join, and the per-launch merge
-# locks under a real data-race detector.
+# The fuzz stage drives gothic_fuzz — seeded + exhaustively enumerated
+# interleavings of the step DAG checked bit-identical against the
+# synchronous reference, plus fault-injection plans (launch-body throws,
+# worker stalls) checked for first-wins error propagation and device
+# reuse — under both scheduler modes.
+#
+# The TSan stage rebuilds test_runtime, test_walk_tree and gothic_fuzz in
+# a separate build tree (build-tsan/) with GOTHIC_SANITIZE=thread and runs
+# them under both scheduler modes, exercising the lane leaders' queue
+# handshake, the cross-stream event waits, the team fork/join, the
+# per-launch merge locks and the fault-injection paths under a real
+# data-race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,18 +50,31 @@ for mode in 1 0; do
 done
 echo "observability smoke passed"
 
+echo "== schedule fuzz + fault injection (both scheduler modes) =="
+# Seeded sweep (64 schedules), DFS enumeration, and 8 fault plans; every
+# failing seed prints a gothic_fuzz --replay line. GOTHIC_ASYNC only
+# selects the ambient scheduler — the fuzzer constructs its own devices —
+# so running both modes checks the harness is environment-independent.
+for mode in 1 0; do
+  echo "-- GOTHIC_ASYNC=$mode --"
+  GOTHIC_ASYNC=$mode ./build/tools/gothic_fuzz --schedules=64 \
+    --enumerate=64 --faults=8
+done
+echo "fuzz stage passed"
+
 if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== TSan: runtime + walk_tree (both scheduler modes) =="
+echo "== TSan: runtime + walk_tree + fuzz (both scheduler modes) =="
 cmake -B build-tsan -S . -DGOTHIC_SANITIZE=thread \
       -DGOTHIC_BUILD_BENCH=OFF -DGOTHIC_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target test_runtime test_walk_tree
+cmake --build build-tsan -j --target test_runtime test_walk_tree gothic_fuzz
 (cd build-tsan &&
   GOTHIC_ASYNC=1 ./tests/test_runtime &&
   GOTHIC_ASYNC=1 ./tests/test_walk_tree &&
   GOTHIC_ASYNC=0 ./tests/test_runtime &&
-  GOTHIC_ASYNC=0 ./tests/test_walk_tree)
+  GOTHIC_ASYNC=0 ./tests/test_walk_tree &&
+  GOTHIC_ASYNC=1 ./tools/gothic_fuzz --schedules=8 --faults=8 --steps=4)
 
 echo "check.sh: all stages passed"

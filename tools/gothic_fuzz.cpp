@@ -1,0 +1,128 @@
+// gothic_fuzz — schedule fuzzer and fault-injection driver for the async
+// launch engine (see DESIGN.md, "Testing & fault model").
+//
+// Three legs, each optional:
+//   --schedules=N   seeded sweep: N random interleavings of the step DAG,
+//                   each compared bit-for-bit against the synchronous
+//                   reference. A failing run prints its 64-bit seed; that
+//                   seed alone reproduces the exact interleaving.
+//   --enumerate=N   depth-first enumeration of the schedule tree (up to N
+//                   runs) — every run is a distinct interleaving.
+//   --faults=N      N randomized fault plans (launch-body exceptions, lane
+//                   stalls) through a cross-stream DAG, asserting the error
+//                   contract: one first-wins error, device reusable after.
+//
+//   --replay=SEED   re-run one seeded schedule (accepts 0x... hex) and
+//                   print its interleaving — the repro entry point.
+//
+// Workload knobs (--n, --steps, --workers, --lanes, --rebuild-interval)
+// must match between a failing sweep and its replay. Exit code 0 iff every
+// leg passed.
+#include "testkit/fuzz.hpp"
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+namespace {
+
+using gothic::testkit::FuzzConfig;
+using gothic::testkit::hex_seed;
+
+void print_failures(const std::vector<std::string>& failures) {
+  for (const std::string& f : failures) std::printf("  FAIL %s\n", f.c_str());
+}
+
+int run(const gothic::Args& args) {
+  FuzzConfig cfg;
+  cfg.n = static_cast<std::size_t>(args.get_int("n", 192));
+  cfg.steps = static_cast<int>(args.get_int("steps", 10));
+  cfg.workers = static_cast<int>(args.get_int("workers", 2));
+  cfg.lanes = static_cast<int>(args.get_int("lanes", 2));
+  cfg.rebuild_interval =
+      static_cast<int>(args.get_int("rebuild-interval", 1));
+  const std::uint64_t base_seed =
+      std::stoull(args.get("seed", "1"), nullptr, 0);
+  const auto schedules = static_cast<std::size_t>(args.get_int(
+      "schedules", args.has("enumerate") || args.has("replay") ? 0 : 64));
+  const auto enumerate =
+      static_cast<std::size_t>(args.get_int("enumerate", 0));
+  const auto faults = static_cast<std::size_t>(
+      args.get_int("faults", args.has("replay") ? 0 : 8));
+  const bool replay = args.has("replay");
+  const std::uint64_t replay_seed_value =
+      replay ? std::stoull(args.get("replay", "0"), nullptr, 0) : 0;
+
+  for (const std::string& key : args.unused()) {
+    std::fprintf(stderr, "gothic_fuzz: unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  std::printf("gothic_fuzz: n=%zu steps=%d workers=%d lanes=%d rebuild=%d\n",
+              cfg.n, cfg.steps, cfg.workers, cfg.lanes, cfg.rebuild_interval);
+  bool ok = true;
+
+  if (replay) {
+    const auto ref = gothic::testkit::run_controlled(cfg, false, nullptr);
+    const auto out = gothic::testkit::replay_seed(cfg, replay_seed_value, ref);
+    std::printf("replay %s: %zu decision points, %s, %zu violations\n",
+                hex_seed(replay_seed_value).c_str(), out.decision_points,
+                out.bit_identical ? "bit-identical" : "STATE DIVERGED",
+                out.violations.size());
+    std::printf("  interleaving: %s\n", out.signature.c_str());
+    print_failures(out.violations);
+    ok = ok && out.bit_identical && out.violations.empty();
+  }
+
+  if (schedules > 0) {
+    const auto rep = gothic::testkit::sweep_seeds(cfg, base_seed, schedules);
+    std::printf(
+        "schedules: %zu seeded runs from %s, %zu distinct interleavings, "
+        "%zu decision points, %zu failures\n",
+        rep.runs, hex_seed(base_seed).c_str(), rep.signatures.size(),
+        rep.decision_points_total, rep.failures.size());
+    print_failures(rep.failures);
+    for (std::uint64_t s : rep.failing_seeds) {
+      std::printf("  replay with: gothic_fuzz --replay=%s --n=%zu --steps=%d "
+                  "--workers=%d --lanes=%d --rebuild-interval=%d\n",
+                  hex_seed(s).c_str(), cfg.n, cfg.steps, cfg.workers,
+                  cfg.lanes, cfg.rebuild_interval);
+    }
+    ok = ok && rep.ok();
+  }
+
+  if (enumerate > 0) {
+    const auto rep = gothic::testkit::enumerate_schedules(cfg, enumerate);
+    std::printf("enumerate: %zu runs, %zu distinct interleavings, "
+                "%zu decision points, %zu failures\n",
+                rep.runs, rep.signatures.size(), rep.decision_points_total,
+                rep.failures.size());
+    print_failures(rep.failures);
+    ok = ok && rep.ok();
+  }
+
+  if (faults > 0) {
+    const auto rep = gothic::testkit::sweep_faults(cfg, base_seed, faults);
+    std::printf("faults: %zu plans (%zu with throws, %zu with stalls), "
+                "%zu failures\n",
+                rep.plans, rep.with_throws, rep.with_stalls,
+                rep.failures.size());
+    print_failures(rep.failures);
+    ok = ok && rep.ok();
+  }
+
+  std::printf("gothic_fuzz: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(gothic::Args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gothic_fuzz: %s\n", e.what());
+    return 2;
+  }
+}
