@@ -36,7 +36,7 @@ int main() {
           {"Ntot", "total", "walkTree", "calcNode", "makeTree", "pred/corr"});
   Table ov("Achieved stream overlap per step [s] (this machine, "
            "GOTHIC_ASYNC scheduler)",
-           {"Ntot", "kernel-sum", "step-wall", "overlap"});
+           {"Ntot", "kernel-sum", "step-wall", "overlap", "walk-imbalance"});
   double prev_total = 0.0;
   bool monotone = true;
   for (std::size_t n = 1024; n <= n_max; n *= 4) {
@@ -51,7 +51,8 @@ int main() {
     ov.add_row({Table::num(static_cast<long long>(n)),
                 Table::sci(p.measured_kernel_seconds),
                 Table::sci(p.measured_wall_seconds),
-                Table::sci(p.measured_overlap_seconds())});
+                Table::sci(p.measured_overlap_seconds()),
+                Table::sci(p.walk_stats.imbalance())});
     if (gt.total() < prev_total) monotone = false;
     prev_total = gt.total();
   }

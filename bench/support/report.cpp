@@ -109,7 +109,9 @@ void BenchReport::add_profile(const std::string& label, const StepProfile& p) {
                   ", \"wall_seconds\": " + num(p.measured_wall_seconds) +
                   ", \"overlap_seconds\": " + num(p.measured_overlap_seconds()) +
                   ", \"raw_overlap_seconds\": " +
-                  num(p.measured_raw_overlap_seconds()) + "}";
+                  num(p.measured_raw_overlap_seconds()) +
+                  ", \"walk_imbalance\": " + num(p.walk_stats.imbalance()) +
+                  "}";
   e += ",\n     \"ops\": {\"walkTree\": " + ops_json(p.walk) +
        ",\n             \"calcNode\": " + ops_json(p.calc) +
        ",\n             \"makeTree_rebuild\": " + ops_json(p.make_raw) +
@@ -140,7 +142,14 @@ void BenchReport::add_metrics(const trace::MetricsRegistry& m) {
       ", \"arena_capacity_bytes\": " +
       num(static_cast<std::uint64_t>(m.arena_capacity_bytes())) +
       ", \"arena_heap_allocations\": " + num(m.arena_heap_allocations()) +
-      ", \"workers\": " + std::to_string(m.workers()) + "}";
+      ", \"workers\": " + std::to_string(m.workers()) +
+      ",\n    \"imbalance_steps\": " + num(m.imbalance_steps()) +
+      ", \"imbalance_mean\": " + num(m.imbalance_mean()) +
+      ", \"imbalance_max\": " + num(m.imbalance_max()) +
+      ",\n    \"worker_busy_seconds_max\": " + num(m.worker_busy_seconds_max()) +
+      ", \"worker_busy_seconds_total\": " +
+      num(m.worker_busy_seconds_total()) +
+      ", \"busy_workers\": " + std::to_string(m.busy_workers()) + "}";
 }
 
 void BenchReport::add_note(const std::string& note) {

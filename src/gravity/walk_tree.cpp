@@ -3,12 +3,13 @@
 #include "gravity/cost_model.hpp"
 #include "runtime/device.hpp"
 #include "simt/scan.hpp"
+#include "util/timer.hpp"
 
 #include <algorithm>
 
 #include <cmath>
 #include <limits>
-#include <mutex>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
@@ -161,6 +162,18 @@ std::vector<GroupSpan> walk_groups(const Octree& tree,
                                    std::span<const real> y,
                                    std::span<const real> z,
                                    real max_radius_fraction) {
+  // The root (node 0) covers every body of the sorted order, so its count
+  // is the body total the position spans must agree with. (Without the
+  // guard, empty spans reached the centroid division below and the public
+  // API returned NaN-compact groups.)
+  const std::size_t n_tree =
+      tree.num_nodes() > 0 ? static_cast<std::size_t>(tree.body_count[0]) : 0;
+  if (y.size() != x.size() || z.size() != x.size() || x.size() != n_tree) {
+    throw std::invalid_argument(
+        "walk_groups: position spans disagree with the tree's body count");
+  }
+  if (x.empty()) return {};
+
   std::vector<index_t> leaves;
   leaves.reserve(tree.num_nodes() / 2);
   for (index_t node = 0; node < tree.num_nodes(); ++node) {
@@ -176,7 +189,8 @@ std::vector<GroupSpan> walk_groups(const Octree& tree,
   std::vector<GroupSpan> raw;
   raw.reserve(leaves.size());
   GroupSpan cur{};
-  int cur_depth = 0;
+  int cur_min_depth = 0;
+  int cur_max_depth = 0;
   for (const index_t leaf : leaves) {
     index_t first = tree.body_first[leaf];
     index_t remain = tree.body_count[leaf];
@@ -193,15 +207,26 @@ std::vector<GroupSpan> walk_groups(const Octree& tree,
     if (remain == 0) continue;
     const int depth = tree.depth[leaf];
     const bool fits = cur.count + remain <= static_cast<index_t>(kWarpSize);
-    // Same-or-adjacent depth keeps the union within ~one parent cell.
-    const bool compact = cur.count == 0 || std::abs(depth - cur_depth) <= 1;
+    // Same-or-adjacent depth keeps the union within ~one parent cell. The
+    // merged leaf must sit within one level of both the shallowest and the
+    // deepest leaf already in the run: anchoring on a single drifting
+    // depth (the old `min(cur_depth, depth)` rule) let a graded chain of
+    // leaves — each adjacent to the *current* anchor — walk the run
+    // arbitrarily far from where it started, silently breaking the
+    // one-parent-cell invariant this rule documents. The two-sided bound
+    // caps a run's depth spread at 2 levels no matter how it was built.
+    const bool compact =
+        cur.count == 0 ||
+        (depth >= cur_max_depth - 1 && depth <= cur_min_depth + 1);
     if (cur.count > 0 && fits && compact) {
       cur.count += remain;
-      cur_depth = std::min(cur_depth, depth);
+      cur_min_depth = std::min(cur_min_depth, depth);
+      cur_max_depth = std::max(cur_max_depth, depth);
     } else {
       if (cur.count > 0) raw.push_back(cur);
       cur = {first, remain};
-      cur_depth = depth;
+      cur_min_depth = depth;
+      cur_max_depth = depth;
     }
   }
   if (cur.count > 0) raw.push_back(cur);
@@ -519,7 +544,7 @@ void walk_tree(const Octree& tree, std::span<const real> x,
                std::span<real> az, std::span<real> pot,
                simt::OpCounts* ops, WalkStats* stats,
                std::span<const std::uint8_t> group_active,
-               std::span<const GroupSpan> groups) {
+               std::span<const GroupSpan> groups, GroupCosts* costs) {
   const std::size_t n = x.size();
   if (y.size() != n || z.size() != n || m.size() != n || ax.size() != n ||
       ay.size() != n || az.size() != n ||
@@ -529,6 +554,12 @@ void walk_tree(const Octree& tree, std::span<const real> x,
   }
   if (cfg.list_capacity < kWarpSize) {
     throw std::invalid_argument("walk_tree: list capacity below warp size");
+  }
+  // eps = 0 makes the self-interaction potential correction (m / eps)
+  // infinite and zeroes the Plummer softening that keeps coincident-body
+  // force pairs finite; negative or NaN eps is equally meaningless.
+  if (!(cfg.eps > real(0))) {
+    throw std::invalid_argument("walk_tree: eps must be positive");
   }
   if (tree.num_nodes() == 0 || tree.mass.size() != tree.num_nodes()) {
     throw std::invalid_argument("walk_tree: tree geometry missing (run calc_node)");
@@ -550,31 +581,98 @@ void walk_tree(const Octree& tree, std::span<const real> x,
     throw std::invalid_argument("walk_tree: group_active size mismatch");
   }
 
-  // Each worker traverses a contiguous chunk of groups with arena-resident
-  // scratch (interaction list + frontiers) set up once per launch, then
-  // merges its cache-line-local tallies under a mutex — once per worker,
-  // not per group, so there is no accumulation hot spot and no false
-  // sharing between workers.
+  // A stale cost vector (tree rebuild changed the decomposition) is
+  // re-seeded uniform; cost-weighted without a vector to act on degrades
+  // to the static partition so standalone callers need no GroupCosts.
+  WalkSchedule schedule = cfg.schedule;
+  if (costs != nullptr && costs->cost.size() != groups.size()) {
+    costs->reset(groups.size());
+  }
+  if (schedule == WalkSchedule::CostWeighted && costs == nullptr) {
+    schedule = WalkSchedule::Static;
+  }
+
   runtime::Device& dev = runtime::Device::current();
-  std::mutex merge;
-  simt::OpCounts total_ops;
-  WalkStats total_stats;
-  dev.parallel_ranges(0, groups.size(), [&](runtime::Worker& w,
-                                            std::size_t lo, std::size_t hi) {
-    w.arena.reset();
-    Workspace ws(w.arena);
-    InteractionList list(w.arena, cfg.list_capacity, cfg.use_quadrupole);
+
+  // Per-worker scratch (interaction list + frontiers) plus tallies, built
+  // lazily in the worker's arena: parallel_dynamic hands a worker many
+  // small ranges, so setup must be once per worker, not once per range.
+  // The slot array is indexed by the context-local worker id — each slot
+  // is touched by exactly one thread during the collective, and the
+  // fork/join handshake orders those writes before the calling thread's
+  // merge loop, so no mutex is needed anywhere.
+  struct WorkerState {
+    Workspace ws;
+    InteractionList list;
     simt::OpCounts counts;
     WalkStats local;
+    double busy_seconds = 0.0;
+    WorkerState(runtime::Arena& arena, int cap, bool quad)
+        : ws(arena), list(arena, cap, quad) {}
+  };
+  WorkerState* states[runtime::Device::kMaxWorkers] = {};
+  auto run_range = [&](runtime::Worker& w, std::size_t lo, std::size_t hi) {
+    WorkerState*& st = states[w.id];
+    if (st == nullptr) {
+      w.arena.reset();
+      void* mem = w.arena.allocate(sizeof(WorkerState), alignof(WorkerState));
+      st = ::new (mem) WorkerState(w.arena, cfg.list_capacity,
+                                   cfg.use_quadrupole);
+    }
+    const Stopwatch clock;
     for (std::size_t gi = lo; gi < hi; ++gi) {
       if (!group_active.empty() && group_active[gi] == 0) continue;
+      const std::uint64_t before = st->local.interactions + st->local.mac_evals;
       walk_group(task, groups[gi].first, static_cast<int>(groups[gi].count),
-                 ws, list, counts, local);
+                 st->ws, st->list, st->counts, st->local);
+      if (costs != nullptr) {
+        // Race-free: group gi is run by exactly one worker and owns its
+        // slot. Inactive groups keep their previous cost, so a group
+        // waking up is partitioned by what it cost when last walked.
+        costs->cost[gi] = static_cast<double>(
+            st->local.interactions + st->local.mac_evals - before);
+      }
     }
-    const std::scoped_lock lock(merge);
-    total_ops += counts;
-    total_stats += local;
-  });
+    st->busy_seconds += clock.seconds();
+  };
+
+  switch (schedule) {
+    case WalkSchedule::Dynamic:
+      dev.parallel_dynamic(0, groups.size(), 0, run_range);
+      break;
+    case WalkSchedule::CostWeighted: {
+      // Activity-masked weights: inactive groups cost the walk nothing
+      // this step; active ones get a floor of 1 so a group whose last
+      // walk was trivially cheap still counts as an item.
+      std::vector<double>& wts = costs->weights;
+      wts.resize(groups.size());
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const bool active = group_active.empty() || group_active[gi] != 0;
+        wts[gi] = active ? std::max(costs->cost[gi], 1.0) : 0.0;
+      }
+      dev.parallel_weighted_ranges(0, groups.size(), wts, run_range);
+      break;
+    }
+    case WalkSchedule::Static:
+    default:
+      dev.parallel_ranges(0, groups.size(), run_range);
+      break;
+  }
+
+  simt::OpCounts total_ops;
+  WalkStats total_stats;
+  for (int i = 0; i < dev.workers(); ++i) {
+    WorkerState* st = states[i];
+    if (st == nullptr) continue;
+    total_ops += st->counts;
+    total_stats += st->local;
+    total_stats.worker_sum_seconds += st->busy_seconds;
+    total_stats.worker_max_seconds =
+        std::max(total_stats.worker_max_seconds, st->busy_seconds);
+  }
+  // Count every context worker, including ones the schedule left idle, so
+  // imbalance() penalizes idleness rather than hiding it.
+  total_stats.workers = static_cast<std::uint64_t>(dev.workers());
 
   if (ops != nullptr) *ops += total_ops;
   if (stats != nullptr) *stats += total_stats;

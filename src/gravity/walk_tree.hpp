@@ -22,6 +22,42 @@
 
 namespace gothic::gravity {
 
+/// Worker scheduling of the group loop (DESIGN.md "Load balancing").
+/// Results are bit-identical across all three policies: every group writes
+/// only its own disjoint output slots, and the per-worker tallies merge
+/// commutatively — the schedule picks *who* runs a group, never *what* the
+/// group computes.
+enum class WalkSchedule : int {
+  /// Equal-count contiguous chunks (Device::parallel_ranges). With block
+  /// time steps a worker that draws the dense-bulk groups serializes the
+  /// step — the baseline the bench_balance comparison quantifies.
+  Static = 0,
+  /// Chunked atomic work queue (Device::parallel_dynamic): idle workers
+  /// keep pulling, so imbalance is bounded by one chunk.
+  Dynamic = 1,
+  /// Contiguous equal-cost partition from measured per-group costs
+  /// (Device::parallel_weighted_ranges) — GOTHIC balances its walk by
+  /// measured cost, not item count. Degrades to Static when no GroupCosts
+  /// vector is supplied.
+  CostWeighted = 2,
+};
+
+/// Caller-owned cost-feedback state of the cost-weighted walk schedule:
+/// `cost` persists the per-group measured cost (interaction + MAC work)
+/// across walk_tree calls; `weights` is the activity-masked scratch the
+/// partition consumes. Both retain capacity, so the steady-state feedback
+/// loop allocates nothing; reset(n) (uniform costs) re-seeds after the
+/// group decomposition changed (tree rebuild).
+struct GroupCosts {
+  std::vector<double> cost;
+  std::vector<double> weights;
+
+  void reset(std::size_t n_groups) {
+    cost.assign(n_groups, 1.0);
+    weights.assign(n_groups, 1.0);
+  }
+};
+
 struct WalkConfig {
   /// Scheduling mode (§2.1); affects synchronisation counts only.
   simt::ExecMode mode = simt::ExecMode::Pascal;
@@ -40,6 +76,11 @@ struct WalkConfig {
   /// Raises per-interaction cost but lets a coarser dacc reach the same
   /// force accuracy (bench_ablation_quadrupole).
   bool use_quadrupole = false;
+  /// How the group loop is spread over the device workers; numerically
+  /// invisible (see WalkSchedule). Cost-weighted is the GOTHIC default —
+  /// it needs a GroupCosts vector to act on and otherwise behaves as
+  /// Static, so standalone callers are unaffected.
+  WalkSchedule schedule = WalkSchedule::CostWeighted;
 };
 
 /// Traversal statistics per walk (drives Figs 6-10 via the cost model).
@@ -52,6 +93,23 @@ struct WalkStats {
   std::uint64_t interactions = 0;     ///< (body, list entry) force pairs
   std::uint64_t flushes = 0;
 
+  // Per-worker busy time of the walk's parallel region (timing only —
+  // never feeds back into the numerics). `workers` counts every worker of
+  // the executing context, including ones the schedule left idle, so the
+  // imbalance ratio penalizes idle workers.
+  double worker_max_seconds = 0.0; ///< busiest worker's walk seconds
+  double worker_sum_seconds = 0.0; ///< summed walk seconds over workers
+  std::uint64_t workers = 0;       ///< context workers (accumulated)
+
+  /// Load-imbalance ratio of the walk: max worker time / mean worker
+  /// time. 1 is perfect balance; `nw` means one worker carried the whole
+  /// walk while nw-1 idled. 0 when no timing was recorded.
+  [[nodiscard]] double imbalance() const {
+    if (workers == 0 || !(worker_sum_seconds > 0.0)) return 0.0;
+    return worker_max_seconds /
+           (worker_sum_seconds / static_cast<double>(workers));
+  }
+
   WalkStats& operator+=(const WalkStats& o) {
     groups += o.groups;
     mac_evals += o.mac_evals;
@@ -60,6 +118,11 @@ struct WalkStats {
     body_appended += o.body_appended;
     interactions += o.interactions;
     flushes += o.flushes;
+    worker_max_seconds = worker_max_seconds > o.worker_max_seconds
+                             ? worker_max_seconds
+                             : o.worker_max_seconds;
+    worker_sum_seconds += o.worker_sum_seconds;
+    workers += o.workers;
     return *this;
   }
 };
@@ -79,12 +142,16 @@ struct GroupSpan {
 };
 
 /// The deterministic group decomposition walk_tree uses for `tree`:
-/// leaf-seeded runs, merged up to a warp while spatially compact, and
-/// recursively split whenever the bounding radius of a run exceeds
-/// `max_radius_fraction` of the root box edge (sparse regions fall back to
-/// few-body groups; a huge group sphere would force near-direct summation
-/// through the leaf-spill path). Callers that pass `group_active` flags
-/// must index them against this decomposition.
+/// leaf-seeded runs, merged up to a warp while spatially compact (every
+/// merged leaf within one level of both the shallowest and the deepest
+/// leaf already in the run, so a chain of merges cannot drift the run
+/// across distant depths), and recursively split whenever the bounding
+/// radius of a run exceeds `max_radius_fraction` of the root box edge
+/// (sparse regions fall back to few-body groups; a huge group sphere would
+/// force near-direct summation through the leaf-spill path). Callers that
+/// pass `group_active` flags must index them against this decomposition.
+/// Empty spans yield an empty decomposition; spans disagreeing with each
+/// other or with the tree's body count throw std::invalid_argument.
 [[nodiscard]] std::vector<GroupSpan> walk_groups(
     const octree::Octree& tree, std::span<const real> x,
     std::span<const real> y, std::span<const real> z,
@@ -98,6 +165,13 @@ struct GroupSpan {
 /// `groups`, when non-empty, supplies the decomposition to traverse
 /// (callers with block-step activity flags compute it once per rebuild via
 /// walk_groups); when empty it is derived internally from the positions.
+/// `costs`, when non-null, closes the load-balance feedback loop: the walk
+/// consumes costs->cost to pre-partition the groups (WalkSchedule::
+/// CostWeighted) and records each walked group's measured cost back into
+/// its slot for the next call (inactive groups keep their previous cost).
+/// The vector is (re)seeded uniform whenever its size disagrees with the
+/// decomposition; the recording is race-free because each group owns its
+/// slot exclusively.
 void walk_tree(const octree::Octree& tree, std::span<const real> x,
                std::span<const real> y, std::span<const real> z,
                std::span<const real> m, std::span<const real> aold_mag,
@@ -105,6 +179,7 @@ void walk_tree(const octree::Octree& tree, std::span<const real> x,
                std::span<real> az, std::span<real> pot = {},
                simt::OpCounts* ops = nullptr, WalkStats* stats = nullptr,
                std::span<const std::uint8_t> group_active = {},
-               std::span<const GroupSpan> groups = {});
+               std::span<const GroupSpan> groups = {},
+               GroupCosts* costs = nullptr);
 
 } // namespace gothic::gravity

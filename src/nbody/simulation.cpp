@@ -87,6 +87,9 @@ runtime::Event Simulation::issue_rebuild(runtime::Event e_pred,
         groups_ = gravity::walk_groups(tree_, particles_.x, particles_.y,
                                        particles_.z);
         group_active_.assign(groups_.size(), 1);
+        // The decomposition changed, so the measured per-group costs no
+        // longer index anything meaningful — re-seed uniform.
+        group_costs_.reset(groups_.size());
       });
   ++rebuilds_;
   steps_since_rebuild_ = 0;
@@ -127,10 +130,14 @@ void Simulation::bootstrap_forces() {
   wd.items = particles_.size();
   wd.stream = &tree_stream_;
   wd.sink = &sink_;
+  // Walk over the rebuild's group decomposition with the cost vector
+  // attached: the bootstrap's measured per-group costs seed the
+  // cost-weighted partition of step 0.
   dev.launch(wd, [this, &boot](simt::OpCounts& ops) {
     gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
                        particles_.m, {}, boot, particles_.ax, particles_.ay,
-                       particles_.az, particles_.pot, &ops);
+                       particles_.az, particles_.pot, &ops, nullptr, {},
+                       groups_, &group_costs_);
   });
   dev.synchronize();
   for (std::size_t i = 0; i < particles_.size(); ++i) {
@@ -220,7 +227,8 @@ StepReport Simulation::step() {
   const runtime::Event e_walk = dev.launch(wd, [&](simt::OpCounts& ops) {
     gravity::walk_tree(tree_, px_, py_, pz_, particles_.m,
                        particles_.aold_mag, cfg_.walk, nax_, nay_, naz_,
-                       npot_, &ops, &stats, group_active_, groups_);
+                       npot_, &ops, &stats, group_active_, groups_,
+                       &group_costs_);
   });
 
   // correct the fired particles once the new accelerations exist.
@@ -267,6 +275,7 @@ StepReport Simulation::step() {
     mark.t_end = t_hi;
     mark.kernel_seconds = report.total_seconds();
     mark.wall_seconds = report.wall_seconds;
+    mark.walk_imbalance = stats.imbalance();
     l->on_step(mark);
   }
   return report;

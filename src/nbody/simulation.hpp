@@ -170,6 +170,11 @@ private:
   /// Tree-derived walk groups (refreshed on rebuild) and per-step flags.
   std::vector<gravity::GroupSpan> groups_;
   std::vector<std::uint8_t> group_active_;
+  /// Cost-feedback state of the cost-weighted walk schedule: measured
+  /// per-group costs carried across steps, re-seeded uniform at every
+  /// rebuild (the decomposition changed) and first measured by the
+  /// bootstrap walk so step 0 already partitions by real cost.
+  gravity::GroupCosts group_costs_;
 };
 
 } // namespace gothic::nbody

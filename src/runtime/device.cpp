@@ -67,9 +67,26 @@ public:
   /// that one is rethrown after every member finished, leaving the team
   /// reusable. (The previous pool dropped a worker error whenever member 0
   /// threw too, and left it set for the next collective.)
+  /// Run the job on `w`, charging the elapsed wall time to the worker's
+  /// busy counter (imbalance observability). The counter also ticks while
+  /// a body waits on a fault-injected stall — busy means "occupied", which
+  /// is exactly what the imbalance ratio should see.
+  static void run_timed(JobFn fn, void* ctx, Worker& w) {
+    const Stopwatch clock;
+    try {
+      fn(ctx, w);
+    } catch (...) {
+      w.busy_ns.fetch_add(static_cast<std::uint64_t>(clock.seconds() * 1e9),
+                          std::memory_order_relaxed);
+      throw;
+    }
+    w.busy_ns.fetch_add(static_cast<std::uint64_t>(clock.seconds() * 1e9),
+                        std::memory_order_relaxed);
+  }
+
   void run(JobFn fn, void* ctx) {
     if (threads_.empty()) {
-      fn(ctx, *members_.front());
+      run_timed(fn, ctx, *members_.front());
       return;
     }
     {
@@ -82,7 +99,7 @@ public:
     }
     start_cv_.notify_all();
     try {
-      fn(ctx, *members_.front());
+      run_timed(fn, ctx, *members_.front());
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -109,7 +126,7 @@ private:
         ctx = job_ctx_;
       }
       try {
-        job(ctx, w);
+        run_timed(job, ctx, w);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!error_) error_ = std::current_exception();
@@ -188,7 +205,8 @@ bool Device::default_async() { return env_size("GOTHIC_ASYNC", 1) != 0; }
 Device::Device(int workers, int async, int lanes)
     : async_(async < 0 ? default_async() : async != 0),
       lanes_requested_(lanes) {
-  const int n = workers > 0 ? workers : default_workers();
+  const int n = std::min(workers > 0 ? workers : default_workers(),
+                         kMaxWorkers);
   slots_.reserve(static_cast<std::size_t>(n));
   std::vector<Worker*> members;
   members.reserve(static_cast<std::size_t>(n));
@@ -664,6 +682,40 @@ std::size_t Device::arena_capacity() const {
 std::uint64_t Device::launch_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return next_launch_ - 1;
+}
+
+double Device::worker_busy_seconds_max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double m = 0.0;
+  for (const auto& w : slots_) m = std::max(m, w->busy_seconds());
+  for (const auto& lane : lanes_) {
+    for (const auto& w : lane->slots) m = std::max(m, w->busy_seconds());
+  }
+  return m;
+}
+
+double Device::worker_busy_seconds_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& w : slots_) total += w->busy_seconds();
+  for (const auto& lane : lanes_) {
+    for (const auto& w : lane->slots) total += w->busy_seconds();
+  }
+  return total;
+}
+
+int Device::busy_worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const auto& w : slots_) {
+    if (w->busy_ns.load(std::memory_order_relaxed) > 0) ++n;
+  }
+  for (const auto& lane : lanes_) {
+    for (const auto& w : lane->slots) {
+      if (w->busy_ns.load(std::memory_order_relaxed) > 0) ++n;
+    }
+  }
+  return n;
 }
 
 ScopedDevice::ScopedDevice(Device& device) : previous_(tl_current) {

@@ -34,11 +34,15 @@
 #include "simt/op_counter.hpp"
 #include "util/timer.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -52,6 +56,15 @@ namespace gothic::runtime {
 struct alignas(64) Worker {
   int id = 0;
   Arena arena;
+  /// Cumulative nanoseconds this worker spent executing collective bodies
+  /// (written by the worker's own thread around each job; relaxed atomic so
+  /// introspection may sample it concurrently). The max/mean spread across
+  /// workers is the load-imbalance signal trace::MetricsRegistry reports.
+  std::atomic<std::uint64_t> busy_ns{0};
+
+  [[nodiscard]] double busy_seconds() const {
+    return static_cast<double>(busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+  }
 };
 
 class Device {
@@ -130,6 +143,91 @@ public:
                     [&fn](Worker&, std::size_t lo, std::size_t hi) {
                       for (std::size_t i = lo; i < hi; ++i) fn(i);
                     });
+  }
+
+  /// Hard ceiling on the worker count of any device (the constructor
+  /// clamps above it). Lets schedule computations use fixed-size stack
+  /// scratch instead of allocating per call.
+  static constexpr int kMaxWorkers = 256;
+
+  /// Dynamic schedule: workers repeatedly claim contiguous chunks of
+  /// `chunk` items (0 = dynamic_chunk_size()) from a shared atomic cursor
+  /// until [begin, end) is exhausted, so a worker that draws cheap items
+  /// keeps pulling while an expensive chunk pins its neighbour. `fn` runs
+  /// once per claimed chunk as fn(Worker&, lo, hi); all invocations handed
+  /// to one worker are sequential on that worker's thread, so per-worker
+  /// state initialised on the first call stays valid. Which worker runs
+  /// which chunk is nondeterministic — callers needing bit-stable results
+  /// must make fn's effect independent of the assignment (disjoint output
+  /// slots, commutative tallies), exactly the walk_tree contract.
+  /// Allocation-free; the cursor lives on the caller's stack.
+  template <typename Fn>
+  void parallel_dynamic(std::size_t begin, std::size_t end, std::size_t chunk,
+                        Fn&& fn) {
+    if (end <= begin) return;
+    if (chunk == 0) chunk = dynamic_chunk_size(begin, end);
+    std::atomic<std::size_t> cursor{begin};
+    for_workers([&](Worker& w) {
+      for (;;) {
+        const std::size_t lo = cursor.fetch_add(chunk,
+                                                std::memory_order_relaxed);
+        if (lo >= end) return;
+        fn(w, lo, std::min(end, lo + chunk));
+      }
+    });
+  }
+
+  /// Chunk length parallel_dynamic defaults to: ~8 claims per worker, so
+  /// the queue can rebalance without the cursor becoming a hot spot.
+  [[nodiscard]] std::size_t dynamic_chunk_size(std::size_t begin,
+                                               std::size_t end) const {
+    const std::size_t n = end - begin;
+    const auto nw = static_cast<std::size_t>(workers());
+    return std::max<std::size_t>(1, n / (nw * 8));
+  }
+
+  /// Cost-weighted static schedule: split [begin, end) into one contiguous
+  /// range per worker whose *summed weight* (not item count) is as equal
+  /// as a contiguous split allows — worker w's range ends at the first
+  /// item where the weight prefix sum reaches (w+1)/nw of the total.
+  /// `weights` holds one non-negative cost per item (weights.size() ==
+  /// end - begin; mismatch throws std::invalid_argument); a non-positive
+  /// total falls back to the equal-count parallel_ranges split. The
+  /// partition is a pure function of (weights, worker count) — fully
+  /// deterministic — and the boundary scan runs on the calling thread into
+  /// fixed stack scratch, so the collective allocates nothing.
+  template <typename Fn>
+  void parallel_weighted_ranges(std::size_t begin, std::size_t end,
+                                std::span<const double> weights, Fn&& fn) {
+    if (end <= begin) return;
+    if (weights.size() != end - begin) {
+      throw std::invalid_argument(
+          "Device::parallel_weighted_ranges: one weight per item required");
+    }
+    double total = 0.0;
+    for (const double w : weights) total += w > 0.0 ? w : 0.0;
+    if (!(total > 0.0)) {
+      parallel_ranges(begin, end, fn);
+      return;
+    }
+    const auto nw = static_cast<std::size_t>(workers());
+    const double per = total / static_cast<double>(nw);
+    std::size_t bounds[kMaxWorkers + 1];
+    bounds[0] = begin;
+    std::size_t b = 1;
+    double prefix = 0.0;
+    for (std::size_t i = 0; i < weights.size() && b < nw; ++i) {
+      prefix += weights[i] > 0.0 ? weights[i] : 0.0;
+      while (b < nw && prefix >= per * static_cast<double>(b)) {
+        bounds[b++] = begin + i + 1;
+      }
+    }
+    for (; b <= nw; ++b) bounds[b] = end;
+    for_workers([&](Worker& w) {
+      const std::size_t lo = bounds[w.id];
+      const std::size_t hi = bounds[w.id + 1];
+      if (lo < hi) fn(w, lo, hi);
+    });
   }
 
   /// The contiguous chunk length parallel_ranges assigns per worker.
@@ -246,6 +344,18 @@ public:
   [[nodiscard]] std::size_t arena_capacity() const;
   /// Launches issued so far.
   [[nodiscard]] std::uint64_t launch_count() const;
+
+  // Worker busy-time gauges (pool and lane workers; relaxed samples of the
+  // per-worker counters, safe to read while collectives run). The spread
+  // between the busiest worker and the mean is the device-lifetime load
+  // imbalance trace::MetricsRegistry turns into a ratio.
+  /// Busiest single worker's cumulative collective-body seconds.
+  [[nodiscard]] double worker_busy_seconds_max() const;
+  /// Sum of collective-body seconds across every worker slot.
+  [[nodiscard]] double worker_busy_seconds_total() const;
+  /// Worker slots (pool + materialized lanes) that have recorded any
+  /// collective-body busy time so far.
+  [[nodiscard]] int busy_worker_count() const;
 
 private:
   using JobFn = void (*)(void*, Worker&);

@@ -119,6 +119,9 @@ struct StepMark {
   double t_end = 0.0;      ///< latest body end, device-epoch seconds
   double kernel_seconds = 0.0; ///< sum of the step's launch body seconds
   double wall_seconds = 0.0;   ///< first-start-to-last-end span
+  /// Walk load-imbalance ratio (max worker time / mean worker time) of
+  /// the step's tree walk; 0 when the step recorded no walk timing.
+  double walk_imbalance = 0.0;
 
   /// Signed overlap gap. Positive: kernel seconds hidden by concurrent
   /// streams. Negative: a scheduler anomaly (the wall span exceeded the

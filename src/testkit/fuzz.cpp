@@ -31,14 +31,17 @@ nbody::Particles fuzz_cloud(std::size_t n, std::uint64_t seed) {
   return p;
 }
 
-nbody::SimConfig fuzz_sim_config(int rebuild_interval) {
+nbody::SimConfig fuzz_sim_config(int rebuild_interval,
+                                 gravity::WalkSchedule schedule) {
   nbody::SimConfig cfg;
   // Shared global step with a fixed rebuild cadence: every run issues the
-  // identical launch DAG, so schedules are the only degree of freedom.
+  // identical launch DAG, so stream schedules and the (numerically
+  // invisible) walk schedule are the only degrees of freedom.
   cfg.block_time_steps = false;
   cfg.dt_max = 1.0 / 4096.0;
   cfg.auto_rebuild = false;
   cfg.fixed_rebuild_interval = rebuild_interval;
+  cfg.walk.schedule = schedule;
   return cfg;
 }
 
@@ -59,7 +62,7 @@ std::vector<real> run_controlled(const FuzzConfig& cfg, bool async,
   runtime::ScopedDevice scope(dev);
   if (controller != nullptr) dev.set_schedule_controller(controller);
   nbody::Simulation sim(fuzz_cloud(cfg.n, cfg.workload_seed),
-                        fuzz_sim_config(cfg.rebuild_interval));
+                        fuzz_sim_config(cfg.rebuild_interval, cfg.schedule));
   for (int i = 0; i < cfg.steps; ++i) (void)sim.step();
   // step() ends with a synchronize, so the device is idle here and the
   // controller can be detached before it goes out of the caller's scope.
@@ -69,8 +72,13 @@ std::vector<real> run_controlled(const FuzzConfig& cfg, bool async,
 
 RunOutcome replay_seed(const FuzzConfig& cfg, std::uint64_t seed,
                        const std::vector<real>& reference) {
+  // The walk schedule is part of the replay token: deriving it from the
+  // seed makes a failing seed reproduce the exact run with no extra state
+  // and spreads the seeded sweep across all three schedules.
+  FuzzConfig run_cfg = cfg;
+  run_cfg.schedule = static_cast<gravity::WalkSchedule>(seed % 3);
   SeededSchedule ctrl(seed);
-  const std::vector<real> state = run_controlled(cfg, true, &ctrl);
+  const std::vector<real> state = run_controlled(run_cfg, true, &ctrl);
   RunOutcome out;
   out.signature = ctrl.signature();
   out.decision_points = ctrl.decision_points();
@@ -103,8 +111,25 @@ void append_run_failure(SweepReport& rep, const std::string& who,
 
 SweepReport sweep_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
                         std::size_t count) {
-  const std::vector<real> ref = run_controlled(cfg, false, nullptr);
   SweepReport rep;
+  // One synchronous reference per walk schedule: the schedule contract
+  // says all three are bit-identical, so verify that up front and let
+  // every async run (whose schedule replay_seed derives from its seed)
+  // compare against the one shared reference.
+  FuzzConfig ref_cfg = cfg;
+  ref_cfg.schedule = gravity::WalkSchedule::Static;
+  const std::vector<real> ref = run_controlled(ref_cfg, false, nullptr);
+  for (const auto schedule : {gravity::WalkSchedule::Dynamic,
+                              gravity::WalkSchedule::CostWeighted}) {
+    ref_cfg.schedule = schedule;
+    if (run_controlled(ref_cfg, false, nullptr) != ref) {
+      rep.failures.push_back(
+          std::string("walk schedule ") +
+          (schedule == gravity::WalkSchedule::Dynamic ? "dynamic"
+                                                      : "cost-weighted") +
+          " diverged from the static schedule on the synchronous run");
+    }
+  }
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t seed = base_seed + i;
     const RunOutcome out = replay_seed(cfg, seed, ref);

@@ -65,6 +65,11 @@ void MetricsRegistry::record_step(const runtime::StepMark& mark) {
   } else {
     overlap_sum_ += raw;
   }
+  if (mark.walk_imbalance > 0.0) {
+    imbalance_steps_ += 1;
+    imbalance_sum_ += mark.walk_imbalance;
+    imbalance_max_ = std::max(imbalance_max_, mark.walk_imbalance);
+  }
 }
 
 void MetricsRegistry::observe_device(const runtime::Device& dev) {
@@ -72,6 +77,10 @@ void MetricsRegistry::observe_device(const runtime::Device& dev) {
   arena_heap_allocations_ =
       std::max(arena_heap_allocations_, dev.arena_heap_allocations());
   workers_ = std::max(workers_, dev.workers());
+  busy_max_seconds_ = std::max(busy_max_seconds_, dev.worker_busy_seconds_max());
+  busy_total_seconds_ =
+      std::max(busy_total_seconds_, dev.worker_busy_seconds_total());
+  busy_workers_ = std::max(busy_workers_, dev.busy_worker_count());
 }
 
 std::uint64_t MetricsRegistry::launches() const {
@@ -106,10 +115,21 @@ void MetricsRegistry::print(std::ostream& os) const {
     os << " (worst " << Table::sci(min_raw_overlap_) << " s)";
   }
   os << "\n";
+  if (imbalance_steps_ > 0) {
+    os << "walk imbalance (max worker / mean worker): mean "
+       << Table::sci(imbalance_mean()) << ", worst "
+       << Table::sci(imbalance_max_) << " over " << imbalance_steps_
+       << " steps\n";
+  }
   if (workers_ > 0) {
     os << "arena gauges: " << workers_ << " workers, high-water capacity "
        << arena_capacity_ << " B, heap allocations "
        << arena_heap_allocations_ << "\n";
+  }
+  if (busy_workers_ > 0) {
+    os << "worker busy time: " << busy_workers_ << " busy workers, total "
+       << Table::sci(busy_total_seconds_) << " s, busiest "
+       << Table::sci(busy_max_seconds_) << " s\n";
   }
 }
 

@@ -105,6 +105,20 @@ public:
   }
   [[nodiscard]] double overlap_seconds_total() const { return overlap_sum_; }
 
+  // Walk load-balance accounting over the observed steps (steps whose
+  // StepMark carried no walk timing are excluded from the mean).
+  [[nodiscard]] std::uint64_t imbalance_steps() const {
+    return imbalance_steps_;
+  }
+  /// Worst per-step walk imbalance ratio observed (0 when none recorded).
+  [[nodiscard]] double imbalance_max() const { return imbalance_max_; }
+  /// Mean per-step walk imbalance ratio (0 when none recorded).
+  [[nodiscard]] double imbalance_mean() const {
+    return imbalance_steps_ > 0
+               ? imbalance_sum_ / static_cast<double>(imbalance_steps_)
+               : 0.0;
+  }
+
   // Arena gauges (high-water across observe_device() samples).
   [[nodiscard]] std::size_t arena_capacity_bytes() const {
     return arena_capacity_;
@@ -113,6 +127,16 @@ public:
     return arena_heap_allocations_;
   }
   [[nodiscard]] int workers() const { return workers_; }
+
+  // Per-worker busy-time gauges (high-water across observe_device()
+  // samples of Device's cumulative busy counters).
+  [[nodiscard]] double worker_busy_seconds_max() const {
+    return busy_max_seconds_;
+  }
+  [[nodiscard]] double worker_busy_seconds_total() const {
+    return busy_total_seconds_;
+  }
+  [[nodiscard]] int busy_workers() const { return busy_workers_; }
 
   /// Render the per-kernel table plus the step/arena footer.
   void print(std::ostream& os) const;
@@ -125,9 +149,15 @@ private:
   std::uint64_t negative_overlap_steps_ = 0;
   double min_raw_overlap_ = 0.0;
   double overlap_sum_ = 0.0;
+  std::uint64_t imbalance_steps_ = 0;
+  double imbalance_max_ = 0.0;
+  double imbalance_sum_ = 0.0;
   std::size_t arena_capacity_ = 0;
   std::uint64_t arena_heap_allocations_ = 0;
   int workers_ = 0;
+  double busy_max_seconds_ = 0.0;
+  double busy_total_seconds_ = 0.0;
+  int busy_workers_ = 0;
 };
 
 } // namespace gothic::trace

@@ -188,10 +188,17 @@ void TraceWriter::write(std::ostream& os) const {
                 common + ",\"args\":{\"kernel_seconds\":" +
                 usec(mark.kernel_seconds) + ",\"wall_seconds\":" +
                 usec(mark.wall_seconds) + ",\"raw_overlap_us\":" +
-                usec(mark.raw_overlap_seconds()) + "}");
+                usec(mark.raw_overlap_seconds()) + ",\"walk_imbalance\":" +
+                std::to_string(mark.walk_imbalance) + "}");
     if (mark.rebuilt) {
       events.emit("\"name\":\"rebuild\"" + common + ",\"args\":{}");
     }
+    // Walk load-imbalance counter track: one sample per step (1 = perfect
+    // balance, nw = one worker carried the whole walk); steps without walk
+    // timing carry 0 and are visually obvious.
+    events.emit("\"name\":\"walk_imbalance\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+                usec(mark.t_begin) + ",\"args\":{\"ratio\":" +
+                std::to_string(mark.walk_imbalance) + "}");
   }
 
   // Counter tracks: cumulative op categories sampled at each completion

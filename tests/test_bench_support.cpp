@@ -211,6 +211,7 @@ protected:
     mark.index = 1;
     mark.kernel_seconds = 2e-4;
     mark.wall_seconds = 1.5e-4;
+    mark.walk_imbalance = 1.7;
     metrics.record_step(mark);
     r.add_metrics(metrics);
 
@@ -284,6 +285,7 @@ TEST_F(ReportSchema, ProfilesCarryMeasurementsAndPerKernelOps) {
   require(meas, "wall_seconds", JsonValue::Type::Number);
   require(meas, "overlap_seconds", JsonValue::Type::Number);
   require(meas, "raw_overlap_seconds", JsonValue::Type::Number);
+  require(meas, "walk_imbalance", JsonValue::Type::Number);
 
   const JsonValue& ops = require(prof, "ops", JsonValue::Type::Object);
   for (const char* kernel :
@@ -307,6 +309,17 @@ TEST_F(ReportSchema, MetricsKernelsKeepMonotonePercentiles) {
   require(metrics, "arena_capacity_bytes", JsonValue::Type::Number);
   require(metrics, "arena_heap_allocations", JsonValue::Type::Number);
   require(metrics, "workers", JsonValue::Type::Number);
+  // Load-balance accounting (this fixture records one step with
+  // walk_imbalance = 1.7, so mean == max == 1.7 over 1 step).
+  EXPECT_EQ(require(metrics, "imbalance_steps", JsonValue::Type::Number).number,
+            1.0);
+  EXPECT_EQ(require(metrics, "imbalance_mean", JsonValue::Type::Number).number,
+            1.7);
+  EXPECT_EQ(require(metrics, "imbalance_max", JsonValue::Type::Number).number,
+            1.7);
+  require(metrics, "worker_busy_seconds_max", JsonValue::Type::Number);
+  require(metrics, "worker_busy_seconds_total", JsonValue::Type::Number);
+  require(metrics, "busy_workers", JsonValue::Type::Number);
 
   const JsonValue& kernels = require(metrics, "kernels", JsonValue::Type::Array);
   ASSERT_EQ(kernels.array.size(), 2u); // WalkTree + PredictCorrect
@@ -321,6 +334,63 @@ TEST_F(ReportSchema, MetricsKernelsKeepMonotonePercentiles) {
     EXPECT_LE(p50, p95) << k.at("kernel").str;
     EXPECT_LE(p95, mx * 2.0) << k.at("kernel").str; // p95 is a bin upper edge
     check_ops_block(k.at("ops"));
+  }
+}
+
+// check.sh's bench-smoke stage points GOTHIC_BENCH_VALIDATE_JSON at a
+// freshly emitted BENCH_*.json and runs this test to hold the document to
+// the same golden schema the fixture tests pin: required top-level keys,
+// rectangular tables, and (when present) the profile/metrics sections.
+TEST(ExternalReport, EnvNamedBenchJsonKeepsGoldenSchema) {
+  const char* path = std::getenv("GOTHIC_BENCH_VALIDATE_JSON");
+  if (path == nullptr || path[0] == '\0') {
+    GTEST_SKIP() << "set GOTHIC_BENCH_VALIDATE_JSON=<BENCH_*.json> to "
+                    "validate an emitted report";
+  }
+  const JsonValue doc = JsonParser(minijson::read_file(path)).parse();
+  ASSERT_EQ(static_cast<int>(doc.type),
+            static_cast<int>(JsonValue::Type::Object));
+  EXPECT_FALSE(require(doc, "bench", JsonValue::Type::String).str.empty());
+  const JsonValue& tables = require(doc, "tables", JsonValue::Type::Array);
+  for (const JsonValue& t : tables.array) {
+    require(t, "title", JsonValue::Type::String);
+    const JsonValue& headers = require(t, "headers", JsonValue::Type::Array);
+    const JsonValue& rows = require(t, "rows", JsonValue::Type::Array);
+    for (const JsonValue& row : rows.array) {
+      ASSERT_EQ(static_cast<int>(row.type),
+                static_cast<int>(JsonValue::Type::Array));
+      EXPECT_EQ(row.array.size(), headers.array.size())
+          << "ragged row in table \"" << t.at("title").str << '"';
+    }
+  }
+  if (doc.has("scale")) {
+    const JsonValue& scale = require(doc, "scale", JsonValue::Type::Object);
+    require(scale, "n", JsonValue::Type::Number);
+    require(scale, "steps", JsonValue::Type::Number);
+    require(scale, "threads", JsonValue::Type::Number);
+    require(scale, "async", JsonValue::Type::Bool);
+  }
+  if (doc.has("profiles")) {
+    for (const JsonValue& prof : doc.at("profiles").array) {
+      require(prof, "label", JsonValue::Type::String);
+      const JsonValue& meas = require(prof, "measured", JsonValue::Type::Object);
+      require(meas, "kernel_seconds", JsonValue::Type::Number);
+      require(meas, "wall_seconds", JsonValue::Type::Number);
+      require(meas, "walk_imbalance", JsonValue::Type::Number);
+    }
+  }
+  if (doc.has("metrics")) {
+    const JsonValue& metrics = require(doc, "metrics", JsonValue::Type::Object);
+    require(metrics, "steps", JsonValue::Type::Number);
+    require(metrics, "imbalance_mean", JsonValue::Type::Number);
+    require(metrics, "imbalance_max", JsonValue::Type::Number);
+    require(metrics, "worker_busy_seconds_total", JsonValue::Type::Number);
+  }
+  if (doc.has("notes")) {
+    for (const JsonValue& note : doc.at("notes").array) {
+      EXPECT_EQ(static_cast<int>(note.type),
+                static_cast<int>(JsonValue::Type::String));
+    }
   }
 }
 

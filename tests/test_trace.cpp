@@ -309,8 +309,9 @@ TEST(TraceWriter, SerializesSyntheticDagWithFlows) {
   EXPECT_EQ(f, 1);
   EXPECT_EQ(flow_ids.count("2->3"), 1u);
   EXPECT_EQ(instant, 2); // "step 1" + "rebuild"
-  // 3 cumulative ops samples + 6 workers_busy edges.
-  EXPECT_EQ(counter, 9);
+  // 3 cumulative ops samples + 6 workers_busy edges + 1 per-step
+  // walk_imbalance sample.
+  EXPECT_EQ(counter, 10);
 }
 
 // --- session + simulation round trip ---------------------------------------

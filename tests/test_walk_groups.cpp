@@ -1,14 +1,17 @@
 // Properties of the tree-derived warp-group decomposition (the piece that
 // keeps the group-shared MAC effective, see walk_tree.hpp).
 #include "gravity/walk_tree.hpp"
+#include "galaxy/spherical_sampler.hpp"
 #include "octree/calc_node.hpp"
 #include "octree/tree_build.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace gothic::gravity {
 namespace {
@@ -199,6 +202,177 @@ TEST(WalkGroups, DeterministicForFixedInput) {
     EXPECT_EQ(a[i].first, b[i].first);
     EXPECT_EQ(a[i].count, b[i].count);
   }
+}
+
+Cloud plummer_cloud(std::size_t n, std::uint64_t seed) {
+  const nbody::Particles p = galaxy::make_plummer(n, 1.0, 1.0, seed);
+  Cloud c;
+  c.x = p.x;
+  c.y = p.y;
+  c.z = p.z;
+  c.m = p.m;
+  return c;
+}
+
+/// Groups must be sorted and contiguous in tree (Morton) order: the first
+/// group starts at body 0, each group starts where the previous ended, and
+/// the last ends at n. Together with check_partition this pins the exact
+/// decomposition shape walk_tree's disjoint-output argument relies on.
+void check_sorted_contiguous(const std::vector<GroupSpan>& groups,
+                             std::size_t n) {
+  ASSERT_FALSE(groups.empty());
+  EXPECT_EQ(groups.front().first, 0u);
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    EXPECT_EQ(groups[g].first, groups[g - 1].first + groups[g - 1].count)
+        << "gap or overlap before group " << g;
+  }
+  EXPECT_EQ(groups.back().first + groups.back().count, n);
+}
+
+/// Depth spread of a run of merged leaves: the merge rule documents that a
+/// group stays within ~one parent cell, i.e. every merged leaf within one
+/// level of both the run's shallowest and deepest leaf — a spread of at
+/// most 2 levels.
+int max_group_depth_spread(const octree::Octree& tree,
+                           const std::vector<GroupSpan>& groups) {
+  int worst = 0;
+  for (const GroupSpan& g : groups) {
+    const index_t lo = g.first;
+    const index_t hi = g.first + g.count;
+    int dmin = 0, dmax = 0;
+    bool any = false;
+    for (index_t node = 0; node < tree.num_nodes(); ++node) {
+      if (!tree.is_leaf(node) || tree.body_count[node] == 0) continue;
+      const index_t lfirst = tree.body_first[node];
+      const index_t lend = lfirst + tree.body_count[node];
+      if (lfirst >= hi || lend <= lo) continue;
+      const int d = tree.depth[node];
+      dmin = any ? std::min(dmin, d) : d;
+      dmax = any ? std::max(dmax, d) : d;
+      any = true;
+    }
+    if (any) worst = std::max(worst, dmax - dmin);
+  }
+  return worst;
+}
+
+/// The pre-fix merge rule: a single depth anchor, compared against with
+/// |depth - anchor| <= 1 and updated with min(). Returns the largest depth
+/// spread any run reached — the drift the fixed rule forbids.
+int old_rule_max_spread(const octree::Octree& tree) {
+  std::vector<index_t> leaves;
+  for (index_t node = 0; node < tree.num_nodes(); ++node) {
+    if (tree.is_leaf(node) && tree.body_count[node] > 0) {
+      leaves.push_back(node);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end(), [&tree](index_t a, index_t b) {
+    return tree.body_first[a] < tree.body_first[b];
+  });
+  int worst = 0;
+  index_t cur_count = 0;
+  int cur_depth = 0, run_min = 0, run_max = 0;
+  for (const index_t leaf : leaves) {
+    const index_t remain = tree.body_count[leaf];
+    if (remain > static_cast<index_t>(kWarpSize)) {
+      cur_count = 0; // oversized leaves split plainly and end the run
+      continue;
+    }
+    const int depth = tree.depth[leaf];
+    const bool fits = cur_count + remain <= static_cast<index_t>(kWarpSize);
+    const bool compact = cur_count == 0 || std::abs(depth - cur_depth) <= 1;
+    if (cur_count > 0 && fits && compact) {
+      cur_count += remain;
+      cur_depth = std::min(cur_depth, depth);
+      run_min = std::min(run_min, depth);
+      run_max = std::max(run_max, depth);
+    } else {
+      cur_count = remain;
+      cur_depth = depth;
+      run_min = depth;
+      run_max = depth;
+    }
+    worst = std::max(worst, run_max - run_min);
+  }
+  return worst;
+}
+
+TEST(WalkGroups, EmptyInputYieldsEmptyDecomposition) {
+  const octree::Octree tree;
+  EXPECT_TRUE(walk_groups(tree, {}, {}, {}).empty());
+}
+
+TEST(WalkGroups, SpanMismatchThrows) {
+  Cloud c = uniform_cloud(256, 11);
+  c.build();
+  const std::vector<real> shorter(c.x.begin(), c.x.end() - 1);
+  // Positions shorter than the tree's body count: stale spans from before
+  // a rebuild must be rejected, not walked.
+  EXPECT_THROW((void)walk_groups(c.tree, shorter, c.y, c.z),
+               std::invalid_argument);
+  // Spans disagreeing with each other.
+  EXPECT_THROW((void)walk_groups(c.tree, c.x, shorter, c.z),
+               std::invalid_argument);
+  EXPECT_THROW((void)walk_groups(c.tree, c.x, c.y, shorter),
+               std::invalid_argument);
+  // Empty positions against a non-empty tree are a mismatch, not the
+  // empty-decomposition case.
+  EXPECT_THROW((void)walk_groups(c.tree, {}, {}, {}), std::invalid_argument);
+}
+
+TEST(WalkGroups, SortedContiguousPartitionOnPlummerAndUniform) {
+  for (const std::uint64_t seed : {12u, 13u}) {
+    Cloud c = plummer_cloud(8192, seed);
+    c.build();
+    const auto groups = walk_groups(c.tree, c.x, c.y, c.z);
+    check_partition(groups, c.x.size());
+    check_sorted_contiguous(groups, c.x.size());
+  }
+  Cloud u = uniform_cloud(8192, 14);
+  u.build();
+  const auto groups = walk_groups(u.tree, u.x, u.y, u.z);
+  check_partition(groups, u.x.size());
+  check_sorted_contiguous(groups, u.x.size());
+}
+
+TEST(WalkGroups, DepthSpreadBoundedOnPlummerAndUniform) {
+  Cloud p = plummer_cloud(16384, 15);
+  p.build(8);
+  EXPECT_LE(max_group_depth_spread(p.tree,
+                                   walk_groups(p.tree, p.x, p.y, p.z)),
+            2);
+  Cloud u = uniform_cloud(16384, 16);
+  u.build(8);
+  EXPECT_LE(max_group_depth_spread(u.tree,
+                                   walk_groups(u.tree, u.x, u.y, u.z)),
+            2);
+}
+
+TEST(WalkGroups, DepthAnchorNoLongerDrifts) {
+  // Clusters of three bodies at geometrically shrinking distance from the
+  // box corner: Morton order visits the corner-most (deepest) leaf first,
+  // then each next cluster one level shallower. Every step keeps
+  // |depth - anchor| <= 1, so the old min()-anchored rule chain-merged the
+  // whole gradient into one run spanning many levels.
+  Cloud c;
+  Xoshiro256 rng(17);
+  for (int k = 11; k >= 2; --k) {
+    const double base = std::ldexp(1.0, -k);
+    for (int j = 0; j < 3; ++j) {
+      const double jitter = base * 0.01 * rng.uniform();
+      c.x.push_back(static_cast<real>(base + jitter));
+      c.y.push_back(static_cast<real>(base + jitter));
+      c.z.push_back(static_cast<real>(base + jitter));
+      c.m.push_back(real(1.0 / 30.0));
+    }
+  }
+  c.build(4);
+  // Non-vacuous: the graded chain really made the old rule drift past the
+  // two-level bound the merge rule documents.
+  ASSERT_GT(old_rule_max_spread(c.tree), 2);
+  const auto groups = walk_groups(c.tree, c.x, c.y, c.z);
+  check_partition(groups, c.x.size());
+  EXPECT_LE(max_group_depth_spread(c.tree, groups), 2);
 }
 
 TEST(WalkGroups, ExplicitGroupsMatchInternalComputation) {

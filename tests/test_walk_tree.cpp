@@ -4,12 +4,15 @@
 #include "gravity/walk_tree.hpp"
 #include "octree/calc_node.hpp"
 #include "octree/tree_build.hpp"
+#include "runtime/device.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 
 namespace gothic::gravity {
 namespace {
@@ -342,6 +345,119 @@ TEST(WalkTree, EmptyAoldDegeneratesToNearDirect) {
   // result is accurate to FP32 round-off.
   EXPECT_LT(stats.pseudo_appended, stats.body_appended);
   EXPECT_LT(median_force_error(s, r, kEps), 1e-4);
+}
+
+TEST(WalkTree, RejectsNonPositiveEps) {
+  System s = plummer(256, 13);
+  s.build();
+  std::vector<real> ax(s.n()), ay(s.n()), az(s.n());
+  for (const real eps :
+       {real(0), real(-1), std::numeric_limits<real>::quiet_NaN()}) {
+    WalkConfig cfg;
+    cfg.eps = eps;
+    EXPECT_THROW(walk_tree(s.tree, s.x, s.y, s.z, s.m, {}, cfg, ax, ay, az),
+                 std::invalid_argument)
+        << "eps = " << eps;
+  }
+}
+
+TEST(WalkTree, SchedulesAreBitIdenticalAcrossWorkerCounts) {
+  System s = plummer(4096, 14);
+  s.build();
+  const auto groups = walk_groups(s.tree, s.x, s.y, s.z);
+  // Block-step-style activity: two thirds of the groups active.
+  std::vector<std::uint8_t> active(groups.size(), 1);
+  for (std::size_t g = 2; g < active.size(); g += 3) active[g] = 0;
+
+  WalkConfig cfg;
+  cfg.eps = kEps;
+  cfg.mac.type = MacType::OpeningAngle;
+
+  auto run = [&](WalkSchedule schedule, GroupCosts* costs) {
+    cfg.schedule = schedule;
+    ForceResult r;
+    r.ax.assign(s.n(), real(0));
+    r.ay.assign(s.n(), real(0));
+    r.az.assign(s.n(), real(0));
+    r.pot.assign(s.n(), real(0));
+    walk_tree(s.tree, s.x, s.y, s.z, s.m, {}, cfg, r.ax, r.ay, r.az, r.pot,
+              nullptr, nullptr, active, groups, costs);
+    return r;
+  };
+
+  const ForceResult ref = run(WalkSchedule::Static, nullptr);
+  for (const int workers : {1, 3, 4}) {
+    runtime::Device dev(workers, /*async=*/0);
+    runtime::ScopedDevice scope(dev);
+    GroupCosts costs;
+    // Two cost-weighted walks: the first partitions on the uniform seed,
+    // the second on measured costs — both must stay bit-identical.
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const auto schedule : {WalkSchedule::Static, WalkSchedule::Dynamic,
+                                  WalkSchedule::CostWeighted}) {
+        const ForceResult r =
+            run(schedule, schedule == WalkSchedule::CostWeighted ? &costs
+                                                                 : nullptr);
+        EXPECT_TRUE(r.ax == ref.ax && r.ay == ref.ay && r.az == ref.az &&
+                    r.pot == ref.pot)
+            << "workers = " << workers
+            << ", schedule = " << static_cast<int>(schedule)
+            << ", rep = " << rep;
+      }
+    }
+  }
+}
+
+TEST(WalkTree, CostVectorIsRecordedReseededAndRetained) {
+  System s = plummer(2048, 15);
+  s.build();
+  const auto groups = walk_groups(s.tree, s.x, s.y, s.z);
+  ASSERT_GE(groups.size(), 4u);
+  std::vector<std::uint8_t> active(groups.size(), 1);
+  active[1] = 0;
+
+  WalkConfig cfg;
+  cfg.eps = kEps;
+  cfg.mac.type = MacType::OpeningAngle;
+  cfg.schedule = WalkSchedule::CostWeighted;
+
+  // Wrong-sized vector: the walk must re-seed it to the decomposition.
+  GroupCosts costs;
+  costs.reset(3);
+  std::vector<real> ax(s.n()), ay(s.n()), az(s.n());
+  walk_tree(s.tree, s.x, s.y, s.z, s.m, {}, cfg, ax, ay, az, {}, nullptr,
+            nullptr, active, groups, &costs);
+  ASSERT_EQ(costs.cost.size(), groups.size());
+  // Active groups got a measured cost (at least one MAC evaluation each);
+  // the inactive group kept its (re-seeded uniform) value.
+  EXPECT_GT(costs.cost[0], 0.0);
+  EXPECT_EQ(costs.cost[1], 1.0);
+
+  // A sentinel on an inactive group survives the next walk untouched.
+  costs.cost[1] = 7.5;
+  const double cost0 = costs.cost[0];
+  walk_tree(s.tree, s.x, s.y, s.z, s.m, {}, cfg, ax, ay, az, {}, nullptr,
+            nullptr, active, groups, &costs);
+  EXPECT_EQ(costs.cost[1], 7.5);
+  // Re-walked active groups re-record the same deterministic cost.
+  EXPECT_EQ(costs.cost[0], cost0);
+}
+
+TEST(WalkTree, StatsReportWorkerTimingAndImbalance) {
+  System s = plummer(4096, 16);
+  s.build();
+  WalkConfig cfg;
+  cfg.eps = kEps;
+  cfg.mac.type = MacType::OpeningAngle;
+  WalkStats stats;
+  (void)run_walk(s, cfg, {}, nullptr, &stats);
+  EXPECT_GT(stats.workers, 0u);
+  EXPECT_GT(stats.worker_sum_seconds, 0.0);
+  EXPECT_GE(stats.worker_max_seconds, stats.worker_sum_seconds /
+                                          static_cast<double>(stats.workers));
+  // max/mean >= 1 by construction whenever timing was recorded.
+  EXPECT_GE(stats.imbalance(), 1.0);
+  EXPECT_LE(stats.imbalance(), static_cast<double>(stats.workers) + 1e-9);
 }
 
 TEST(WalkTree, ThrowsWithoutCalcNode) {

@@ -50,6 +50,27 @@ for mode in 1 0; do
 done
 echo "observability smoke passed"
 
+echo "== bench smoke: load balancing (both scheduler modes) =="
+# bench_balance compares the three walk schedules at a small N, asserts
+# bit-identical accelerations, and must emit a BENCH_balance.json that
+# passes both a raw JSON parse and the golden-schema test. 4 workers so
+# the imbalance ratio is meaningful on single-core CI runners; reports
+# are archived under bench-results/ instead of deleted so a failing run
+# leaves evidence behind.
+mkdir -p bench-results
+for mode in 1 0; do
+  echo "-- GOTHIC_ASYNC=$mode --"
+  (cd build &&
+    GOTHIC_ASYNC=$mode GOTHIC_THREADS=4 GOTHIC_BENCH_N=4096 \
+      GOTHIC_BENCH_STEPS=2 ./bench/bench_balance >/dev/null &&
+    python3 -m json.tool BENCH_balance.json >/dev/null &&
+    GOTHIC_BENCH_VALIDATE_JSON=BENCH_balance.json ./tests/test_bench_support \
+      --gtest_filter='ExternalReport.*' >/dev/null &&
+    mv BENCH_balance.json \
+      "../bench-results/BENCH_balance.async$mode.json")
+done
+echo "bench smoke passed"
+
 echo "== schedule fuzz + fault injection (both scheduler modes) =="
 # Seeded sweep (64 schedules), DFS enumeration, and 8 fault plans; every
 # failing seed prints a gothic_fuzz --replay line. GOTHIC_ASYNC only
