@@ -39,6 +39,7 @@ const char* schedule_name(gravity::WalkSchedule s) {
     case gravity::WalkSchedule::Static: return "static";
     case gravity::WalkSchedule::Dynamic: return "dynamic";
     case gravity::WalkSchedule::CostWeighted: return "cost-weighted";
+    case gravity::WalkSchedule::Auto: return "auto";
   }
   return "?";
 }

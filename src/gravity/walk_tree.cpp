@@ -588,6 +588,29 @@ void walk_tree(const Octree& tree, std::span<const real> x,
   if (costs != nullptr && costs->cost.size() != groups.size()) {
     costs->reset(groups.size());
   }
+  if (schedule == WalkSchedule::Auto) {
+    if (costs == nullptr) {
+      schedule = WalkSchedule::Static;
+    } else {
+      // Near-uniform steps (most groups active, previous walk balanced)
+      // take the static split; sparse or skewed steps keep the measured
+      // partition. Both inputs are schedule-independent (activity comes
+      // from block steps, last_imbalance only gates a numerically
+      // invisible choice), so Auto stays bit-identical too.
+      std::size_t active = 0;
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        if (group_active.empty() || group_active[gi] != 0) ++active;
+      }
+      const double frac =
+          groups.empty() ? 1.0
+                         : static_cast<double>(active) /
+                               static_cast<double>(groups.size());
+      const bool balanced = costs->last_imbalance <= kAutoImbalanceTolerance;
+      schedule = frac >= kAutoStaticActivityFraction && balanced
+                     ? WalkSchedule::Static
+                     : WalkSchedule::CostWeighted;
+    }
+  }
   if (schedule == WalkSchedule::CostWeighted && costs == nullptr) {
     schedule = WalkSchedule::Static;
   }
@@ -673,6 +696,7 @@ void walk_tree(const Octree& tree, std::span<const real> x,
   // Count every context worker, including ones the schedule left idle, so
   // imbalance() penalizes idleness rather than hiding it.
   total_stats.workers = static_cast<std::uint64_t>(dev.workers());
+  if (costs != nullptr) costs->last_imbalance = total_stats.imbalance();
 
   if (ops != nullptr) *ops += total_ops;
   if (stats != nullptr) *stats += total_stats;

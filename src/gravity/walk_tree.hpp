@@ -40,7 +40,22 @@ enum class WalkSchedule : int {
   /// measured cost, not item count. Degrades to Static when no GroupCosts
   /// vector is supplied.
   CostWeighted = 2,
+  /// Pick Static or CostWeighted per call: near-uniform steps (activity
+  /// fraction ≥ kAutoStaticActivityFraction and previous imbalance ≤
+  /// kAutoImbalanceTolerance) take the zero-overhead static split —
+  /// BENCH_balance showed cost-weighting *costs* ~12% walk time at 100%
+  /// activity, where measured costs are near-uniform and the weighted
+  /// partition only adds boundary jitter — while sparse or skewed steps
+  /// keep the measured-cost partition. Degrades to Static when no
+  /// GroupCosts vector is supplied (no cost signal, no imbalance history).
+  Auto = 3,
 };
+
+/// WalkSchedule::Auto picks Static when at least this fraction of groups
+/// is active...
+inline constexpr double kAutoStaticActivityFraction = 0.75;
+/// ...and the previous walk's imbalance ratio stayed below this bound.
+inline constexpr double kAutoImbalanceTolerance = 1.25;
 
 /// Caller-owned cost-feedback state of the cost-weighted walk schedule:
 /// `cost` persists the per-group measured cost (interaction + MAC work)
@@ -51,10 +66,15 @@ enum class WalkSchedule : int {
 struct GroupCosts {
   std::vector<double> cost;
   std::vector<double> weights;
+  /// Imbalance ratio (WalkStats::imbalance) of the previous walk_tree call
+  /// that used this state — the feedback signal WalkSchedule::Auto reads.
+  /// 0 until the first walk completes.
+  double last_imbalance = 0.0;
 
   void reset(std::size_t n_groups) {
     cost.assign(n_groups, 1.0);
     weights.assign(n_groups, 1.0);
+    last_imbalance = 0.0;
   }
 };
 

@@ -15,12 +15,22 @@ double required_dt(double eta, double eps, double amag) {
 void predict_positions(const Particles& p, const BlockTimeSteps& steps,
                        std::span<real> px, std::span<real> py,
                        std::span<real> pz, simt::OpCounts* ops) {
+  predict_positions_range(p, steps, px, py, pz, 0, p.size(), ops);
+}
+
+void predict_positions_range(const Particles& p, const BlockTimeSteps& steps,
+                             std::span<real> px, std::span<real> py,
+                             std::span<real> pz, std::size_t begin,
+                             std::size_t end, simt::OpCounts* ops) {
   const std::size_t n = p.size();
   if (px.size() != n || py.size() != n || pz.size() != n ||
       steps.size() != n) {
     throw std::invalid_argument("predict_positions: size mismatch");
   }
-  runtime::Device::current().parallel_for(0, n, [&](std::size_t i) {
+  if (begin > end || end > n) {
+    throw std::out_of_range("predict_positions: range outside the arrays");
+  }
+  runtime::Device::current().parallel_for(begin, end, [&](std::size_t i) {
     const auto dt = static_cast<real>(steps.time_since_correction(i));
     const real h = real(0.5) * dt * dt;
     px[i] = p.x[i] + dt * p.vx[i] + h * p.ax[i];
@@ -28,7 +38,7 @@ void predict_positions(const Particles& p, const BlockTimeSteps& steps,
     pz[i] = p.z[i] + dt * p.vz[i] + h * p.az[i];
   });
   if (ops != nullptr) {
-    const auto un = static_cast<std::uint64_t>(n);
+    const auto un = static_cast<std::uint64_t>(end - begin);
     ops->fp32_fma += un * 6; // 2 per axis
     ops->fp32_mul += un * 2; // dt*dt/2
     ops->bytes_load += un * 9 * sizeof(real);
@@ -44,12 +54,28 @@ void correct_active(Particles& p, BlockTimeSteps& steps,
                     std::span<const real> az_new,
                     std::span<const real> pot_new, double eta, double eps,
                     simt::OpCounts* ops) {
+  correct_active_range(p, steps, px, py, pz, ax_new, ay_new, az_new, pot_new,
+                       eta, eps, 0, p.size(), ops);
+}
+
+void correct_active_range(Particles& p, BlockTimeSteps& steps,
+                          std::span<const real> px, std::span<const real> py,
+                          std::span<const real> pz,
+                          std::span<const real> ax_new,
+                          std::span<const real> ay_new,
+                          std::span<const real> az_new,
+                          std::span<const real> pot_new, double eta,
+                          double eps, std::size_t begin, std::size_t end,
+                          simt::OpCounts* ops) {
   const std::size_t n = p.size();
   if (px.size() != n || ax_new.size() != n || steps.size() != n) {
     throw std::invalid_argument("correct_active: size mismatch");
   }
+  if (begin > end || end > n) {
+    throw std::out_of_range("correct_active: range outside the arrays");
+  }
   std::uint64_t fired = 0;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     if (!steps.active(i)) continue;
     ++fired;
     const auto dt = static_cast<real>(steps.time_since_correction(i));

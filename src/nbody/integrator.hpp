@@ -39,4 +39,25 @@ void correct_active(Particles& p, BlockTimeSteps& steps,
                     std::span<const real> pot_new, double eta, double eps,
                     simt::OpCounts* ops = nullptr);
 
+/// predict_positions restricted to particles [begin, end) — the sharded
+/// pipeline predicts each shard's contiguous body slice on that shard's
+/// device. Spans still cover the full arrays; per-particle arithmetic is
+/// identical to predict_positions, so slice sweeps compose bit-exactly.
+void predict_positions_range(const Particles& p, const BlockTimeSteps& steps,
+                             std::span<real> px, std::span<real> py,
+                             std::span<real> pz, std::size_t begin,
+                             std::size_t end, simt::OpCounts* ops = nullptr);
+
+/// correct_active restricted to particles [begin, end); same contract as
+/// predict_positions_range.
+void correct_active_range(Particles& p, BlockTimeSteps& steps,
+                          std::span<const real> px, std::span<const real> py,
+                          std::span<const real> pz,
+                          std::span<const real> ax_new,
+                          std::span<const real> ay_new,
+                          std::span<const real> az_new,
+                          std::span<const real> pot_new, double eta,
+                          double eps, std::size_t begin, std::size_t end,
+                          simt::OpCounts* ops = nullptr);
+
 } // namespace gothic::nbody

@@ -1,0 +1,744 @@
+#include "nbody/sharded_simulation.hpp"
+
+#include "nbody/integrator.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace gothic::nbody {
+
+/// One shard: a device with its own worker pool and streams, a contiguous
+/// body/group range of the global decomposition, the node ranges it owns,
+/// and a NaN-poisoned view of the tree (geometry + positions) holding
+/// exactly what its walk is entitled to read: its own cells and bodies,
+/// the replicated top cells, and the imported LETs.
+struct ShardedSimulation::Shard {
+  int id = 0;
+  /// Stream names ("shardK/tree", "shardK/integrate") — per-shard trace
+  /// tracks fall out of the stream-name keyed trace writer. Streams hold
+  /// a const char* into these strings; Shard objects are never moved.
+  std::string tree_name;
+  std::string integrate_name;
+  std::unique_ptr<runtime::Device> dev;
+  runtime::InstrumentationSink sink;
+  runtime::Stream tree_stream;
+  runtime::Stream integrate_stream;
+
+  // Partition state (refreshed each rebuild).
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::size_t group_begin = 0;
+  std::size_t group_end = 0;
+  std::vector<octree::NodeRange> owned;
+  std::size_t owned_count = 0;
+
+  // The shard's tree view: topology copied from the global tree at each
+  // rebuild, geometry re-poisoned and re-imported every step.
+  octree::Octree view;
+  std::vector<real> vx, vy, vz;
+
+  gravity::GroupCosts costs;
+  gravity::LetBounds bounds;
+  std::vector<gravity::LetExport> imports; ///< indexed by source shard
+  gravity::WalkStats stats;
+  std::uint64_t let_cells = 0;  ///< cells imported this step (all sources)
+  std::uint64_t let_bodies = 0; ///< bodies imported this step
+};
+
+ShardedSimulation::ShardedSimulation(Particles particles, SimConfig cfg,
+                                     ShardOptions opt)
+    : particles_(std::move(particles)), cfg_(cfg),
+      steps_(cfg.dt_max, cfg.block_time_steps ? cfg.max_level : 0),
+      policy_(cfg.policy) {
+  if (particles_.size() == 0) {
+    throw std::invalid_argument("ShardedSimulation: empty particle set");
+  }
+  if (opt.shards < 1) {
+    throw std::invalid_argument("ShardedSimulation: need at least one shard");
+  }
+  const std::size_t n = particles_.size();
+  px_.resize(n);
+  py_.resize(n);
+  pz_.resize(n);
+  nax_.resize(n);
+  nay_.resize(n);
+  naz_.resize(n);
+  npot_.resize(n);
+
+  shards_.reserve(static_cast<std::size_t>(opt.shards));
+  for (int s = 0; s < opt.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->id = s;
+    sh->tree_name = "shard" + std::to_string(s) + "/tree";
+    sh->integrate_name = "shard" + std::to_string(s) + "/integrate";
+    sh->tree_stream = runtime::Stream(sh->tree_name.c_str());
+    sh->integrate_stream = runtime::Stream(sh->integrate_name.c_str());
+    sh->dev =
+        std::make_unique<runtime::Device>(opt.workers, opt.async, opt.lanes);
+    shards_.push_back(std::move(sh));
+  }
+
+  // Bootstrap mirrors Simulation's constructor on shard 0's device, so the
+  // post-construction state is bit-identical to an unsharded Simulation
+  // for every K.
+  launch_build();
+  launch_permute(false).wait();
+  ++rebuilds_;
+  bootstrap_forces();
+  policy_.record_rebuild(step_make_seconds());
+  absorb_records(*shards_[0]);
+
+  std::vector<double> dt_req(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dt_req[i] = required_dt(cfg_.eta, cfg_.walk.eps, particles_.aold_mag[i]);
+  }
+  steps_.initialize(dt_req);
+
+  scatter_body_cost();
+  refresh_partition();
+}
+
+ShardedSimulation::~ShardedSimulation() = default;
+
+runtime::Device& ShardedSimulation::shard_device(int s) {
+  if (s < 0 || s >= shard_count()) {
+    throw std::out_of_range("ShardedSimulation: shard index out of range");
+  }
+  return *shards_[static_cast<std::size_t>(s)]->dev;
+}
+
+const runtime::InstrumentationSink& ShardedSimulation::shard_sink(
+    int s) const {
+  if (s < 0 || s >= shard_count()) {
+    throw std::out_of_range("ShardedSimulation: shard index out of range");
+  }
+  return shards_[static_cast<std::size_t>(s)]->sink;
+}
+
+void ShardedSimulation::permute_scratch(std::vector<real>& v) {
+  permute_buf_.resize(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    permute_buf_[i] = v[perm_[i]];
+  }
+  v.swap(permute_buf_);
+}
+
+void ShardedSimulation::permute_cost() {
+  if (body_cost_.size() != particles_.size()) return;
+  cost_buf_.resize(body_cost_.size());
+  for (std::size_t i = 0; i < body_cost_.size(); ++i) {
+    cost_buf_[i] = body_cost_[perm_[i]];
+  }
+  body_cost_.swap(cost_buf_);
+}
+
+runtime::Event ShardedSimulation::launch_build() {
+  Shard& c = *shards_[0];
+  runtime::LaunchDesc desc;
+  desc.kernel = Kernel::MakeTree;
+  desc.label = "makeTree";
+  desc.items = particles_.size();
+  desc.stream = &c.tree_stream;
+  desc.sink = &c.sink;
+  return c.dev->launch(desc, [this](simt::OpCounts& ops) {
+    octree::build_tree(particles_.x, particles_.y, particles_.z, tree_, perm_,
+                       cfg_.build, &ops);
+  });
+}
+
+runtime::Event ShardedSimulation::launch_permute(bool with_pred) {
+  // Caller contract: every shard's predict has completed (host-side wait)
+  // — the permute rewrites the particle state and the predicted
+  // positions, and cross-device ordering is host-side by design.
+  Shard& c = *shards_[0];
+  runtime::LaunchDesc jd;
+  jd.kernel = Kernel::MakeTree;
+  jd.label = "makeTree(permute)";
+  jd.items = particles_.size();
+  jd.stream = &c.tree_stream;
+  jd.sink = &c.sink;
+  return c.dev->launch(jd, [this, with_pred](simt::OpCounts& ops) {
+    (void)ops;
+    particles_.apply_permutation(perm_);
+    if (steps_.size() == particles_.size()) steps_.apply_permutation(perm_);
+    if (with_pred) {
+      permute_scratch(px_);
+      permute_scratch(py_);
+      permute_scratch(pz_);
+    }
+    permute_cost();
+    groups_ = gravity::walk_groups(tree_, particles_.x, particles_.y,
+                                   particles_.z);
+    group_active_.assign(groups_.size(), 1);
+    // Per-group cost from the permuted per-body costs: the partition's
+    // cost signal survives the reorder. (Uniform at bootstrap, before any
+    // walk has measured anything.)
+    group_cost_.assign(groups_.size(), 1.0);
+    if (body_cost_.size() == particles_.size()) {
+      for (std::size_t g = 0; g < groups_.size(); ++g) {
+        double sum = 0.0;
+        const std::size_t lo = groups_[g].first;
+        const std::size_t hi = lo + groups_[g].count;
+        for (std::size_t i = lo; i < hi; ++i) sum += body_cost_[i];
+        group_cost_[g] = sum;
+      }
+    }
+  });
+}
+
+double ShardedSimulation::step_make_seconds() const {
+  // letImport launches share Kernel::MakeTree (they are tree-data motion,
+  // not walk/calc work) — filter by label so the rebuild auto-tuner only
+  // sees the build + permute cost.
+  double s = 0.0;
+  for (const runtime::LaunchRecord& rec : shards_[0]->sink.step_records()) {
+    if (rec.kernel == Kernel::MakeTree &&
+        std::strncmp(rec.label, "makeTree", 8) == 0) {
+      s += rec.seconds;
+    }
+  }
+  return s;
+}
+
+void ShardedSimulation::bootstrap_forces() {
+  Shard& c = *shards_[0];
+
+  runtime::LaunchDesc cd;
+  cd.kernel = Kernel::CalcNode;
+  cd.label = "calcNode(bootstrap)";
+  cd.items = tree_.num_nodes();
+  cd.stream = &c.tree_stream;
+  cd.sink = &c.sink;
+  c.dev->launch(cd, [this](simt::OpCounts& ops) {
+    octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
+                      particles_.m, cfg_.calc, &ops);
+  });
+
+  gravity::WalkConfig boot = cfg_.walk;
+  boot.mac.type = gravity::MacType::OpeningAngle;
+  boot.mac.theta = real(0.7);
+  gravity::GroupCosts boot_costs;
+  runtime::LaunchDesc wd;
+  wd.kernel = Kernel::WalkTree;
+  wd.label = "walkTree(bootstrap)";
+  wd.items = particles_.size();
+  wd.stream = &c.tree_stream;
+  wd.sink = &c.sink;
+  c.dev->launch(wd, [this, &boot, &boot_costs](simt::OpCounts& ops) {
+    gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
+                       particles_.m, {}, boot, particles_.ax, particles_.ay,
+                       particles_.az, particles_.pot, &ops, nullptr, {},
+                       groups_, &boot_costs);
+  });
+  c.dev->synchronize();
+  // The bootstrap's measured per-group costs seed the first partition.
+  group_cost_ = std::move(boot_costs.cost);
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_.aold_mag[i] = std::sqrt(
+        particles_.ax[i] * particles_.ax[i] +
+        particles_.ay[i] * particles_.ay[i] +
+        particles_.az[i] * particles_.az[i]);
+  }
+}
+
+void ShardedSimulation::scatter_body_cost() {
+  body_cost_.assign(particles_.size(), 1.0);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const std::size_t lo = groups_[g].first;
+    const std::size_t count = groups_[g].count;
+    if (count == 0) continue;
+    const double per = group_cost_[g] / static_cast<double>(count);
+    for (std::size_t i = lo; i < lo + count; ++i) body_cost_[i] = per;
+  }
+}
+
+void ShardedSimulation::refresh_partition() {
+  const std::size_t n = particles_.size();
+  const int k = shard_count();
+
+  group_bounds_ = octree::partition_weighted(group_cost_, k);
+  body_bounds_.assign(static_cast<std::size_t>(k) + 1,
+                      static_cast<index_t>(n));
+  body_bounds_[0] = 0;
+  for (int s = 1; s < k; ++s) {
+    const std::size_t gb = group_bounds_[static_cast<std::size_t>(s)];
+    body_bounds_[static_cast<std::size_t>(s)] =
+        gb < groups_.size() ? groups_[gb].first : static_cast<index_t>(n);
+  }
+
+  top_ = octree::top_node_ranges(tree_, body_bounds_);
+  top_count_ = 0;
+  top_leaf_.clear();
+  for (const octree::NodeRange& r : top_) {
+    top_count_ += r.end - r.begin;
+    for (index_t node = r.begin; node < r.end; ++node) {
+      if (tree_.is_leaf(node) && tree_.body_count[node] > 0) {
+        top_leaf_.push_back({tree_.body_first[node], tree_.body_count[node]});
+      }
+    }
+  }
+
+  // Size the (shared) quadrupole arrays once here: the per-shard
+  // calc_node_ranges sweeps must never reallocate shared storage.
+  octree::prepare_quadrupole(tree_, cfg_.calc.compute_quadrupole);
+
+  for (int s = 0; s < k; ++s) {
+    Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    sh.body_begin = body_bounds_[static_cast<std::size_t>(s)];
+    sh.body_end = body_bounds_[static_cast<std::size_t>(s) + 1];
+    sh.group_begin = group_bounds_[static_cast<std::size_t>(s)];
+    sh.group_end = group_bounds_[static_cast<std::size_t>(s) + 1];
+    sh.owned = octree::owned_node_ranges(tree_, body_bounds_, s);
+    sh.owned_count = 0;
+    for (const octree::NodeRange& r : sh.owned) {
+      sh.owned_count += r.end - r.begin;
+    }
+    sh.view = tree_; // topology + sized geometry arrays
+    sh.vx.resize(n);
+    sh.vy.resize(n);
+    sh.vz.resize(n);
+    const std::size_t gcount = sh.group_end - sh.group_begin;
+    sh.costs.cost.assign(group_cost_.begin() +
+                             static_cast<std::ptrdiff_t>(sh.group_begin),
+                         group_cost_.begin() +
+                             static_cast<std::ptrdiff_t>(sh.group_end));
+    sh.costs.weights.assign(gcount, 1.0);
+    sh.costs.last_imbalance = 0.0;
+    sh.imports.resize(static_cast<std::size_t>(k));
+    sh.bounds = gravity::LetBounds{};
+  }
+}
+
+void ShardedSimulation::let_import(Shard& sh) {
+  const index_t nn = tree_.num_nodes();
+  const std::size_t n = particles_.size();
+  const real qnan = std::numeric_limits<real>::quiet_NaN();
+  octree::Octree& v = sh.view;
+  const bool quad = tree_.has_quadrupole();
+
+  // Poison everything the walk is not entitled to read. A poisoned node
+  // is never MAC-accepted (NaN comparisons are false, so it is opened)
+  // and its poisoned leaves spill NaN positions — a LET gap becomes NaN
+  // accelerations the bit-identity oracle catches, never a silent error.
+  v.mass.assign(nn, qnan);
+  v.com_x.assign(nn, qnan);
+  v.com_y.assign(nn, qnan);
+  v.com_z.assign(nn, qnan);
+  v.bmax.assign(nn, qnan);
+  if (quad) {
+    v.quad_xx.assign(nn, qnan);
+    v.quad_xy.assign(nn, qnan);
+    v.quad_xz.assign(nn, qnan);
+    v.quad_yy.assign(nn, qnan);
+    v.quad_yz.assign(nn, qnan);
+    v.quad_zz.assign(nn, qnan);
+  }
+  sh.vx.assign(n, qnan);
+  sh.vy.assign(n, qnan);
+  sh.vz.assign(n, qnan);
+
+  auto copy_cell = [&](index_t node) {
+    v.mass[node] = tree_.mass[node];
+    v.com_x[node] = tree_.com_x[node];
+    v.com_y[node] = tree_.com_y[node];
+    v.com_z[node] = tree_.com_z[node];
+    v.bmax[node] = tree_.bmax[node];
+    if (quad) {
+      v.quad_xx[node] = tree_.quad_xx[node];
+      v.quad_xy[node] = tree_.quad_xy[node];
+      v.quad_xz[node] = tree_.quad_xz[node];
+      v.quad_yy[node] = tree_.quad_yy[node];
+      v.quad_yz[node] = tree_.quad_yz[node];
+      v.quad_zz[node] = tree_.quad_zz[node];
+    }
+  };
+  auto copy_bodies = [&](index_t first, index_t count) {
+    for (index_t i = first; i < first + count; ++i) {
+      sh.vx[i] = px_[i];
+      sh.vy[i] = py_[i];
+      sh.vz[i] = pz_[i];
+    }
+  };
+
+  // Own slice + own cells, plus the replicated top cells and top-leaf
+  // body ranges (a shard boundary may split a leaf; its spill reads the
+  // whole leaf range).
+  copy_bodies(static_cast<index_t>(sh.body_begin),
+              static_cast<index_t>(sh.body_end - sh.body_begin));
+  for (const gravity::LetRange& r : top_leaf_) copy_bodies(r.first, r.count);
+  for (const octree::NodeRange& r : sh.owned) {
+    for (index_t node = r.begin; node < r.end; ++node) copy_cell(node);
+  }
+  for (const octree::NodeRange& r : top_) {
+    for (index_t node = r.begin; node < r.end; ++node) copy_cell(node);
+  }
+
+  // Import each remote shard's local essential tree.
+  const int k = shard_count();
+  for (int src = 0; src < k; ++src) {
+    if (src == sh.id) continue;
+    gravity::LetExport& imp = sh.imports[static_cast<std::size_t>(src)];
+    imp.clear();
+    gravity::build_let(tree_, cfg_.walk.mac, cfg_.walk.g,
+                       body_bounds_[static_cast<std::size_t>(src)],
+                       body_bounds_[static_cast<std::size_t>(src) + 1],
+                       sh.bounds, imp);
+    for (const index_t cell : imp.cells) copy_cell(cell);
+    for (const gravity::LetRange& r : imp.bodies) {
+      copy_bodies(r.first, r.count);
+    }
+    sh.let_cells += imp.cells.size();
+    sh.let_bodies += imp.body_total();
+  }
+}
+
+void ShardedSimulation::absorb_records(const Shard& sh) {
+  for (const runtime::LaunchRecord& rec : sh.sink.step_records()) {
+    timers_.add(rec.kernel, rec.seconds);
+    ops_[static_cast<std::size_t>(rec.kernel)] += rec.ops;
+  }
+}
+
+StepReport ShardedSimulation::step() {
+  StepReport report;
+  const int k = shard_count();
+  for (auto& sh : shards_) {
+    sh->sink.begin_step();
+    sh->stats = gravity::WalkStats{};
+    sh->let_cells = 0;
+    sh->let_bodies = 0;
+  }
+
+  report.dt = steps_.advance();
+
+  std::vector<runtime::Event> e_pred(static_cast<std::size_t>(k));
+  std::vector<runtime::Event> e_calc(static_cast<std::size_t>(k));
+  std::vector<runtime::Event> e_let(static_cast<std::size_t>(k));
+  std::vector<runtime::Event> e_walk(static_cast<std::size_t>(k));
+
+  try {
+    // --- predict: each shard drifts its own contiguous body slice -------
+    for (int s = 0; s < k; ++s) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      if (sh.body_end <= sh.body_begin) continue;
+      runtime::LaunchDesc pd;
+      pd.kernel = Kernel::PredictCorrect;
+      pd.label = "predict";
+      pd.items = sh.body_end - sh.body_begin;
+      pd.stream = &sh.integrate_stream;
+      pd.sink = &sh.sink;
+      const std::size_t b0 = sh.body_begin;
+      const std::size_t b1 = sh.body_end;
+      e_pred[static_cast<std::size_t>(s)] =
+          sh.dev->launch(pd, [this, b0, b1](simt::OpCounts& ops) {
+            predict_positions_range(particles_, steps_, px_, py_, pz_, b0,
+                                    b1, &ops);
+          });
+    }
+
+    // --- rebuild (coordinator device) -----------------------------------
+    const bool due = cfg_.auto_rebuild
+                         ? policy_.should_rebuild()
+                         : steps_since_rebuild_ >= cfg_.fixed_rebuild_interval;
+    if (due) {
+      launch_build(); // read-only on particles_, overlaps the predicts
+      for (const runtime::Event& e : e_pred) e.wait();
+      launch_permute(true).wait();
+      ++rebuilds_;
+      steps_since_rebuild_ = 0;
+      report.rebuilt = true;
+      refresh_partition();
+    }
+
+    // --- calcNode: every shard summarises its owned node ranges ---------
+    for (int s = 0; s < k; ++s) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      if (sh.owned_count == 0) continue;
+      runtime::LaunchDesc cd;
+      cd.kernel = Kernel::CalcNode;
+      cd.label = "calcNode";
+      cd.items = sh.owned_count;
+      cd.stream = &sh.tree_stream;
+      cd.deps = {e_pred[static_cast<std::size_t>(s)]};
+      cd.sink = &sh.sink;
+      Shard* shp = &sh;
+      e_calc[static_cast<std::size_t>(s)] =
+          sh.dev->launch(cd, [this, shp](simt::OpCounts& ops) {
+            octree::calc_node_ranges(tree_, px_, py_, pz_, particles_.m,
+                                     cfg_.calc, shp->owned, &ops);
+          });
+    }
+
+    // Host join: the top summarise, the LET bounds and every letImport
+    // read predicted positions and shard-computed node geometry across
+    // devices (events cannot cross devices; the host is the coordinator).
+    for (const runtime::Event& e : e_pred) e.wait();
+    for (const runtime::Event& e : e_calc) e.wait();
+
+    // --- top pass: finish the nodes straddling shard boundaries ---------
+    if (top_count_ > 0) {
+      Shard& c = *shards_[0];
+      runtime::LaunchDesc td;
+      td.kernel = Kernel::CalcNode;
+      td.label = "calcNode(top)";
+      td.items = top_count_;
+      td.stream = &c.tree_stream;
+      td.sink = &c.sink;
+      c.dev
+          ->launch(td,
+                   [this](simt::OpCounts& ops) {
+                     octree::calc_node_ranges(tree_, px_, py_, pz_,
+                                              particles_.m, cfg_.calc, top_,
+                                              &ops);
+                   })
+          .wait();
+    }
+
+    // --- group activity (host bookkeeping, identical to Simulation) -----
+    report.n_active = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      std::uint8_t any = 0;
+      const std::size_t lo = groups_[g].first;
+      const std::size_t hi = lo + groups_[g].count;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (steps_.active(i)) {
+          any = 1;
+          ++report.n_active;
+        }
+      }
+      group_active_[g] = any;
+    }
+
+    // --- LET bounds (host) + per-shard import ---------------------------
+    const std::span<const gravity::GroupSpan> all_groups(groups_);
+    const std::span<const std::uint8_t> all_active(group_active_);
+    for (int s = 0; s < k; ++s) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      sh.bounds = gravity::LetBounds{};
+      const std::size_t gcount = sh.group_end - sh.group_begin;
+      if (gcount == 0) continue;
+      sh.bounds = gravity::let_bounds(
+          px_, py_, pz_, particles_.aold_mag,
+          all_groups.subspan(sh.group_begin, gcount),
+          all_active.subspan(sh.group_begin, gcount), cfg_.walk.mode);
+      runtime::LaunchDesc ld;
+      ld.kernel = Kernel::MakeTree;
+      ld.label = "letImport";
+      ld.items = tree_.num_nodes();
+      ld.stream = &sh.tree_stream;
+      ld.sink = &sh.sink;
+      Shard* shp = &sh;
+      e_let[static_cast<std::size_t>(s)] =
+          sh.dev->launch(ld, [this, shp](simt::OpCounts& ops) {
+            let_import(*shp);
+            // Data motion: poison + copy of the view arrays.
+            ops.bytes_store +=
+                (static_cast<std::uint64_t>(shp->view.num_nodes()) * 20 +
+                 static_cast<std::uint64_t>(shp->vx.size()) * 12);
+          });
+    }
+
+    // --- walk: each shard's groups over its own view --------------------
+    for (int s = 0; s < k; ++s) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      const std::size_t gcount = sh.group_end - sh.group_begin;
+      if (gcount == 0) continue;
+      runtime::LaunchDesc wd;
+      wd.kernel = Kernel::WalkTree;
+      wd.label = "walkTree";
+      wd.items = gcount;
+      wd.stream = &sh.tree_stream;
+      wd.deps = {e_let[static_cast<std::size_t>(s)]};
+      wd.sink = &sh.sink;
+      Shard* shp = &sh;
+      e_walk[static_cast<std::size_t>(s)] =
+          sh.dev->launch(wd, [this, shp](simt::OpCounts& ops) {
+            const std::size_t gb = shp->group_begin;
+            const std::size_t gc = shp->group_end - gb;
+            gravity::walk_tree(
+                shp->view, shp->vx, shp->vy, shp->vz, particles_.m,
+                particles_.aold_mag, cfg_.walk, nax_, nay_, naz_, npot_,
+                &ops, &shp->stats,
+                std::span<const std::uint8_t>(group_active_).subspan(gb, gc),
+                std::span<const gravity::GroupSpan>(groups_).subspan(gb, gc),
+                &shp->costs);
+          });
+    }
+
+    // --- correct: each shard finalises its own slice --------------------
+    for (int s = 0; s < k; ++s) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      if (sh.body_end <= sh.body_begin) continue;
+      runtime::LaunchDesc kd;
+      kd.kernel = Kernel::PredictCorrect;
+      kd.label = "correct";
+      kd.items = sh.body_end - sh.body_begin;
+      kd.stream = &sh.integrate_stream;
+      kd.deps = {e_walk[static_cast<std::size_t>(s)]};
+      kd.sink = &sh.sink;
+      const std::size_t b0 = sh.body_begin;
+      const std::size_t b1 = sh.body_end;
+      sh.dev->launch(kd, [this, b0, b1](simt::OpCounts& ops) {
+        correct_active_range(particles_, steps_, px_, py_, pz_, nax_, nay_,
+                             naz_, npot_, cfg_.eta, cfg_.walk.eps, b0, b1,
+                             &ops);
+      });
+    }
+  } catch (...) {
+    // Host-side issue failure: drain every device (swallowing their
+    // errors) so the next step starts from quiescent devices, then
+    // propagate what stopped the issue phase.
+    for (auto& sh : shards_) {
+      try {
+        sh->dev->synchronize();
+      } catch (...) { // NOLINT(bugprone-empty-catch)
+      }
+    }
+    throw;
+  }
+
+  // --- join all devices; one shard's failure must not poison the rest ---
+  std::exception_ptr first_error;
+  for (auto& sh : shards_) {
+    try {
+      sh->dev->synchronize();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  ++steps_since_rebuild_;
+  ++step_count_;
+  if (first_error) std::rethrow_exception(first_error);
+
+  // --- harvest ----------------------------------------------------------
+  last_stats_.busy_seconds.assign(static_cast<std::size_t>(k), 0.0);
+  last_stats_.let_cells.assign(static_cast<std::size_t>(k), 0);
+  last_stats_.let_bodies.assign(static_cast<std::size_t>(k), 0);
+  last_stats_.busy_max = 0.0;
+  last_stats_.busy_mean = 0.0;
+  last_stats_.let_cells_total = 0;
+  last_stats_.let_bodies_total = 0;
+
+  double walk_seconds = 0.0;
+  double wall = 0.0;
+  double mark_lo = 0.0;
+  double mark_hi = 0.0;
+  bool mark_first = true;
+  for (int s = 0; s < k; ++s) {
+    Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    double lo = 0.0;
+    double hi = 0.0;
+    bool first = true;
+    for (const runtime::LaunchRecord& rec : sh.sink.step_records()) {
+      const auto ki = static_cast<std::size_t>(rec.kernel);
+      report.seconds[ki] += rec.seconds;
+      report.ops[ki] += rec.ops;
+      timers_.add(rec.kernel, rec.seconds);
+      ops_[ki] += rec.ops;
+      if (rec.kernel == Kernel::WalkTree) walk_seconds += rec.seconds;
+      last_stats_.busy_seconds[static_cast<std::size_t>(s)] += rec.seconds;
+      if (first || rec.t_begin < lo) lo = rec.t_begin;
+      if (first || rec.t_end > hi) hi = rec.t_end;
+      first = false;
+    }
+    // Per-shard span in that shard's device epoch; the step's wall time
+    // is the slowest shard's span (epochs are not comparable across
+    // devices).
+    if (!first) {
+      wall = std::max(wall, hi - lo);
+      if (mark_first || lo < mark_lo) mark_lo = lo;
+      if (mark_first || hi > mark_hi) mark_hi = hi;
+      mark_first = false;
+    }
+    report.walk_stats += sh.stats;
+    last_stats_.let_cells[static_cast<std::size_t>(s)] = sh.let_cells;
+    last_stats_.let_bodies[static_cast<std::size_t>(s)] = sh.let_bodies;
+    last_stats_.let_cells_total += sh.let_cells;
+    last_stats_.let_bodies_total += sh.let_bodies;
+    // Cost writeback: the shard's measured per-group costs update the
+    // global vector the next partition (and this shard's next walk) use.
+    for (std::size_t gi = sh.group_begin; gi < sh.group_end; ++gi) {
+      group_cost_[gi] = sh.costs.cost[gi - sh.group_begin];
+    }
+  }
+  report.wall_seconds = wall;
+  scatter_body_cost();
+  policy_.record_walk(walk_seconds);
+  if (report.rebuilt) policy_.record_rebuild(step_make_seconds());
+
+  double busy_sum = 0.0;
+  for (const double b : last_stats_.busy_seconds) {
+    busy_sum += b;
+    last_stats_.busy_max = std::max(last_stats_.busy_max, b);
+  }
+  last_stats_.busy_mean = k > 0 ? busy_sum / static_cast<double>(k) : 0.0;
+
+  report.time = steps_.time();
+  if (listener_ != nullptr) {
+    for (auto& sh : shards_) {
+      for (const runtime::LaunchRecord& rec : sh->sink.step_records()) {
+        listener_->on_record(rec);
+      }
+    }
+    runtime::StepMark mark;
+    mark.index = static_cast<std::uint64_t>(step_count_);
+    mark.rebuilt = report.rebuilt;
+    mark.t_begin = mark_lo;
+    mark.t_end = mark_hi;
+    mark.kernel_seconds = report.total_seconds();
+    mark.wall_seconds = report.wall_seconds;
+    mark.walk_imbalance = report.walk_stats.imbalance();
+    mark.shards = k;
+    mark.shard_busy_max = last_stats_.busy_max;
+    mark.shard_busy_mean = last_stats_.busy_mean;
+    mark.let_cells = last_stats_.let_cells_total;
+    mark.let_bodies = last_stats_.let_bodies_total;
+    listener_->on_step(mark);
+  }
+  return report;
+}
+
+void ShardedSimulation::run(int n) {
+  for (int i = 0; i < n; ++i) (void)step();
+}
+
+void ShardedSimulation::refresh_forces() {
+  // Diagnostics path: unsharded on the coordinator, like the bootstrap —
+  // bit-identical to Simulation::refresh_forces because the global tree
+  // and particle state are.
+  Shard& c = *shards_[0];
+  c.sink.begin_step();
+
+  runtime::LaunchDesc cd;
+  cd.kernel = Kernel::CalcNode;
+  cd.label = "calcNode(refresh)";
+  cd.items = tree_.num_nodes();
+  cd.stream = &c.tree_stream;
+  cd.sink = &c.sink;
+  const runtime::Event e_calc =
+      c.dev->launch(cd, [this](simt::OpCounts& ops) {
+        octree::calc_node(tree_, particles_.x, particles_.y, particles_.z,
+                          particles_.m, cfg_.calc, &ops);
+      });
+
+  runtime::LaunchDesc wd;
+  wd.kernel = Kernel::WalkTree;
+  wd.label = "walkTree(refresh)";
+  wd.items = particles_.size();
+  wd.stream = &c.tree_stream;
+  wd.deps = {e_calc};
+  wd.sink = &c.sink;
+  c.dev->launch(wd, [this](simt::OpCounts& ops) {
+    gravity::walk_tree(tree_, particles_.x, particles_.y, particles_.z,
+                       particles_.m, particles_.aold_mag, cfg_.walk,
+                       particles_.ax, particles_.ay, particles_.az,
+                       particles_.pot, &ops);
+  });
+  c.dev->synchronize();
+  absorb_records(c);
+}
+
+} // namespace gothic::nbody

@@ -18,6 +18,12 @@
 namespace gothic::nbody {
 
 struct SimConfig {
+  /// The simulation defaults the walk schedule to Auto: the step loop owns
+  /// a GroupCosts feedback vector, so Auto can pick the static split on
+  /// near-uniform steps and the cost-weighted partition on sparse ones
+  /// (standalone walk_tree callers keep WalkConfig's own default).
+  SimConfig() { walk.schedule = gravity::WalkSchedule::Auto; }
+
   gravity::WalkConfig walk{};
   octree::BuildConfig build{};
   octree::CalcNodeConfig calc{};

@@ -21,11 +21,9 @@ struct NodeElems {
   bool leaf = true;
 };
 
-} // namespace
-
-void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
-               std::span<const real> z, std::span<const real> m,
-               const CalcNodeConfig& cfg, simt::OpCounts* ops) {
+void validate_inputs(const CalcNodeConfig& cfg, std::span<const real> x,
+                     std::span<const real> y, std::span<const real> z,
+                     std::span<const real> m) {
   const int tsub = cfg.tsub;
   if (tsub < 2 || tsub > kWarpSize || (tsub & (tsub - 1)) != 0) {
     throw std::invalid_argument("calc_node: tsub must be a power of two in [2,32]");
@@ -33,26 +31,20 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
   if (x.size() != y.size() || x.size() != z.size() || x.size() != m.size()) {
     throw std::invalid_argument("calc_node: span size mismatch");
   }
-  if (cfg.compute_quadrupole) {
-    const index_t nn = tree.num_nodes();
-    tree.quad_xx.assign(nn, real(0));
-    tree.quad_xy.assign(nn, real(0));
-    tree.quad_xz.assign(nn, real(0));
-    tree.quad_yy.assign(nn, real(0));
-    tree.quad_yz.assign(nn, real(0));
-    tree.quad_zz.assign(nn, real(0));
-  } else if (tree.has_quadrupole()) {
-    tree.quad_xx.clear();
-    tree.quad_xy.clear();
-    tree.quad_xz.clear();
-    tree.quad_yy.clear();
-    tree.quad_yz.clear();
-    tree.quad_zz.clear();
-  }
+}
 
+/// Summarise the nodes [begin, end) — the shared core of calc_node (one
+/// call per level) and calc_node_ranges (one call per caller range). Every
+/// node's result depends only on its own elements and cfg.tsub, so the
+/// warp packing below (node = begin + warp*tiles + tile) affects op
+/// tallies at most, never the stored moments.
+void sum_node_range(Octree& tree, std::span<const real> x,
+                    std::span<const real> y, std::span<const real> z,
+                    std::span<const real> m, const CalcNodeConfig& cfg,
+                    index_t begin, index_t end, std::mutex& merge,
+                    simt::OpCounts& total) {
+  const int tsub = cfg.tsub;
   runtime::Device& dev = runtime::Device::current();
-  std::mutex merge;
-  simt::OpCounts total;
   const int tiles = kWarpSize / tsub;
 
   // Device-measurement calibration: GOTHIC's calcNode moves several times
@@ -74,89 +66,132 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
     return e;
   };
 
-  // Bottom-up sweep: children live one level deeper and are finished first.
-  for (int level = tree.num_levels() - 1; level >= 0; --level) {
-    const index_t lv_begin = tree.level_offset[static_cast<std::size_t>(level)];
-    const index_t lv_end = tree.level_offset[static_cast<std::size_t>(level) + 1];
-    const index_t lv_nodes = lv_end - lv_begin;
-    const index_t warps = (lv_nodes + tiles - 1) / tiles;
+  const index_t rg_nodes = end - begin;
+  const index_t warps = (rg_nodes + tiles - 1) / tiles;
 
-    dev.parallel_ranges(0, warps, [&](runtime::Worker&, std::size_t wlo,
-                                      std::size_t whi) {
-      simt::OpCounts counts;
-      for (std::size_t widx = wlo; widx < whi; ++widx) {
-      Warp w(cfg.mode, counts);
+  dev.parallel_ranges(0, warps, [&](runtime::Worker&, std::size_t wlo,
+                                    std::size_t whi) {
+    simt::OpCounts counts;
+    for (std::size_t widx = wlo; widx < whi; ++widx) {
+    Warp w(cfg.mode, counts);
 
-      // The nodes this warp's tiles own (kInvalidIndex = idle tile).
-      std::array<index_t, kWarpSize> node_of{};
-      std::array<NodeElems, kWarpSize> elems{};
-      index_t max_count = 0;
-      for (int t = 0; t < tiles; ++t) {
-        const index_t slot = static_cast<index_t>(widx) * tiles + t;
-        const index_t node = lv_begin + slot;
-        node_of[t] = slot < lv_nodes ? node : kInvalidIndex;
-        if (node_of[t] != kInvalidIndex) {
-          elems[t] = elems_of(node);
-          max_count = std::max(max_count, elems[t].count);
-        }
+    // The nodes this warp's tiles own (kInvalidIndex = idle tile).
+    std::array<index_t, kWarpSize> node_of{};
+    std::array<NodeElems, kWarpSize> elems{};
+    index_t max_count = 0;
+    for (int t = 0; t < tiles; ++t) {
+      const index_t slot = static_cast<index_t>(widx) * tiles + t;
+      const index_t node = begin + slot;
+      node_of[t] = slot < rg_nodes ? node : kInvalidIndex;
+      if (node_of[t] != kInvalidIndex) {
+        elems[t] = elems_of(node);
+        max_count = std::max(max_count, elems[t].count);
       }
-      const index_t chunks = (max_count + tsub - 1) / tsub;
+    }
+    const index_t chunks = (max_count + tsub - 1) / tsub;
 
-      // --- pass 1: total mass and mass-weighted position -----------------
-      LaneArray<float> sm{}, sx{}, sy{}, sz{};
-      for (index_t c = 0; c < chunks; ++c) {
-        std::uint64_t active = 0;
-        for (int lane = 0; lane < kWarpSize; ++lane) {
-          const int t = lane / tsub;
-          if (node_of[t] == kInvalidIndex) continue;
-          const index_t idx = c * tsub + static_cast<index_t>(lane % tsub);
-          if (idx >= elems[t].count) continue;
-          const index_t e = elems[t].first + idx;
-          float em, ex, ey, ez;
-          if (elems[t].leaf) {
-            em = m[e]; ex = x[e]; ey = y[e]; ez = z[e];
-          } else {
-            em = tree.mass[e];
-            ex = tree.com_x[e]; ey = tree.com_y[e]; ez = tree.com_z[e];
-          }
-          sm[lane] += em;
-          sx[lane] += em * ex;
-          sy[lane] += em * ey;
-          sz[lane] += em * ez;
-          ++active;
-        }
-        // Per active lane: one float4 load, 1 add + 3 FMA, and index
-        // arithmetic (chunk offset, bound check, address).
-        counts.bytes_load += active * 16 * kTrafficAmplification;
-        counts.fp32_add += active;
-        counts.fp32_fma += active * 3;
-        counts.int_ops += active * 4;
-      }
-      simt::reduce_add(w, sm, tsub);
-      simt::reduce_add(w, sx, tsub);
-      simt::reduce_add(w, sy, tsub);
-      simt::reduce_add(w, sz, tsub);
-
-      for (int t = 0; t < tiles; ++t) {
+    // --- pass 1: total mass and mass-weighted position -----------------
+    LaneArray<float> sm{}, sx{}, sy{}, sz{};
+    for (index_t c = 0; c < chunks; ++c) {
+      std::uint64_t active = 0;
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        const int t = lane / tsub;
         if (node_of[t] == kInvalidIndex) continue;
-        const int lane0 = t * tsub;
-        const float mt = sm[lane0];
-        const float inv = mt > 0.0f ? 1.0f / mt : 0.0f;
-        tree.mass[node_of[t]] = mt;
-        tree.com_x[node_of[t]] = sx[lane0] * inv;
-        tree.com_y[node_of[t]] = sy[lane0] * inv;
-        tree.com_z[node_of[t]] = sz[lane0] * inv;
-        counts.fp32_special += 1; // reciprocal
-        counts.fp32_mul += 3;
-        counts.bytes_store += 16 * kTrafficAmplification;
+        const index_t idx = c * tsub + static_cast<index_t>(lane % tsub);
+        if (idx >= elems[t].count) continue;
+        const index_t e = elems[t].first + idx;
+        float em, ex, ey, ez;
+        if (elems[t].leaf) {
+          em = m[e]; ex = x[e]; ey = y[e]; ez = z[e];
+        } else {
+          em = tree.mass[e];
+          ex = tree.com_x[e]; ey = tree.com_y[e]; ez = tree.com_z[e];
+        }
+        sm[lane] += em;
+        sx[lane] += em * ex;
+        sy[lane] += em * ey;
+        sz[lane] += em * ez;
+        ++active;
       }
+      // Per active lane: one float4 load, 1 add + 3 FMA, and index
+      // arithmetic (chunk offset, bound check, address).
+      counts.bytes_load += active * 16 * kTrafficAmplification;
+      counts.fp32_add += active;
+      counts.fp32_fma += active * 3;
+      counts.int_ops += active * 4;
+    }
+    simt::reduce_add(w, sm, tsub);
+    simt::reduce_add(w, sx, tsub);
+    simt::reduce_add(w, sy, tsub);
+    simt::reduce_add(w, sz, tsub);
 
-      // --- pass 2: node size bmax (the b_J of Eq. 2) ----------------------
-      LaneArray<float> bb{};
-      for (auto& v : bb) v = 0.0f;
+    for (int t = 0; t < tiles; ++t) {
+      if (node_of[t] == kInvalidIndex) continue;
+      const int lane0 = t * tsub;
+      const float mt = sm[lane0];
+      const float inv = mt > 0.0f ? 1.0f / mt : 0.0f;
+      tree.mass[node_of[t]] = mt;
+      tree.com_x[node_of[t]] = sx[lane0] * inv;
+      tree.com_y[node_of[t]] = sy[lane0] * inv;
+      tree.com_z[node_of[t]] = sz[lane0] * inv;
+      counts.fp32_special += 1; // reciprocal
+      counts.fp32_mul += 3;
+      counts.bytes_store += 16 * kTrafficAmplification;
+    }
+
+    // --- pass 2: node size bmax (the b_J of Eq. 2) ----------------------
+    LaneArray<float> bb{};
+    for (auto& v : bb) v = 0.0f;
+    for (index_t c = 0; c < chunks; ++c) {
+      std::uint64_t active = 0;
+      std::uint64_t internal = 0;
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        const int t = lane / tsub;
+        if (node_of[t] == kInvalidIndex) continue;
+        const index_t idx = c * tsub + static_cast<index_t>(lane % tsub);
+        if (idx >= elems[t].count) continue;
+        const index_t e = elems[t].first + idx;
+        const index_t node = node_of[t];
+        float dx, dy, dz, extra = 0.0f;
+        if (elems[t].leaf) {
+          dx = x[e] - tree.com_x[node];
+          dy = y[e] - tree.com_y[node];
+          dz = z[e] - tree.com_z[node];
+        } else {
+          dx = tree.com_x[e] - tree.com_x[node];
+          dy = tree.com_y[e] - tree.com_y[node];
+          dz = tree.com_z[e] - tree.com_z[node];
+          extra = tree.bmax[e];
+          ++internal;
+        }
+        const float d =
+            std::sqrt(dx * dx + dy * dy + dz * dz) + extra;
+        bb[lane] = std::max(bb[lane], d);
+        ++active;
+      }
+      // 3 subs, 3 FMA (squares), sqrt on the SFU, max compare; internal
+      // nodes add the child radius.
+      counts.bytes_load += active * 16 * kTrafficAmplification;
+      counts.fp32_add += active * 4 + internal;
+      counts.fp32_fma += active * 3;
+      counts.fp32_special += active;
+      counts.int_ops += active * 4;
+    }
+    simt::reduce_max(w, bb, tsub);
+    for (int t = 0; t < tiles; ++t) {
+      if (node_of[t] == kInvalidIndex) continue;
+      tree.bmax[node_of[t]] = bb[t * tsub];
+      counts.bytes_store += 4;
+    }
+
+    // --- pass 3 (optional): traceless quadrupole about the COM ---------
+    // Leaf contribution per body: m (3 d d^T - d^2 I); internal nodes
+    // add the child's quadrupole shifted by the parallel-axis term of
+    // the same form.
+    if (cfg.compute_quadrupole) {
+      LaneArray<float> qxx{}, qxy{}, qxz{}, qyy{}, qyz{}, qzz{};
       for (index_t c = 0; c < chunks; ++c) {
         std::uint64_t active = 0;
-        std::uint64_t internal = 0;
         for (int lane = 0; lane < kWarpSize; ++lane) {
           const int t = lane / tsub;
           if (node_of[t] == kInvalidIndex) continue;
@@ -164,109 +199,99 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
           if (idx >= elems[t].count) continue;
           const index_t e = elems[t].first + idx;
           const index_t node = node_of[t];
-          float dx, dy, dz, extra = 0.0f;
+          float em, dx, dy, dz;
           if (elems[t].leaf) {
+            em = m[e];
             dx = x[e] - tree.com_x[node];
             dy = y[e] - tree.com_y[node];
             dz = z[e] - tree.com_z[node];
           } else {
+            em = tree.mass[e];
             dx = tree.com_x[e] - tree.com_x[node];
             dy = tree.com_y[e] - tree.com_y[node];
             dz = tree.com_z[e] - tree.com_z[node];
-            extra = tree.bmax[e];
-            ++internal;
+            qxx[lane] += tree.quad_xx[e];
+            qxy[lane] += tree.quad_xy[e];
+            qxz[lane] += tree.quad_xz[e];
+            qyy[lane] += tree.quad_yy[e];
+            qyz[lane] += tree.quad_yz[e];
+            qzz[lane] += tree.quad_zz[e];
           }
-          const float d =
-              std::sqrt(dx * dx + dy * dy + dz * dz) + extra;
-          bb[lane] = std::max(bb[lane], d);
+          const float d2 = dx * dx + dy * dy + dz * dz;
+          qxx[lane] += em * (3.0f * dx * dx - d2);
+          qxy[lane] += em * 3.0f * dx * dy;
+          qxz[lane] += em * 3.0f * dx * dz;
+          qyy[lane] += em * (3.0f * dy * dy - d2);
+          qyz[lane] += em * 3.0f * dy * dz;
+          qzz[lane] += em * (3.0f * dz * dz - d2);
           ++active;
         }
-        // 3 subs, 3 FMA (squares), sqrt on the SFU, max compare; internal
-        // nodes add the child radius.
-        counts.bytes_load += active * 16 * kTrafficAmplification;
-        counts.fp32_add += active * 4 + internal;
-        counts.fp32_fma += active * 3;
-        counts.fp32_special += active;
+        counts.bytes_load += active * 16;
+        counts.fp32_add += active * 5;
+        counts.fp32_fma += active * 12;
+        counts.fp32_mul += active * 8;
         counts.int_ops += active * 4;
       }
-      simt::reduce_max(w, bb, tsub);
+      simt::reduce_add(w, qxx, tsub);
+      simt::reduce_add(w, qxy, tsub);
+      simt::reduce_add(w, qxz, tsub);
+      simt::reduce_add(w, qyy, tsub);
+      simt::reduce_add(w, qyz, tsub);
+      simt::reduce_add(w, qzz, tsub);
       for (int t = 0; t < tiles; ++t) {
         if (node_of[t] == kInvalidIndex) continue;
-        tree.bmax[node_of[t]] = bb[t * tsub];
-        counts.bytes_store += 4;
+        const int lane0 = t * tsub;
+        const index_t node = node_of[t];
+        tree.quad_xx[node] = qxx[lane0];
+        tree.quad_xy[node] = qxy[lane0];
+        tree.quad_xz[node] = qxz[lane0];
+        tree.quad_yy[node] = qyy[lane0];
+        tree.quad_yz[node] = qyz[lane0];
+        tree.quad_zz[node] = qzz[lane0];
+        counts.bytes_store += 24;
       }
+    }
+    } // per-warp loop of this worker's chunk
+    const std::scoped_lock lock(merge);
+    total += counts;
+  });
+}
 
-      // --- pass 3 (optional): traceless quadrupole about the COM ---------
-      // Leaf contribution per body: m (3 d d^T - d^2 I); internal nodes
-      // add the child's quadrupole shifted by the parallel-axis term of
-      // the same form.
-      if (cfg.compute_quadrupole) {
-        LaneArray<float> qxx{}, qxy{}, qxz{}, qyy{}, qyz{}, qzz{};
-        for (index_t c = 0; c < chunks; ++c) {
-          std::uint64_t active = 0;
-          for (int lane = 0; lane < kWarpSize; ++lane) {
-            const int t = lane / tsub;
-            if (node_of[t] == kInvalidIndex) continue;
-            const index_t idx = c * tsub + static_cast<index_t>(lane % tsub);
-            if (idx >= elems[t].count) continue;
-            const index_t e = elems[t].first + idx;
-            const index_t node = node_of[t];
-            float em, dx, dy, dz;
-            if (elems[t].leaf) {
-              em = m[e];
-              dx = x[e] - tree.com_x[node];
-              dy = y[e] - tree.com_y[node];
-              dz = z[e] - tree.com_z[node];
-            } else {
-              em = tree.mass[e];
-              dx = tree.com_x[e] - tree.com_x[node];
-              dy = tree.com_y[e] - tree.com_y[node];
-              dz = tree.com_z[e] - tree.com_z[node];
-              qxx[lane] += tree.quad_xx[e];
-              qxy[lane] += tree.quad_xy[e];
-              qxz[lane] += tree.quad_xz[e];
-              qyy[lane] += tree.quad_yy[e];
-              qyz[lane] += tree.quad_yz[e];
-              qzz[lane] += tree.quad_zz[e];
-            }
-            const float d2 = dx * dx + dy * dy + dz * dz;
-            qxx[lane] += em * (3.0f * dx * dx - d2);
-            qxy[lane] += em * 3.0f * dx * dy;
-            qxz[lane] += em * 3.0f * dx * dz;
-            qyy[lane] += em * (3.0f * dy * dy - d2);
-            qyz[lane] += em * 3.0f * dy * dz;
-            qzz[lane] += em * (3.0f * dz * dz - d2);
-            ++active;
-          }
-          counts.bytes_load += active * 16;
-          counts.fp32_add += active * 5;
-          counts.fp32_fma += active * 12;
-          counts.fp32_mul += active * 8;
-          counts.int_ops += active * 4;
-        }
-        simt::reduce_add(w, qxx, tsub);
-        simt::reduce_add(w, qxy, tsub);
-        simt::reduce_add(w, qxz, tsub);
-        simt::reduce_add(w, qyy, tsub);
-        simt::reduce_add(w, qyz, tsub);
-        simt::reduce_add(w, qzz, tsub);
-        for (int t = 0; t < tiles; ++t) {
-          if (node_of[t] == kInvalidIndex) continue;
-          const int lane0 = t * tsub;
-          const index_t node = node_of[t];
-          tree.quad_xx[node] = qxx[lane0];
-          tree.quad_xy[node] = qxy[lane0];
-          tree.quad_xz[node] = qxz[lane0];
-          tree.quad_yy[node] = qyy[lane0];
-          tree.quad_yz[node] = qyz[lane0];
-          tree.quad_zz[node] = qzz[lane0];
-          counts.bytes_store += 24;
-        }
-      }
-      } // per-warp loop of this worker's chunk
-      const std::scoped_lock lock(merge);
-      total += counts;
-    });
+} // namespace
+
+void prepare_quadrupole(Octree& tree, bool compute) {
+  if (compute) {
+    const index_t nn = tree.num_nodes();
+    tree.quad_xx.assign(nn, real(0));
+    tree.quad_xy.assign(nn, real(0));
+    tree.quad_xz.assign(nn, real(0));
+    tree.quad_yy.assign(nn, real(0));
+    tree.quad_yz.assign(nn, real(0));
+    tree.quad_zz.assign(nn, real(0));
+  } else if (tree.has_quadrupole()) {
+    tree.quad_xx.clear();
+    tree.quad_xy.clear();
+    tree.quad_xz.clear();
+    tree.quad_yy.clear();
+    tree.quad_yz.clear();
+    tree.quad_zz.clear();
+  }
+}
+
+void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
+               std::span<const real> z, std::span<const real> m,
+               const CalcNodeConfig& cfg, simt::OpCounts* ops) {
+  validate_inputs(cfg, x, y, z, m);
+  prepare_quadrupole(tree, cfg.compute_quadrupole);
+
+  std::mutex merge;
+  simt::OpCounts total;
+
+  // Bottom-up sweep: children live one level deeper and are finished first.
+  for (int level = tree.num_levels() - 1; level >= 0; --level) {
+    const index_t lv_begin = tree.level_offset[static_cast<std::size_t>(level)];
+    const index_t lv_end = tree.level_offset[static_cast<std::size_t>(level) + 1];
+    sum_node_range(tree, x, y, z, m, cfg, lv_begin, lv_end, merge, total);
 
     // The level-by-level bottom-up sweep requires a grid-wide
     // synchronisation between levels — GOTHIC's lock-free barrier, the
@@ -274,6 +299,31 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
     total.global_barrier += 1;
   }
 
+  if (ops != nullptr) *ops += total;
+}
+
+void calc_node_ranges(Octree& tree, std::span<const real> x,
+                      std::span<const real> y, std::span<const real> z,
+                      std::span<const real> m, const CalcNodeConfig& cfg,
+                      std::span<const NodeRange> ranges,
+                      simt::OpCounts* ops) {
+  validate_inputs(cfg, x, y, z, m);
+  if (cfg.compute_quadrupole &&
+      tree.quad_xx.size() != tree.num_nodes()) {
+    throw std::invalid_argument(
+        "calc_node_ranges: call prepare_quadrupole before a quadrupole sweep");
+  }
+
+  std::mutex merge;
+  simt::OpCounts total;
+  for (const NodeRange& r : ranges) {
+    if (r.end > tree.num_nodes() || r.begin > r.end) {
+      throw std::out_of_range("calc_node_ranges: range outside the tree");
+    }
+    if (r.end <= r.begin) continue;
+    sum_node_range(tree, x, y, z, m, cfg, r.begin, r.end, merge, total);
+    total.global_barrier += 1;
+  }
   if (ops != nullptr) *ops += total;
 }
 

@@ -31,4 +31,29 @@ void calc_node(Octree& tree, std::span<const real> x, std::span<const real> y,
                std::span<const real> z, std::span<const real> m,
                const CalcNodeConfig& cfg = {}, simt::OpCounts* ops = nullptr);
 
+/// A half-open run [begin, end) of node indices (tree order).
+struct NodeRange {
+  index_t begin = 0;
+  index_t end = 0;
+};
+
+/// Size (or drop) the quadrupole arrays for a calc_node_ranges sweep.
+/// calc_node does this internally; sharded pipelines that summarise
+/// disjoint node ranges on different devices must do it once up front so
+/// the per-range passes never reallocate shared storage.
+void prepare_quadrupole(Octree& tree, bool compute);
+
+/// calc_node restricted to the given node ranges. The caller supplies the
+/// ranges in bottom-up dependency order (children summarised before their
+/// parents — e.g. per level, deepest first) and, when cfg.compute_quadrupole
+/// is set, must have called prepare_quadrupole first. Per-node results are
+/// bit-identical to a full calc_node: each node's moments depend only on
+/// its own elements and cfg.tsub, never on how nodes are packed into
+/// warps, so partial sweeps over disjoint range sets compose exactly.
+void calc_node_ranges(Octree& tree, std::span<const real> x,
+                      std::span<const real> y, std::span<const real> z,
+                      std::span<const real> m, const CalcNodeConfig& cfg,
+                      std::span<const NodeRange> ranges,
+                      simt::OpCounts* ops = nullptr);
+
 } // namespace gothic::octree

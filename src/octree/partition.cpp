@@ -1,0 +1,121 @@
+#include "octree/partition.hpp"
+
+#include <stdexcept>
+
+namespace gothic::octree {
+
+namespace {
+
+void validate_bounds(std::span<const index_t> bounds) {
+  if (bounds.size() < 2) {
+    throw std::invalid_argument("partition: need at least 2 body boundaries");
+  }
+  if (bounds.front() != 0) {
+    throw std::invalid_argument("partition: body boundaries must start at 0");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] < bounds[i - 1]) {
+      throw std::invalid_argument(
+          "partition: body boundaries must be non-decreasing");
+    }
+  }
+}
+
+/// Scan one tree level for contiguous runs where `pred(node)` holds.
+template <typename Pred>
+void append_level_runs(const Octree& tree, int level, Pred&& pred,
+                       std::vector<NodeRange>& out) {
+  const index_t lv_begin = tree.level_offset[static_cast<std::size_t>(level)];
+  const index_t lv_end = tree.level_offset[static_cast<std::size_t>(level) + 1];
+  index_t run_begin = kInvalidIndex;
+  for (index_t node = lv_begin; node < lv_end; ++node) {
+    if (pred(node)) {
+      if (run_begin == kInvalidIndex) run_begin = node;
+    } else if (run_begin != kInvalidIndex) {
+      out.push_back({run_begin, node});
+      run_begin = kInvalidIndex;
+    }
+  }
+  if (run_begin != kInvalidIndex) out.push_back({run_begin, lv_end});
+}
+
+} // namespace
+
+std::vector<std::size_t> partition_weighted(std::span<const double> weights,
+                                            int shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("partition_weighted: need at least one shard");
+  }
+  const std::size_t n = weights.size();
+  const auto k = static_cast<std::size_t>(shards);
+  std::vector<std::size_t> bounds(k + 1, n);
+  bounds[0] = 0;
+
+  double total = 0.0;
+  for (const double w : weights) total += w > 0.0 ? w : 0.0;
+  if (!(total > 0.0)) {
+    // No cost signal: equal-count split.
+    for (std::size_t s = 1; s < k; ++s) bounds[s] = n * s / k;
+    return bounds;
+  }
+
+  const double per = total / static_cast<double>(k);
+  double prefix = 0.0;
+  std::size_t b = 1;
+  for (std::size_t i = 0; i < n && b < k; ++i) {
+    prefix += weights[i] > 0.0 ? weights[i] : 0.0;
+    while (b < k && prefix >= per * static_cast<double>(b)) {
+      bounds[b++] = i + 1;
+    }
+  }
+  for (; b < k; ++b) bounds[b] = n;
+  return bounds;
+}
+
+int shard_of_body(std::span<const index_t> body_bounds, index_t first) {
+  const int k = static_cast<int>(body_bounds.size()) - 1;
+  for (int s = 0; s < k; ++s) {
+    if (first < body_bounds[static_cast<std::size_t>(s) + 1]) return s;
+  }
+  return k - 1;
+}
+
+std::vector<NodeRange> owned_node_ranges(const Octree& tree,
+                                         std::span<const index_t> body_bounds,
+                                         int shard) {
+  validate_bounds(body_bounds);
+  const int k = static_cast<int>(body_bounds.size()) - 1;
+  if (shard < 0 || shard >= k) {
+    throw std::invalid_argument("owned_node_ranges: shard out of range");
+  }
+  std::vector<NodeRange> out;
+  auto owned = [&](index_t node) {
+    const index_t first = tree.body_first[node];
+    const index_t end = first + tree.body_count[node];
+    const int owner = shard_of_body(body_bounds, first);
+    return owner == shard &&
+           end <= body_bounds[static_cast<std::size_t>(owner) + 1];
+  };
+  for (int level = tree.num_levels() - 1; level >= 0; --level) {
+    append_level_runs(tree, level, owned, out);
+  }
+  return out;
+}
+
+std::vector<NodeRange> top_node_ranges(const Octree& tree,
+                                       std::span<const index_t> body_bounds) {
+  validate_bounds(body_bounds);
+  std::vector<NodeRange> out;
+  auto top = [&](index_t node) {
+    const index_t first = tree.body_first[node];
+    const index_t end = first + tree.body_count[node];
+    const int owner = shard_of_body(body_bounds, first);
+    return end > body_bounds[static_cast<std::size_t>(owner) + 1];
+  };
+  for (int level = tree.num_levels() - 1; level >= 0; --level) {
+    append_level_runs(tree, level, top, out);
+  }
+  return out;
+}
+
+} // namespace gothic::octree

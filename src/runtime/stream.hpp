@@ -123,6 +123,22 @@ struct StepMark {
   /// the step's tree walk; 0 when the step recorded no walk timing.
   double walk_imbalance = 0.0;
 
+  // Sharded-pipeline fields (ShardedSimulation; all 0 for a plain
+  // Simulation step).
+  int shards = 0;               ///< shard count (0 = unsharded step)
+  double shard_busy_max = 0.0;  ///< busiest shard's summed launch seconds
+  double shard_busy_mean = 0.0; ///< mean per-shard summed launch seconds
+  std::uint64_t let_cells = 0;  ///< LET cells exported this step (all pairs)
+  std::uint64_t let_bodies = 0; ///< LET bodies exported this step
+
+  /// Cross-shard load-imbalance ratio: busiest shard's busy seconds over
+  /// the mean. 1 is perfect balance; 0 when the step was unsharded or
+  /// recorded no shard timing.
+  [[nodiscard]] double shard_imbalance() const {
+    if (shards == 0 || !(shard_busy_mean > 0.0)) return 0.0;
+    return shard_busy_max / shard_busy_mean;
+  }
+
   /// Signed overlap gap. Positive: kernel seconds hidden by concurrent
   /// streams. Negative: a scheduler anomaly (the wall span exceeded the
   /// work it contained) — the clamped StepReport::overlap_seconds() hides

@@ -1,11 +1,13 @@
 #include "testkit/fuzz.hpp"
 
+#include "nbody/sharded_simulation.hpp"
 #include "runtime/device.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 
 namespace gothic::testkit {
 
@@ -74,9 +76,9 @@ RunOutcome replay_seed(const FuzzConfig& cfg, std::uint64_t seed,
                        const std::vector<real>& reference) {
   // The walk schedule is part of the replay token: deriving it from the
   // seed makes a failing seed reproduce the exact run with no extra state
-  // and spreads the seeded sweep across all three schedules.
+  // and spreads the seeded sweep across all four schedules.
   FuzzConfig run_cfg = cfg;
-  run_cfg.schedule = static_cast<gravity::WalkSchedule>(seed % 3);
+  run_cfg.schedule = static_cast<gravity::WalkSchedule>(seed % 4);
   SeededSchedule ctrl(seed);
   const std::vector<real> state = run_controlled(run_cfg, true, &ctrl);
   RunOutcome out;
@@ -119,14 +121,18 @@ SweepReport sweep_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
   FuzzConfig ref_cfg = cfg;
   ref_cfg.schedule = gravity::WalkSchedule::Static;
   const std::vector<real> ref = run_controlled(ref_cfg, false, nullptr);
-  for (const auto schedule : {gravity::WalkSchedule::Dynamic,
-                              gravity::WalkSchedule::CostWeighted}) {
+  for (const auto schedule :
+       {gravity::WalkSchedule::Dynamic, gravity::WalkSchedule::CostWeighted,
+        gravity::WalkSchedule::Auto}) {
     ref_cfg.schedule = schedule;
     if (run_controlled(ref_cfg, false, nullptr) != ref) {
+      const char* name = schedule == gravity::WalkSchedule::Dynamic
+                             ? "dynamic"
+                             : schedule == gravity::WalkSchedule::CostWeighted
+                                   ? "cost-weighted"
+                                   : "auto";
       rep.failures.push_back(
-          std::string("walk schedule ") +
-          (schedule == gravity::WalkSchedule::Dynamic ? "dynamic"
-                                                      : "cost-weighted") +
+          std::string("walk schedule ") + name +
           " diverged from the static schedule on the synchronous run");
     }
   }
@@ -315,6 +321,169 @@ FaultSweepReport sweep_faults(const FuzzConfig& cfg, std::uint64_t base_seed,
     if (!out.ok()) {
       rep.failures.push_back("plan " + std::to_string(i) + " (base seed " +
                              hex_seed(base_seed) + "): " + out.detail);
+    }
+  }
+  return rep;
+}
+
+// --- Sharded pipeline sweeps ----------------------------------------------
+
+ShardRunOutcome run_sharded(const FuzzConfig& cfg, std::uint64_t seed,
+                            const std::vector<real>& reference) {
+  ShardRunOutcome out;
+  // Low bits so short sequential seed ranges already cover the matrix:
+  // bits 0-1 walk schedule, bit 2 async mode, bits 3+ shard count.
+  const int shard_choices[] = {1, 2, 4};
+  out.shards = shard_choices[(seed >> 3) % 3];
+  out.async = ((seed >> 2) & 1) != 0;
+
+  nbody::SimConfig sim_cfg = fuzz_sim_config(
+      cfg.rebuild_interval, static_cast<gravity::WalkSchedule>(seed % 4));
+  nbody::ShardOptions opt;
+  opt.shards = out.shards;
+  opt.workers = cfg.workers;
+  opt.async = out.async ? 1 : 0;
+  opt.lanes = cfg.lanes;
+  nbody::ShardedSimulation sim(fuzz_cloud(cfg.n, cfg.workload_seed), sim_cfg,
+                               opt);
+
+  // One seeded stream controller per shard device, installed between the
+  // constructor's synchronize and the first step (devices are idle here).
+  std::vector<std::unique_ptr<SeededSchedule>> ctrls;
+  for (int s = 0; s < out.shards; ++s) {
+    ctrls.push_back(std::make_unique<SeededSchedule>(
+        seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(s + 1))));
+    sim.shard_device(s).set_schedule_controller(ctrls.back().get());
+  }
+  for (int i = 0; i < cfg.steps; ++i) (void)sim.step();
+  for (int s = 0; s < out.shards; ++s) {
+    sim.shard_device(s).set_schedule_controller(nullptr);
+    if (s != 0) out.signature += '|';
+    out.signature += ctrls[static_cast<std::size_t>(s)]->signature();
+    out.decision_points +=
+        ctrls[static_cast<std::size_t>(s)]->decision_points();
+    for (const std::string& v :
+         ctrls[static_cast<std::size_t>(s)]->violations()) {
+      out.violations.push_back("shard " + std::to_string(s) + ": " + v);
+    }
+  }
+  out.bit_identical = pack_state(sim.particles()) == reference;
+  return out;
+}
+
+SweepReport sweep_shard_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
+                              std::size_t count) {
+  SweepReport rep;
+  const std::vector<real> ref = run_controlled(cfg, false, nullptr);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const ShardRunOutcome out = run_sharded(cfg, seed, ref);
+    ++rep.runs;
+    rep.signatures.insert(out.signature);
+    rep.decision_points_total += out.decision_points;
+    if (!out.bit_identical || !out.violations.empty()) {
+      rep.failing_seeds.push_back(seed);
+      append_run_failure(rep,
+                         "seed " + hex_seed(seed) + " (K=" +
+                             std::to_string(out.shards) +
+                             (out.async ? ", async" : ", sync") + ")",
+                         out.bit_identical, out.violations);
+    }
+  }
+  return rep;
+}
+
+ShardFaultOutcome run_shard_fault(const FuzzConfig& cfg, std::uint64_t seed) {
+  ShardFaultOutcome out;
+  out.shards = 2 + static_cast<int>((seed >> 8) % 3); // 2..4
+  out.target_shard = static_cast<int>(seed % static_cast<std::uint64_t>(
+                                                 out.shards));
+
+  nbody::ShardOptions opt;
+  opt.shards = out.shards;
+  opt.workers = cfg.workers;
+  opt.async = -1; // follow GOTHIC_ASYNC — check.sh sweeps both modes
+  opt.lanes = cfg.lanes;
+  nbody::ShardedSimulation sim(fuzz_cloud(cfg.n, cfg.workload_seed),
+                               fuzz_sim_config(cfg.rebuild_interval), opt);
+  (void)sim.step(); // a healthy step first, so the fault hits steady state
+
+  // Target one of the shard's upcoming step launches (its per-device
+  // launch ids are monotonic; a step issues up to ~5 launches per shard).
+  runtime::Device& target = sim.shard_device(out.target_shard);
+  FaultPlan plan;
+  plan.throw_at.push_back(target.launch_count() + 1 + seed % 4);
+  FaultController ctrl(plan);
+  target.set_schedule_controller(&ctrl);
+
+  bool threw = false;
+  bool foreign_error = false;
+  try {
+    (void)sim.step();
+  } catch (const InjectedFault&) {
+    threw = true;
+  } catch (...) {
+    foreign_error = true;
+  }
+  // step() synchronizes every device on both the clean and the error
+  // path, so the devices are idle and the controller can be detached.
+  target.set_schedule_controller(nullptr);
+  out.injected_throws = ctrl.injected_throws();
+  out.error_thrown = threw;
+
+  // Every shard device — faulted one included — must accept and complete
+  // new work: one shard's failure must not poison the other devices.
+  bool reusable = true;
+  std::string stuck;
+  for (int s = 0; s < out.shards; ++s) {
+    runtime::Stream probe("fault-probe");
+    std::atomic<int> ran{0};
+    runtime::LaunchDesc desc;
+    desc.label = "fault-probe";
+    desc.items = 1;
+    desc.stream = &probe;
+    try {
+      (void)sim.shard_device(s).launch(desc, [&ran](simt::OpCounts&) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+      sim.shard_device(s).synchronize();
+      if (ran.load(std::memory_order_relaxed) != 1) {
+        reusable = false;
+        stuck += " shard " + std::to_string(s) + " probe body did not run;";
+      }
+    } catch (...) {
+      reusable = false;
+      stuck += " shard " + std::to_string(s) + " raised on reuse;";
+    }
+  }
+  out.devices_reusable = reusable;
+
+  std::string d;
+  if (foreign_error) d += "step raised a non-injected exception; ";
+  if (threw != (out.injected_throws > 0)) {
+    d += threw ? "step raised an error with no injected throw; "
+               : "injected throw did not propagate out of step; ";
+  }
+  if (!reusable) d += "post-fault reuse failed:" + stuck + "; ";
+  if (d.size() >= 2) d.resize(d.size() - 2);
+  out.detail = d;
+  return out;
+}
+
+FaultSweepReport sweep_shard_faults(const FuzzConfig& cfg,
+                                    std::uint64_t base_seed,
+                                    std::size_t count) {
+  FaultSweepReport rep;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const ShardFaultOutcome out = run_shard_fault(cfg, seed);
+    ++rep.plans;
+    if (out.injected_throws > 0) ++rep.with_throws;
+    if (!out.ok()) {
+      rep.failures.push_back("shard-fault seed " + hex_seed(seed) + " (K=" +
+                             std::to_string(out.shards) + ", target " +
+                             std::to_string(out.target_shard) +
+                             "): " + out.detail);
     }
   }
   return rep;

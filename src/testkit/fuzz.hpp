@@ -40,7 +40,7 @@ struct FuzzConfig {
   std::uint64_t workload_seed = 7; ///< particle-cloud seed
   /// Walk schedule of the run. Numerically invisible by contract, which
   /// the seeded sweep verifies: replay_seed overrides this from the seed
-  /// (seed % 3) so every sweep covers all three schedules against one
+  /// (seed % 4) so every sweep covers all four schedules against one
   /// reference, and a failing seed alone reproduces the exact run.
   gravity::WalkSchedule schedule = gravity::WalkSchedule::CostWeighted;
 };
@@ -126,5 +126,56 @@ struct FaultSweepReport {
 
 FaultSweepReport sweep_faults(const FuzzConfig& cfg, std::uint64_t base_seed,
                               std::size_t count);
+
+// --- Sharded pipeline sweeps ----------------------------------------------
+
+/// Outcome of one sharded controlled run against the plain synchronous
+/// Simulation reference.
+struct ShardRunOutcome {
+  int shards = 1;
+  bool async = false;
+  std::string signature; ///< per-shard schedule signatures, '|'-joined
+  std::size_t decision_points = 0;
+  bool bit_identical = false;
+  std::vector<std::string> violations;
+};
+
+/// Run the fuzz workload through ShardedSimulation. The seed is the full
+/// replay token: walk schedule from seed % 4, async mode from
+/// (seed >> 2) & 1, shard count K in {1, 2, 4} from (seed >> 3) % 3, and
+/// one SeededSchedule stream controller per shard device derived from
+/// (seed, shard). Compares bit-for-bit against `reference` (from
+/// run_controlled(cfg, false, nullptr) — the unsharded synchronous run).
+ShardRunOutcome run_sharded(const FuzzConfig& cfg, std::uint64_t seed,
+                            const std::vector<real>& reference);
+
+/// N independent run_sharded runs; failures are reproducible from the
+/// failing seed alone.
+SweepReport sweep_shard_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
+                              std::size_t count);
+
+/// Outcome of one fault plan injected into one shard of a sharded step.
+struct ShardFaultOutcome {
+  int shards = 0;
+  int target_shard = 0;
+  int injected_throws = 0;
+  bool error_thrown = false;     ///< step() raised an InjectedFault
+  bool devices_reusable = false; ///< every shard device ran post-fault work
+  std::string detail;            ///< failure description (empty when ok)
+
+  [[nodiscard]] bool ok() const { return detail.empty(); }
+};
+
+/// Build a sharded simulation (K in {2, 3, 4} from the seed; shard devices
+/// follow the GOTHIC_ASYNC environment), inject a launch-body throw into
+/// one shard's device mid-step, and assert the isolation contract: step()
+/// surfaces the injected fault exactly when it fired, and *every* shard
+/// device — including the faulted one — accepts and completes new work
+/// afterwards (one shard's failure must not poison the others).
+ShardFaultOutcome run_shard_fault(const FuzzConfig& cfg, std::uint64_t seed);
+
+FaultSweepReport sweep_shard_faults(const FuzzConfig& cfg,
+                                    std::uint64_t base_seed,
+                                    std::size_t count);
 
 } // namespace gothic::testkit

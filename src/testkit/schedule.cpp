@@ -15,6 +15,15 @@ void RecordingController::on_enqueue(int lane, std::uint64_t id) {
     flag("enqueue on negative lane " + std::to_string(lane));
     return;
   }
+  // A controller may be attached to an idle device mid-life (e.g. after a
+  // simulation's constructor ran its bootstrap launches). Everything
+  // issued before the first observed enqueue has already completed — the
+  // attach point requires an idle device — so older ids count as complete
+  // when they appear as dependencies.
+  if (!baseline_set_) {
+    baseline_ = id > 0 ? id - 1 : 0;
+    baseline_set_ = true;
+  }
   if (id <= last_enqueued_) {
     flag("issue ids not monotonic: " + std::to_string(id) + " after " +
          std::to_string(last_enqueued_));
@@ -28,6 +37,7 @@ void RecordingController::on_enqueue(int lane, std::uint64_t id) {
 }
 
 bool RecordingController::is_complete(std::uint64_t id) const {
+  if (baseline_set_ && id <= baseline_) return true; // pre-attach launch
   return std::find(completed_.begin(), completed_.end(), id) !=
          completed_.end();
 }

@@ -77,6 +77,10 @@ private:
   std::vector<LaneQueue> lanes_;
   std::vector<std::uint64_t> executed_;  ///< grant order
   std::vector<std::uint64_t> completed_; ///< publication order
+  /// Launch ids at or below this were issued before the controller was
+  /// attached (to an idle device) and count as complete.
+  std::uint64_t baseline_ = 0;
+  bool baseline_set_ = false;
   std::uint64_t last_enqueued_ = 0;
   std::size_t enqueued_ = 0;
   std::size_t decision_points_ = 0;

@@ -70,6 +70,15 @@ void MetricsRegistry::record_step(const runtime::StepMark& mark) {
     imbalance_sum_ += mark.walk_imbalance;
     imbalance_max_ = std::max(imbalance_max_, mark.walk_imbalance);
   }
+  if (mark.shards > 0) {
+    shard_steps_ += 1;
+    shards_max_ = std::max(shards_max_, mark.shards);
+    const double imb = mark.shard_imbalance();
+    shard_imbalance_sum_ += imb;
+    shard_imbalance_max_ = std::max(shard_imbalance_max_, imb);
+    let_cells_total_ += mark.let_cells;
+    let_bodies_total_ += mark.let_bodies;
+  }
 }
 
 void MetricsRegistry::observe_device(const runtime::Device& dev) {
@@ -120,6 +129,13 @@ void MetricsRegistry::print(std::ostream& os) const {
        << Table::sci(imbalance_mean()) << ", worst "
        << Table::sci(imbalance_max_) << " over " << imbalance_steps_
        << " steps\n";
+  }
+  if (shard_steps_ > 0) {
+    os << "shard imbalance (max busy / mean busy over " << shards_max_
+       << " shards): mean " << Table::sci(shard_imbalance_mean())
+       << ", worst " << Table::sci(shard_imbalance_max_) << " over "
+       << shard_steps_ << " steps; LET traffic " << let_cells_total_
+       << " cells, " << let_bodies_total_ << " bodies\n";
   }
   if (workers_ > 0) {
     os << "arena gauges: " << workers_ << " workers, high-water capacity "

@@ -119,6 +119,28 @@ public:
                : 0.0;
   }
 
+  // Shard accounting over the observed steps (only steps whose StepMark
+  // came from a sharded run — mark.shards > 0 — contribute).
+  [[nodiscard]] std::uint64_t shard_steps() const { return shard_steps_; }
+  [[nodiscard]] int shards_max() const { return shards_max_; }
+  /// Worst per-step shard busy-time imbalance (max/mean; 0 if unsharded).
+  [[nodiscard]] double shard_imbalance_max() const {
+    return shard_imbalance_max_;
+  }
+  /// Mean per-step shard busy-time imbalance (0 when none recorded).
+  [[nodiscard]] double shard_imbalance_mean() const {
+    return shard_steps_ > 0
+               ? shard_imbalance_sum_ / static_cast<double>(shard_steps_)
+               : 0.0;
+  }
+  /// Cumulative LET traffic across sharded steps.
+  [[nodiscard]] std::uint64_t let_cells_total() const {
+    return let_cells_total_;
+  }
+  [[nodiscard]] std::uint64_t let_bodies_total() const {
+    return let_bodies_total_;
+  }
+
   // Arena gauges (high-water across observe_device() samples).
   [[nodiscard]] std::size_t arena_capacity_bytes() const {
     return arena_capacity_;
@@ -152,6 +174,12 @@ private:
   std::uint64_t imbalance_steps_ = 0;
   double imbalance_max_ = 0.0;
   double imbalance_sum_ = 0.0;
+  std::uint64_t shard_steps_ = 0;
+  int shards_max_ = 0;
+  double shard_imbalance_max_ = 0.0;
+  double shard_imbalance_sum_ = 0.0;
+  std::uint64_t let_cells_total_ = 0;
+  std::uint64_t let_bodies_total_ = 0;
   std::size_t arena_capacity_ = 0;
   std::uint64_t arena_heap_allocations_ = 0;
   int workers_ = 0;

@@ -184,12 +184,20 @@ void TraceWriter::write(std::ostream& os) const {
     const std::string common =
         ",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,\"ts\":" +
         usec(mark.t_begin);
+    std::string step_args =
+        "\"kernel_seconds\":" + usec(mark.kernel_seconds) +
+        ",\"wall_seconds\":" + usec(mark.wall_seconds) +
+        ",\"raw_overlap_us\":" + usec(mark.raw_overlap_seconds()) +
+        ",\"walk_imbalance\":" + std::to_string(mark.walk_imbalance);
+    if (mark.shards > 0) {
+      step_args += ",\"shards\":" + std::to_string(mark.shards) +
+                   ",\"shard_imbalance\":" +
+                   std::to_string(mark.shard_imbalance()) +
+                   ",\"let_cells\":" + std::to_string(mark.let_cells) +
+                   ",\"let_bodies\":" + std::to_string(mark.let_bodies);
+    }
     events.emit("\"name\":\"step " + std::to_string(mark.index) + "\"" +
-                common + ",\"args\":{\"kernel_seconds\":" +
-                usec(mark.kernel_seconds) + ",\"wall_seconds\":" +
-                usec(mark.wall_seconds) + ",\"raw_overlap_us\":" +
-                usec(mark.raw_overlap_seconds()) + ",\"walk_imbalance\":" +
-                std::to_string(mark.walk_imbalance) + "}");
+                common + ",\"args\":{" + step_args + "}");
     if (mark.rebuilt) {
       events.emit("\"name\":\"rebuild\"" + common + ",\"args\":{}");
     }
@@ -199,6 +207,19 @@ void TraceWriter::write(std::ostream& os) const {
     events.emit("\"name\":\"walk_imbalance\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
                 usec(mark.t_begin) + ",\"args\":{\"ratio\":" +
                 std::to_string(mark.walk_imbalance) + "}");
+    // Shard busy-time imbalance and LET traffic counter tracks (sharded
+    // runs only; per-shard launch lanes already exist via the
+    // "shardK/..." stream names).
+    if (mark.shards > 0) {
+      events.emit(
+          "\"name\":\"shard_imbalance\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+          usec(mark.t_begin) + ",\"args\":{\"ratio\":" +
+          std::to_string(mark.shard_imbalance()) + "}");
+      events.emit("\"name\":\"let_traffic\",\"ph\":\"C\",\"pid\":1,\"ts\":" +
+                  usec(mark.t_begin) + ",\"args\":{\"cells\":" +
+                  std::to_string(mark.let_cells) + ",\"bodies\":" +
+                  std::to_string(mark.let_bodies) + "}");
+    }
   }
 
   // Counter tracks: cumulative op categories sampled at each completion

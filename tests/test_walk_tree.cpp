@@ -390,14 +390,20 @@ TEST(WalkTree, SchedulesAreBitIdenticalAcrossWorkerCounts) {
     runtime::Device dev(workers, /*async=*/0);
     runtime::ScopedDevice scope(dev);
     GroupCosts costs;
+    GroupCosts auto_costs;
     // Two cost-weighted walks: the first partitions on the uniform seed,
-    // the second on measured costs — both must stay bit-identical.
+    // the second on measured costs — both must stay bit-identical. Auto
+    // rides along with its own cost vector so its internal branch choice
+    // (here CostWeighted: only two thirds of the groups are active) is
+    // exercised against the same reference.
     for (int rep = 0; rep < 2; ++rep) {
-      for (const auto schedule : {WalkSchedule::Static, WalkSchedule::Dynamic,
-                                  WalkSchedule::CostWeighted}) {
-        const ForceResult r =
-            run(schedule, schedule == WalkSchedule::CostWeighted ? &costs
-                                                                 : nullptr);
+      for (const auto schedule :
+           {WalkSchedule::Static, WalkSchedule::Dynamic,
+            WalkSchedule::CostWeighted, WalkSchedule::Auto}) {
+        GroupCosts* c = schedule == WalkSchedule::CostWeighted ? &costs
+                        : schedule == WalkSchedule::Auto      ? &auto_costs
+                                                              : nullptr;
+        const ForceResult r = run(schedule, c);
         EXPECT_TRUE(r.ax == ref.ax && r.ay == ref.ay && r.az == ref.az &&
                     r.pot == ref.pot)
             << "workers = " << workers
@@ -406,6 +412,75 @@ TEST(WalkTree, SchedulesAreBitIdenticalAcrossWorkerCounts) {
       }
     }
   }
+}
+
+TEST(WalkTree, AutoScheduleResolvesBothBranchesBitIdentically) {
+  System s = plummer(4096, 17);
+  s.build();
+  const auto groups = walk_groups(s.tree, s.x, s.y, s.z);
+  ASSERT_GE(groups.size(), 4u);
+
+  WalkConfig cfg;
+  cfg.eps = kEps;
+  cfg.mac.type = MacType::OpeningAngle;
+
+  auto run = [&](WalkSchedule schedule, std::span<const std::uint8_t> active,
+                 GroupCosts* costs) {
+    cfg.schedule = schedule;
+    ForceResult r;
+    r.ax.assign(s.n(), real(0));
+    r.ay.assign(s.n(), real(0));
+    r.az.assign(s.n(), real(0));
+    r.pot.assign(s.n(), real(0));
+    walk_tree(s.tree, s.x, s.y, s.z, s.m, {}, cfg, r.ax, r.ay, r.az, r.pot,
+              nullptr, nullptr, active, groups, costs);
+    return r;
+  };
+
+  runtime::Device dev(3, /*async=*/0);
+  runtime::ScopedDevice scope(dev);
+
+  // Without a cost vector Auto can only degrade to the static split.
+  const ForceResult ref_all = run(WalkSchedule::Static, {}, nullptr);
+  EXPECT_EQ(run(WalkSchedule::Auto, {}, nullptr).ax, ref_all.ax);
+
+  // Branch 1 — near-uniform step: every group active, previous walk
+  // balanced (fresh vector, last_imbalance == 0) -> the static split.
+  // Only the cost-weighted path touches costs.weights, so an untouched
+  // weights vector is the witness of the branch taken.
+  GroupCosts costs;
+  costs.reset(groups.size());
+  costs.weights.clear();
+  const ForceResult a1 = run(WalkSchedule::Auto, {}, &costs);
+  EXPECT_TRUE(costs.weights.empty())
+      << "all-active balanced step should take the static branch";
+  EXPECT_TRUE(a1.ax == ref_all.ax && a1.ay == ref_all.ay &&
+              a1.az == ref_all.az && a1.pot == ref_all.pot);
+
+  // Branch 2 — skewed history: same activity, but the previous walk left
+  // workers imbalanced beyond tolerance -> the measured partition.
+  costs.last_imbalance = kAutoImbalanceTolerance * 4.0;
+  const ForceResult a2 = run(WalkSchedule::Auto, {}, &costs);
+  EXPECT_EQ(costs.weights.size(), groups.size())
+      << "imbalanced history should take the cost-weighted branch";
+  EXPECT_TRUE(a2.ax == ref_all.ax && a2.ay == ref_all.ay &&
+              a2.az == ref_all.az && a2.pot == ref_all.pot);
+
+  // Branch 3 — sparse step: one group in three active (frac < 0.75)
+  // forces the cost-weighted branch even with a balanced history.
+  std::vector<std::uint8_t> sparse(groups.size(), 0);
+  for (std::size_t g = 0; g < sparse.size(); g += 3) sparse[g] = 1;
+  const ForceResult ref_sparse = run(WalkSchedule::Static, sparse, nullptr);
+  GroupCosts costs2;
+  costs2.reset(groups.size());
+  costs2.weights.clear();
+  const ForceResult a3 = run(WalkSchedule::Auto, sparse, &costs2);
+  EXPECT_EQ(costs2.weights.size(), groups.size())
+      << "sparse step should take the cost-weighted branch";
+  EXPECT_TRUE(a3.ax == ref_sparse.ax && a3.ay == ref_sparse.ay &&
+              a3.az == ref_sparse.az && a3.pot == ref_sparse.pot);
+  // The walk recorded the step's imbalance for the next Auto decision.
+  EXPECT_GE(costs2.last_imbalance, 1.0);
 }
 
 TEST(WalkTree, CostVectorIsRecordedReseededAndRetained) {

@@ -83,6 +83,30 @@ for mode in 1 0; do
 done
 echo "fuzz stage passed"
 
+echo "== shard stage: K-shard bit-identity + LET traffic (both scheduler modes) =="
+# The sharded pipeline's oracle, three ways under each ambient scheduler:
+# ctest -L shard runs the partition/LET invariants and the K in {1,2,4}
+# bit-identity suite (>= 8 steps, rebuilds included); bench_shard re-runs
+# the oracle on the M31 workload and must emit a golden-schema
+# BENCH_shard.json reporting busy-time imbalance and LET traffic; the
+# sharded fuzz legs drive seeded per-shard-device schedules plus launch
+# faults injected into one shard (one shard's failure must not poison the
+# other shards' devices).
+for mode in 1 0; do
+  echo "-- GOTHIC_ASYNC=$mode --"
+  (cd build && GOTHIC_ASYNC=$mode ctest --output-on-failure -L shard -j)
+  (cd build &&
+    GOTHIC_ASYNC=$mode GOTHIC_THREADS=4 GOTHIC_BENCH_N=4096 \
+      GOTHIC_BENCH_STEPS=8 ./bench/bench_shard >/dev/null &&
+    python3 -m json.tool BENCH_shard.json >/dev/null &&
+    GOTHIC_BENCH_VALIDATE_JSON=BENCH_shard.json ./tests/test_bench_support \
+      --gtest_filter='ExternalReport.*' >/dev/null &&
+    mv BENCH_shard.json "../bench-results/BENCH_shard.async$mode.json")
+  GOTHIC_ASYNC=$mode ./build/tools/gothic_fuzz --schedules=0 --faults=0 \
+    --shards=16 --shard-faults=6
+done
+echo "shard stage passed"
+
 if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi

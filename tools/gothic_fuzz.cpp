@@ -11,6 +11,14 @@
 //   --faults=N      N randomized fault plans (launch-body exceptions, lane
 //                   stalls) through a cross-stream DAG, asserting the error
 //                   contract: one first-wins error, device reusable after.
+//   --shards=N      N seeded sharded runs (K in {1,2,4}, async mode and
+//                   walk schedule from the seed, one schedule controller
+//                   per shard device), each compared bit-for-bit against
+//                   the unsharded synchronous reference.
+//   --shard-faults=N  N launch-body throws injected into one shard of a
+//                   sharded step (devices follow GOTHIC_ASYNC), asserting
+//                   the isolation contract: the fault surfaces from step()
+//                   and every shard device stays reusable.
 //
 //   --replay=SEED   re-run one seeded schedule (accepts 0x... hex) and
 //                   print its interleaving — the repro entry point.
@@ -50,6 +58,9 @@ int run(const gothic::Args& args) {
       static_cast<std::size_t>(args.get_int("enumerate", 0));
   const auto faults = static_cast<std::size_t>(
       args.get_int("faults", args.has("replay") ? 0 : 8));
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  const auto shard_faults =
+      static_cast<std::size_t>(args.get_int("shard-faults", 0));
   const bool replay = args.has("replay");
   const std::uint64_t replay_seed_value =
       replay ? std::stoull(args.get("replay", "0"), nullptr, 0) : 0;
@@ -108,6 +119,26 @@ int run(const gothic::Args& args) {
                 "%zu failures\n",
                 rep.plans, rep.with_throws, rep.with_stalls,
                 rep.failures.size());
+    print_failures(rep.failures);
+    ok = ok && rep.ok();
+  }
+
+  if (shards > 0) {
+    const auto rep =
+        gothic::testkit::sweep_shard_seeds(cfg, base_seed, shards);
+    std::printf("shards: %zu seeded sharded runs from %s, %zu distinct "
+                "interleavings, %zu decision points, %zu failures\n",
+                rep.runs, hex_seed(base_seed).c_str(), rep.signatures.size(),
+                rep.decision_points_total, rep.failures.size());
+    print_failures(rep.failures);
+    ok = ok && rep.ok();
+  }
+
+  if (shard_faults > 0) {
+    const auto rep =
+        gothic::testkit::sweep_shard_faults(cfg, base_seed, shard_faults);
+    std::printf("shard-faults: %zu plans (%zu fired), %zu failures\n",
+                rep.plans, rep.with_throws, rep.failures.size());
     print_failures(rep.failures);
     ok = ok && rep.ok();
   }

@@ -30,8 +30,13 @@
 //                                 launch DAG (default: $GOTHIC_TRACE)
 //   --metrics                     print per-kernel latency histograms
 //                                 (p50/p95/max) and arena gauges at exit
+//   --shards=<int>                run the sharded pipeline over K per-shard
+//                                 devices (default: $GOTHIC_SHARDS, else 1
+//                                 = the single-device Simulation; results
+//                                 are bit-identical for every K)
 #include "galaxy/m31.hpp"
 #include "galaxy/spherical_sampler.hpp"
+#include "nbody/sharded_simulation.hpp"
 #include "nbody/simulation.hpp"
 #include "nbody/snapshot.hpp"
 #include "runtime/device.hpp"
@@ -43,6 +48,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <stdexcept>
 
@@ -114,86 +120,111 @@ std::string snapshot_name(const std::string& prefix, int step) {
   return prefix + buf;
 }
 
+/// The drive loop, shared by the single-device Simulation and the sharded
+/// pipeline (identical interfaces, bit-identical results). `trace_dev` is
+/// the device whose arena gauges the metrics footer samples.
+template <typename Sim>
+int drive(Sim& sim, runtime::Device& trace_dev, const Args& args) {
+  const int steps = static_cast<int>(args.get_int("steps", 64));
+  const int snap_every = static_cast<int>(args.get_int("snapshot-every", 0));
+  const std::string prefix = args.get("out", "gothic_");
+  const std::string csv = args.get("csv", "");
+  const std::string trace_path =
+      args.get("trace", trace::Session::env_trace_path());
+  const bool metrics = args.get_flag("metrics");
+  for (const std::string& key : args.unused()) {
+    std::cerr << "warning: unused option --" << key << "\n";
+  }
+
+  // Observability is opt-in: with neither --trace nor --metrics the
+  // simulation runs with a null listener (no per-launch overhead).
+  std::unique_ptr<trace::Session> session;
+  if (metrics || !trace_path.empty()) {
+    session = std::make_unique<trace::Session>(trace_path);
+    sim.set_instrumentation_listener(session.get());
+  }
+
+  sim.refresh_forces();
+  const nbody::Energies e0 = sim.energies();
+  std::cout << "N = " << sim.particles().size() << ", E0 = " << e0.total()
+            << ", virial -2K/W = " << e0.virial_ratio() << "\n";
+
+  for (int s = 1; s <= steps; ++s) {
+    const nbody::StepReport r = sim.step();
+    if (snap_every > 0 && s % snap_every == 0) {
+      const std::string path = snapshot_name(prefix, sim.step_count());
+      nbody::write_snapshot(path, sim.particles(), sim.time());
+      std::cout << "step " << sim.step_count() << ": t = " << sim.time()
+                << ", active = " << r.n_active << ", wrote " << path
+                << "\n";
+    }
+  }
+
+  sim.refresh_forces();
+  const nbody::Energies e1 = sim.energies();
+  std::cout << "advanced " << steps << " steps to t = " << sim.time()
+            << "; |dE/E| = "
+            << std::fabs((e1.total() - e0.total()) /
+                         std::max(std::fabs(e0.total()), 1e-30))
+            << "; rebuilds = " << sim.rebuild_count() << "\n";
+
+  Table t("wall-clock per kernel", {"kernel", "seconds", "calls"});
+  for (const Kernel k :
+       {Kernel::WalkTree, Kernel::CalcNode, Kernel::MakeTree,
+        Kernel::PredictCorrect}) {
+    t.add_row({std::string(kernel_name(k)),
+               Table::sci(sim.timers().seconds(k)),
+               Table::num(static_cast<long long>(sim.timers().calls(k)))});
+  }
+  t.print(std::cout);
+
+  if (!csv.empty()) {
+    nbody::write_csv(csv, sim.particles());
+    std::cout << "final state written to " << csv << "\n";
+  }
+  if (session) {
+    sim.set_instrumentation_listener(nullptr);
+    const bool ok = session->finish(trace_dev);
+    if (metrics) session->metrics().print(std::cout);
+    if (session->tracing()) {
+      if (ok) {
+        std::cout << "perfetto trace written to " << session->trace_path()
+                  << " (load at ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "warning: could not write trace to "
+                  << session->trace_path() << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
+int shard_count(const Args& args) {
+  long long k = 1;
+  if (const char* env = std::getenv("GOTHIC_SHARDS")) {
+    k = std::atoll(env);
+  }
+  k = args.get_int("shards", k);
+  if (k < 1) throw std::invalid_argument("--shards must be >= 1");
+  return static_cast<int>(k);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
-    const int steps = static_cast<int>(args.get_int("steps", 64));
-    const int snap_every =
-        static_cast<int>(args.get_int("snapshot-every", 0));
-    const std::string prefix = args.get("out", "gothic_");
-    const std::string csv = args.get("csv", "");
-    const std::string trace_path =
-        args.get("trace", trace::Session::env_trace_path());
-    const bool metrics = args.get_flag("metrics");
-
+    const int shards = shard_count(args);
+    if (shards > 1) {
+      nbody::ShardOptions opt;
+      opt.shards = shards;
+      nbody::ShardedSimulation sim(make_initial(args), make_config(args),
+                                   opt);
+      std::cout << "sharded pipeline: " << shards << " shards\n";
+      return drive(sim, sim.shard_device(0), args);
+    }
     nbody::Simulation sim(make_initial(args), make_config(args));
-    for (const std::string& key : args.unused()) {
-      std::cerr << "warning: unused option --" << key << "\n";
-    }
-
-    // Observability is opt-in: with neither --trace nor --metrics the
-    // simulation runs with a null listener (no per-launch overhead).
-    std::unique_ptr<trace::Session> session;
-    if (metrics || !trace_path.empty()) {
-      session = std::make_unique<trace::Session>(trace_path);
-      sim.set_instrumentation_listener(session.get());
-    }
-
-    sim.refresh_forces();
-    const nbody::Energies e0 = sim.energies();
-    std::cout << "N = " << sim.particles().size() << ", E0 = " << e0.total()
-              << ", virial -2K/W = " << e0.virial_ratio() << "\n";
-
-    for (int s = 1; s <= steps; ++s) {
-      const nbody::StepReport r = sim.step();
-      if (snap_every > 0 && s % snap_every == 0) {
-        const std::string path = snapshot_name(prefix, sim.step_count());
-        nbody::write_snapshot(path, sim.particles(), sim.time());
-        std::cout << "step " << sim.step_count() << ": t = " << sim.time()
-                  << ", active = " << r.n_active << ", wrote " << path
-                  << "\n";
-      }
-    }
-
-    sim.refresh_forces();
-    const nbody::Energies e1 = sim.energies();
-    std::cout << "advanced " << steps << " steps to t = " << sim.time()
-              << "; |dE/E| = "
-              << std::fabs((e1.total() - e0.total()) /
-                           std::max(std::fabs(e0.total()), 1e-30))
-              << "; rebuilds = " << sim.rebuild_count() << "\n";
-
-    Table t("wall-clock per kernel", {"kernel", "seconds", "calls"});
-    for (const Kernel k :
-         {Kernel::WalkTree, Kernel::CalcNode, Kernel::MakeTree,
-          Kernel::PredictCorrect}) {
-      t.add_row({std::string(kernel_name(k)),
-                 Table::sci(sim.timers().seconds(k)),
-                 Table::num(static_cast<long long>(sim.timers().calls(k)))});
-    }
-    t.print(std::cout);
-
-    if (!csv.empty()) {
-      nbody::write_csv(csv, sim.particles());
-      std::cout << "final state written to " << csv << "\n";
-    }
-    if (session) {
-      sim.set_instrumentation_listener(nullptr);
-      const bool ok = session->finish(runtime::Device::current());
-      if (metrics) session->metrics().print(std::cout);
-      if (session->tracing()) {
-        if (ok) {
-          std::cout << "perfetto trace written to " << session->trace_path()
-                    << " (load at ui.perfetto.dev)\n";
-        } else {
-          std::cerr << "warning: could not write trace to "
-                    << session->trace_path() << "\n";
-        }
-      }
-    }
-    return 0;
+    return drive(sim, runtime::Device::current(), args);
   } catch (const std::exception& e) {
     std::cerr << "gothic_run: " << e.what() << "\n";
     return 1;
