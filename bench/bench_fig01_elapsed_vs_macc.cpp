@@ -44,6 +44,22 @@ int main() {
   rep.add_table(t);
   rep.add_note("expected shape: later GPUs always faster; V100 c60 always "
                "below c70; time rises steeply as dacc shrinks.");
+
+  // Host substrate check: the predictions above come from op counts that
+  // are identical under GOTHIC_SIMD=0/1; record the measured host walk
+  // speedup the AVX2 lanes deliver alongside them.
+  const SimdWalkSpeedup sp = measure_simd_walk_speedup(init, scale.steps);
+  Table st("walkTree substrate speedup (measured host seconds)",
+           {"substrate", "walk seconds", "speedup", "ops identical",
+            "forces identical"});
+  st.add_row({"scalar", Table::sci(sp.scalar_seconds), "1.00", "-", "-"});
+  st.add_row({"avx2", Table::sci(sp.simd_seconds),
+              sp.simd_available ? Table::fix(sp.speedup(), 2) : "n/a",
+              sp.ops_identical ? "yes" : "NO",
+              sp.forces_identical ? "yes" : "NO"});
+  st.print(std::cout);
+  rep.add_table(st);
+
   rep.write(std::cout);
   return 0;
 }

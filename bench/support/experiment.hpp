@@ -29,6 +29,7 @@ struct BenchScale {
   int dacc_min_exp;     ///< sweep reaches 2^-dacc_min_exp
   int threads;          ///< runtime::Device workers (GOTHIC_THREADS override)
   bool async;           ///< stream-scheduling default (GOTHIC_ASYNC)
+  bool simd;            ///< AVX2 lane substrate in effect (GOTHIC_SIMD)
   static BenchScale from_env();
 };
 
@@ -91,6 +92,27 @@ struct GpuStepTime {
 GpuStepTime predict_step_time(const StepProfile& p,
                               const perfmodel::GpuSpec& gpu,
                               bool volta_mode);
+
+/// Measured host-side walkTree comparison of the two warp substrates:
+/// the same workload walked with GOTHIC_SIMD off then on, forces and op
+/// tallies cross-checked bit-for-bit (DESIGN.md "SIMD substrate"). This
+/// is a *host* measurement — the perf-model predictions elsewhere in the
+/// benches are substrate-independent by construction (identical counts).
+struct SimdWalkSpeedup {
+  bool simd_available = false;    ///< AVX2 compiled in and supported
+  double scalar_seconds = 0.0;    ///< walk seconds, scalar substrate
+  double simd_seconds = 0.0;      ///< walk seconds, AVX2 substrate
+  bool ops_identical = false;     ///< OpCounts equal between the paths
+  bool forces_identical = false;  ///< accelerations bit-equal
+  [[nodiscard]] double speedup() const {
+    return simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 0.0;
+  }
+};
+
+/// Walk the workload `steps` times under each substrate (opening-angle
+/// MAC, fiducial softening) and return the timed comparison.
+SimdWalkSpeedup measure_simd_walk_speedup(const nbody::Particles& init,
+                                          int steps);
 
 /// The dacc sweep grid of Figs 1-2 and 4-10: 2^-1 .. 2^-dacc_min_exp.
 std::vector<double> dacc_sweep(int min_exp, int stride = 1);

@@ -19,6 +19,18 @@ using simt::Warp;
 /// slack (1e-5 relative + 1e-6 of the root edge absolute) dominating the
 /// walk's float rounding of the centre distance, and is biased one ulp
 /// down across the double→float cast.
+///
+/// Slack audit vs. the rounded-up decomposition radius: the walk's MAC
+/// never sees group_bounding_radius — that radius only decides *which*
+/// groups walk_groups emits, and exporter and destination derive the
+/// identical decomposition from the identical tree. The rgrp this bound
+/// subtracts is dst.rgrp_max from let_bounds' float pipeline below, an
+/// exact replica of the walk's, so rounding the decomposition radius up
+/// (one ulp, walk_tree.cpp) changes neither side of the inequality and
+/// the slack margin is untouched. The SIMD substrate is equally
+/// invisible: the butterfly reductions are bit-identical on both paths,
+/// so bounds exported under one GOTHIC_SIMD setting stay sufficient for
+/// a walk under the other (asserted by the poisoned-view boundary test).
 bool conservative_accept(const octree::Octree& tree, const MacParams& mac,
                          real g, const LetBounds& dst, index_t node) {
   const auto cx = static_cast<double>(tree.com_x[node]);

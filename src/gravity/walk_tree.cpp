@@ -3,14 +3,17 @@
 #include "gravity/cost_model.hpp"
 #include "runtime/device.hpp"
 #include "simt/scan.hpp"
+#include "simt/simd.hpp"
 #include "util/timer.hpp"
 
 #include <algorithm>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <new>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace gothic::gravity {
@@ -62,6 +65,27 @@ struct InteractionList {
     ++size;
   }
 
+  /// Bulk body append for the spill path: contiguous copies of `nb`
+  /// bodies (and zero quadrupoles), byte-identical to `nb` push() calls.
+  void append_bodies(const real* px, const real* py, const real* pz,
+                     const real* pm, index_t nb) {
+    const auto s = static_cast<std::size_t>(size);
+    const std::size_t bytes = nb * sizeof(real);
+    std::memcpy(sx.data() + s, px, bytes);
+    std::memcpy(sy.data() + s, py, bytes);
+    std::memcpy(sz.data() + s, pz, bytes);
+    std::memcpy(sm.data() + s, pm, bytes);
+    if (has_quad) {
+      std::memset(qxx.data() + s, 0, bytes);
+      std::memset(qxy.data() + s, 0, bytes);
+      std::memset(qxz.data() + s, 0, bytes);
+      std::memset(qyy.data() + s, 0, bytes);
+      std::memset(qyz.data() + s, 0, bytes);
+      std::memset(qzz.data() + s, 0, bytes);
+    }
+    size += static_cast<int>(nb);
+  }
+
   void push_quad(real px, real py, real pz, real pm, real xx, real xy,
                  real xz, real yy, real yz, real zz) {
     sx[size] = px;
@@ -93,28 +117,6 @@ struct GroupTask {
   std::span<real> ax, ay, az, pot;
 };
 
-/// Bounding radius of a body run about its centroid; also returns the
-/// centroid through (cx, cy, cz).
-float run_radius(std::span<const real> x, std::span<const real> y,
-                 std::span<const real> z, index_t first, index_t count,
-                 double& cx, double& cy, double& cz) {
-  cx = cy = cz = 0;
-  for (index_t i = first; i < first + count; ++i) {
-    cx += x[i];
-    cy += y[i];
-    cz += z[i];
-  }
-  cx /= count;
-  cy /= count;
-  cz /= count;
-  double r2 = 0;
-  for (index_t i = first; i < first + count; ++i) {
-    const double dx = x[i] - cx, dy = y[i] - cy, dz = z[i] - cz;
-    r2 = std::max(r2, dx * dx + dy * dy + dz * dz);
-  }
-  return static_cast<float>(std::sqrt(r2));
-}
-
 /// Compactness rule: a group's sphere must stay small relative to its
 /// distance from the mass concentration (here the global centroid), with
 /// an absolute floor. A sphere overlapping the dense bulk forces every
@@ -139,7 +141,8 @@ void emit_compact(std::span<const real> x, std::span<const real> y,
                   std::span<const real> z, GroupSpan run,
                   const CompactRule& rule, std::vector<GroupSpan>& out) {
   double cx, cy, cz;
-  const float rgrp = run_radius(x, y, z, run.first, run.count, cx, cy, cz);
+  const float rgrp =
+      group_bounding_radius(x, y, z, run.first, run.count, cx, cy, cz);
   if (run.count <= 1 || rule.ok(rgrp, cx, cy, cz)) {
     out.push_back(run);
     return;
@@ -151,6 +154,34 @@ void emit_compact(std::span<const real> x, std::span<const real> y,
 }
 
 } // namespace
+
+float group_bounding_radius(std::span<const real> x, std::span<const real> y,
+                            std::span<const real> z, index_t first,
+                            index_t count, double& cx, double& cy,
+                            double& cz) {
+  cx = cy = cz = 0;
+  for (index_t i = first; i < first + count; ++i) {
+    cx += x[i];
+    cy += y[i];
+    cz += z[i];
+  }
+  cx /= count;
+  cy /= count;
+  cz /= count;
+  double r2 = 0;
+  for (index_t i = first; i < first + count; ++i) {
+    const double dx = x[i] - cx, dy = y[i] - cy, dz = z[i] - cz;
+    r2 = std::max(r2, dx * dx + dy * dy + dz * dz);
+  }
+  const double rd = std::sqrt(r2);
+  float r = static_cast<float>(rd);
+  // Round-to-nearest can round the double radius DOWN to float; round up
+  // so the float sphere is conservative (see the header contract).
+  if (static_cast<double>(r) < rd) {
+    r = std::nextafterf(r, std::numeric_limits<float>::infinity());
+  }
+  return r;
+}
 
 /// GOTHIC derives the 32-body warp groups from the tree structure so a
 /// group never straddles spatially distant cells. We take each leaf as a
@@ -255,6 +286,190 @@ std::vector<GroupSpan> walk_groups(const Octree& tree,
 
 namespace {
 
+// The pairwise kernel accumulates in float on both paths; the SIMD lane
+// registers are __m256 (8 floats), so `real` widening would silently fork
+// the two paths' numerics.
+static_assert(std::is_same_v<real, float>,
+              "flush_list lane kernels assume real == float");
+
+#if GOTHIC_SIMD_AVX2
+/// AVX2 lane kernel of flush_list: eight group bodies per register, one
+/// broadcast source per inner iteration — the SoA lane mapping of
+/// DESIGN.md "SIMD substrate". Executes *exactly* the scalar per-pair
+/// operation sequence below (explicit mul/add, IEEE div+sqrt for rinv,
+/// -ffp-contract=off build), so each lane's accumulator is bit-identical
+/// to the scalar loop's. The remainder block (gn not a multiple of 8) runs
+/// masked — loads and stores touch only the live lanes, dead lanes compute
+/// on zeros and are discarded — so every lane is covered and the caller's
+/// scalar loop never runs when this kernel does. Returns gn.
+int flush_list_avx2(const GroupTask& t, const InteractionList& list, int gn,
+                    std::size_t g0, LaneArray<float>& acc_x,
+                    LaneArray<float>& acc_y, LaneArray<float>& acc_z,
+                    LaneArray<float>& acc_p) {
+  namespace v = simt::simd;
+  const float eps2 = t.cfg->eps * t.cfg->eps;
+  const int ls = list.size;
+  const bool quad = t.cfg->use_quadrupole;
+  const v::f32x8 eps2v = v::broadcast(eps2);
+  const v::f32x8 one = v::broadcast(1.0f);
+  const auto kernel = [&](v::f32x8 xi, v::f32x8 yi, v::f32x8 zi,
+                          v::f32x8& sx, v::f32x8& sy, v::f32x8& sz,
+                          v::f32x8& sp) {
+    for (int j = 0; j < ls; ++j) {
+      const v::f32x8 dx = v::sub(v::broadcast(list.sx[j]), xi);
+      const v::f32x8 dy = v::sub(v::broadcast(list.sy[j]), yi);
+      const v::f32x8 dz = v::sub(v::broadcast(list.sz[j]), zi);
+      const v::f32x8 r2 = v::add(
+          v::add(v::add(eps2v, v::mul(dx, dx)), v::mul(dy, dy)),
+          v::mul(dz, dz));
+      const v::f32x8 rinv = _mm256_div_ps(one, _mm256_sqrt_ps(r2));
+      const v::f32x8 rinv2 = v::mul(rinv, rinv);
+      const v::f32x8 mr = v::mul(v::broadcast(list.sm[j]), rinv);
+      const v::f32x8 s = v::mul(mr, rinv2);
+      sx = v::add(sx, v::mul(s, dx));
+      sy = v::add(sy, v::mul(s, dy));
+      sz = v::add(sz, v::mul(s, dz));
+      sp = v::sub(sp, mr);
+      if (quad) {
+        const v::f32x8 qvx =
+            v::add(v::add(v::mul(v::broadcast(list.qxx[j]), dx),
+                          v::mul(v::broadcast(list.qxy[j]), dy)),
+                   v::mul(v::broadcast(list.qxz[j]), dz));
+        const v::f32x8 qvy =
+            v::add(v::add(v::mul(v::broadcast(list.qxy[j]), dx),
+                          v::mul(v::broadcast(list.qyy[j]), dy)),
+                   v::mul(v::broadcast(list.qyz[j]), dz));
+        const v::f32x8 qvz =
+            v::add(v::add(v::mul(v::broadcast(list.qxz[j]), dx),
+                          v::mul(v::broadcast(list.qyz[j]), dy)),
+                   v::mul(v::broadcast(list.qzz[j]), dz));
+        const v::f32x8 dq = v::add(
+            v::add(v::mul(dx, qvx), v::mul(dy, qvy)), v::mul(dz, qvz));
+        const v::f32x8 rinv5 = v::mul(v::mul(rinv2, rinv2), rinv);
+        const v::f32x8 rinv7 = v::mul(rinv5, rinv2);
+        const v::f32x8 coef =
+            v::mul(v::mul(v::broadcast(2.5f), dq), rinv7);
+        sx = v::add(sx, v::sub(v::mul(coef, dx), v::mul(qvx, rinv5)));
+        sy = v::add(sy, v::sub(v::mul(coef, dy), v::mul(qvy, rinv5)));
+        sz = v::add(sz, v::sub(v::mul(coef, dz), v::mul(qvz, rinv5)));
+        sp = v::sub(sp, v::mul(v::mul(v::broadcast(0.5f), dq), rinv5));
+      }
+    }
+  };
+  const int full = gn & ~7;
+  for (int lane = 0; lane < full; lane += 8) {
+    const v::f32x8 xi = v::load8(t.x.data() + g0 + lane);
+    const v::f32x8 yi = v::load8(t.y.data() + g0 + lane);
+    const v::f32x8 zi = v::load8(t.z.data() + g0 + lane);
+    v::f32x8 sx = _mm256_setzero_ps();
+    v::f32x8 sy = _mm256_setzero_ps();
+    v::f32x8 sz = _mm256_setzero_ps();
+    v::f32x8 sp = _mm256_setzero_ps();
+    kernel(xi, yi, zi, sx, sy, sz, sp);
+    v::store8(acc_x.data() + lane, v::add(v::load8(acc_x.data() + lane), sx));
+    v::store8(acc_y.data() + lane, v::add(v::load8(acc_y.data() + lane), sy));
+    v::store8(acc_z.data() + lane, v::add(v::load8(acc_z.data() + lane), sz));
+    v::store8(acc_p.data() + lane, v::add(v::load8(acc_p.data() + lane), sp));
+  }
+  if (const int rn = gn - full; rn > 0) {
+    // Masked remainder: live lanes see exactly the scalar operation
+    // sequence; dead lanes load as zero, compute garbage and are never
+    // stored. acc_* are 32-wide LaneArrays and full <= 24 here, so the
+    // unmasked accumulator loads stay in bounds.
+    const v::i32x8 tm = v::tail_mask8(rn);
+    const v::f32x8 xi = _mm256_maskload_ps(t.x.data() + g0 + full, tm);
+    const v::f32x8 yi = _mm256_maskload_ps(t.y.data() + g0 + full, tm);
+    const v::f32x8 zi = _mm256_maskload_ps(t.z.data() + g0 + full, tm);
+    v::f32x8 sx = _mm256_setzero_ps();
+    v::f32x8 sy = _mm256_setzero_ps();
+    v::f32x8 sz = _mm256_setzero_ps();
+    v::f32x8 sp = _mm256_setzero_ps();
+    kernel(xi, yi, zi, sx, sy, sz, sp);
+    _mm256_maskstore_ps(acc_x.data() + full, tm,
+                        v::add(v::load8(acc_x.data() + full), sx));
+    _mm256_maskstore_ps(acc_y.data() + full, tm,
+                        v::add(v::load8(acc_y.data() + full), sy));
+    _mm256_maskstore_ps(acc_z.data() + full, tm,
+                        v::add(v::load8(acc_z.data() + full), sz));
+    _mm256_maskstore_ps(acc_p.data() + full, tm,
+                        v::add(v::load8(acc_p.data() + full), sp));
+  }
+  return gn;
+}
+/// AVX2 lane kernel of the per-batch MAC sweep: eight frontier nodes per
+/// iteration — centre-of-mass/mass/bmax gathered by node index, distance,
+/// deff and the acceptance inequality evaluated in lane registers with the
+/// exact operation sequence of the scalar loop (correctly-rounded sqrt,
+/// same mul association, ordered-quiet compares so NaN rejects exactly
+/// like the scalar `!(deff > bsize)`). The Gadget MAC derives bsize from
+/// the per-node depth instead of bmax and stays on the scalar loop.
+/// The remainder block runs with a masked index load (dead lanes read
+/// index 0, gather the root and are discarded), so all bn nodes are
+/// handled here and the caller's scalar loop never runs; all op tallies
+/// are charged by the caller in bulk per batch and are path-independent.
+/// Returns bn.
+int mac_eval_avx2(const Octree& tree, const WalkConfig& cfg, float ctr_x,
+                  float ctr_y, float ctr_z, float rgrp, float amin,
+                  const index_t* nodes, int bn, LaneArray<bool>& accepted,
+                  LaneArray<bool>& spill_leaf, LaneArray<int>& child_n) {
+  namespace v = simt::simd;
+  const v::f32x8 cxv = v::broadcast(ctr_x);
+  const v::f32x8 cyv = v::broadcast(ctr_y);
+  const v::f32x8 czv = v::broadcast(ctr_z);
+  const v::f32x8 rgv = v::broadcast(rgrp);
+  const v::f32x8 zero = _mm256_setzero_ps();
+  // Scalar pre-products mirror the scalar mac_accept's association:
+  // p.dacc * amin * d4 groups as (p.dacc * amin) * d4.
+  const v::f32x8 gv = v::broadcast(cfg.g);
+  const v::f32x8 dav = v::broadcast(cfg.mac.dacc * amin);
+  const v::f32x8 thv = v::broadcast(cfg.mac.theta);
+  for (int b = 0; b < bn; b += 8) {
+    const int n = std::min(8, bn - b);
+    const v::i32x8 idx =
+        (n == 8) ? _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(nodes + b))
+                 : _mm256_maskload_epi32(
+                       reinterpret_cast<const int*>(nodes + b),
+                       v::tail_mask8(n));
+    const v::f32x8 comx = _mm256_i32gather_ps(tree.com_x.data(), idx, 4);
+    const v::f32x8 comy = _mm256_i32gather_ps(tree.com_y.data(), idx, 4);
+    const v::f32x8 comz = _mm256_i32gather_ps(tree.com_z.data(), idx, 4);
+    const v::f32x8 bsize = _mm256_i32gather_ps(tree.bmax.data(), idx, 4);
+    const v::f32x8 dx = v::sub(comx, cxv);
+    const v::f32x8 dy = v::sub(comy, cyv);
+    const v::f32x8 dz = v::sub(comz, czv);
+    const v::f32x8 d = _mm256_sqrt_ps(
+        v::add(v::add(v::mul(dx, dx), v::mul(dy, dy)), v::mul(dz, dz)));
+    // max(first=0, second=d-rgrp) keeps the second operand on NaN and on
+    // +-0 ties — exactly std::max(d - rgrp, 0.0f).
+    const v::f32x8 deff = _mm256_max_ps(zero, v::sub(d, rgv));
+    const v::f32x8 conv = _mm256_cmp_ps(deff, bsize, _CMP_GT_OQ);
+    v::f32x8 okv;
+    if (cfg.mac.type == MacType::OpeningAngle) {
+      okv = _mm256_and_ps(
+          conv, _mm256_cmp_ps(bsize, v::mul(thv, deff), _CMP_LT_OQ));
+    } else { // Acceleration (Gadget never reaches this kernel)
+      const v::f32x8 mass = _mm256_i32gather_ps(tree.mass.data(), idx, 4);
+      const v::f32x8 d2 = v::mul(deff, deff);
+      const v::f32x8 d4 = v::mul(d2, d2);
+      const v::f32x8 lhs = v::mul(v::mul(v::mul(gv, mass), bsize), bsize);
+      okv = _mm256_and_ps(conv,
+                          _mm256_cmp_ps(lhs, v::mul(dav, d4), _CMP_LE_OQ));
+    }
+    const int okbits = _mm256_movemask_ps(okv);
+    for (int k = 0; k < n; ++k) {
+      const bool ok = ((okbits >> k) & 1) != 0;
+      const index_t node = nodes[b + k];
+      const bool leaf = tree.is_leaf(node);
+      accepted[b + k] = ok;
+      spill_leaf[b + k] = !ok && leaf;
+      child_n[b + k] = (!ok && !leaf) ? tree.child_count[node] : 0;
+    }
+  }
+  return bn;
+}
+#endif // GOTHIC_SIMD_AVX2
+
 /// Flush: gravity of all listed sources on the group's bodies.
 void flush_list(const GroupTask& t, InteractionList& list, int gn,
                 std::size_t g0, LaneArray<float>& acc_x,
@@ -262,43 +477,52 @@ void flush_list(const GroupTask& t, InteractionList& list, int gn,
                 LaneArray<float>& acc_p, simt::OpCounts& counts,
                 WalkStats& stats) {
   if (list.size == 0) return;
-  const real eps2 = t.cfg->eps * t.cfg->eps;
+  // Accumulators and lane stores are float end to end (explicitly, not via
+  // `real`): eps2, the per-pair temporaries and the acc_* updates below
+  // narrow nowhere, so the scalar and SIMD paths cannot diverge on a store.
+  const float eps2 = t.cfg->eps * t.cfg->eps;
   const int ls = list.size;
   const bool quad = t.cfg->use_quadrupole;
-  for (int lane = 0; lane < gn; ++lane) {
-    const real xi = t.x[g0 + lane];
-    const real yi = t.y[g0 + lane];
-    const real zi = t.z[g0 + lane];
-    real sx = 0, sy = 0, sz = 0, sp = 0;
+  int lane0 = 0;
+#if GOTHIC_SIMD_AVX2
+  if (simt::simd_enabled()) {
+    lane0 = flush_list_avx2(t, list, gn, g0, acc_x, acc_y, acc_z, acc_p);
+  }
+#endif
+  for (int lane = lane0; lane < gn; ++lane) {
+    const float xi = t.x[g0 + lane];
+    const float yi = t.y[g0 + lane];
+    const float zi = t.z[g0 + lane];
+    float sx = 0, sy = 0, sz = 0, sp = 0;
     for (int j = 0; j < ls; ++j) {
-      const real dx = list.sx[j] - xi;
-      const real dy = list.sy[j] - yi;
-      const real dz = list.sz[j] - zi;
-      const real r2 = eps2 + dx * dx + dy * dy + dz * dz;
-      const real rinv = real(1) / std::sqrt(r2);
-      const real rinv2 = rinv * rinv;
-      const real mr = list.sm[j] * rinv;
-      const real s = mr * rinv2;
+      const float dx = list.sx[j] - xi;
+      const float dy = list.sy[j] - yi;
+      const float dz = list.sz[j] - zi;
+      const float r2 = eps2 + dx * dx + dy * dy + dz * dz;
+      const float rinv = 1.0f / std::sqrt(r2);
+      const float rinv2 = rinv * rinv;
+      const float mr = list.sm[j] * rinv;
+      const float s = mr * rinv2;
       sx += s * dx;
       sy += s * dy;
       sz += s * dz;
       sp -= mr;
       if (quad) {
         // a += 2.5 (d.Qd) d / d^7 - Qd / d^5;  pot -= (d.Qd) / (2 d^5).
-        const real qvx =
+        const float qvx =
             list.qxx[j] * dx + list.qxy[j] * dy + list.qxz[j] * dz;
-        const real qvy =
+        const float qvy =
             list.qxy[j] * dx + list.qyy[j] * dy + list.qyz[j] * dz;
-        const real qvz =
+        const float qvz =
             list.qxz[j] * dx + list.qyz[j] * dy + list.qzz[j] * dz;
-        const real dq = dx * qvx + dy * qvy + dz * qvz;
-        const real rinv5 = rinv2 * rinv2 * rinv;
-        const real rinv7 = rinv5 * rinv2;
-        const real coef = real(2.5) * dq * rinv7;
+        const float dq = dx * qvx + dy * qvy + dz * qvz;
+        const float rinv5 = rinv2 * rinv2 * rinv;
+        const float rinv7 = rinv5 * rinv2;
+        const float coef = 2.5f * dq * rinv7;
         sx += coef * dx - qvx * rinv5;
         sy += coef * dy - qvy * rinv5;
         sz += coef * dz - qvz * rinv5;
-        sp -= real(0.5) * dq * rinv5;
+        sp -= 0.5f * dq * rinv5;
       }
     }
     acc_x[lane] += sx;
@@ -386,7 +610,15 @@ void walk_group(const GroupTask& t, std::size_t g0, int gn, Workspace& ws,
       LaneArray<bool> accepted{};
       LaneArray<bool> spill_leaf{};
       LaneArray<int> child_n{};
-      for (int lane = 0; lane < bn; ++lane) {
+      int mac_lane0 = 0;
+#if GOTHIC_SIMD_AVX2
+      if (simt::simd_enabled() && cfg.mac.type != MacType::Gadget) {
+        mac_lane0 =
+            mac_eval_avx2(tree, cfg, ctr_x, ctr_y, ctr_z, rgrp, amin,
+                          &ws.cur[batch], bn, accepted, spill_leaf, child_n);
+      }
+#endif
+      for (int lane = mac_lane0; lane < bn; ++lane) {
         const index_t node = ws.cur[batch + lane];
         const float dx = tree.com_x[node] - ctr_x;
         const float dy = tree.com_y[node] - ctr_y;
@@ -463,8 +695,17 @@ void walk_group(const GroupTask& t, std::size_t g0, int gn, Workspace& ws,
             }
             const index_t take = std::min<index_t>(
                 remain, static_cast<index_t>(list.cap - list.size));
-            for (index_t k = 0; k < take; ++k) {
-              list.push(t.x[b + k], t.y[b + k], t.z[b + k], t.m[b + k]);
+#if GOTHIC_SIMD_AVX2
+            if (simt::simd_enabled()) {
+              // Byte-identical bulk copy (zero quadrupoles included).
+              list.append_bodies(t.x.data() + b, t.y.data() + b,
+                                 t.z.data() + b, t.m.data() + b, take);
+            } else
+#endif
+            {
+              for (index_t k = 0; k < take; ++k) {
+                list.push(t.x[b + k], t.y[b + k], t.z[b + k], t.m[b + k]);
+              }
             }
             counts.bytes_load += static_cast<std::uint64_t>(
                 static_cast<double>(take) * cost::kListEntryBytes *

@@ -177,6 +177,20 @@ struct GroupSpan {
     std::span<const real> y, std::span<const real> z,
     real max_radius_fraction = real(1.0 / 128.0));
 
+/// Bounding radius of the body run [first, first+count) about its double-
+/// precision centroid (returned through cx/cy/cz) — the sphere the
+/// compactness rule of walk_groups certifies. The radius is computed in
+/// double and rounded **up** to float (`std::nextafterf` toward +inf when
+/// the cast rounded down), so the float sphere always covers every body of
+/// the run: a round-to-nearest cast can shrink the radius by half an ulp,
+/// letting the compactness rule certify a group slightly wider than its
+/// bound and the MAC then judge cells against an undersized sphere.
+[[nodiscard]] float group_bounding_radius(std::span<const real> x,
+                                          std::span<const real> y,
+                                          std::span<const real> z,
+                                          index_t first, index_t count,
+                                          double& cx, double& cy, double& cz);
+
 /// `group_active`, when non-empty, holds one flag per walk group; the
 /// walk skips inactive groups entirely (their outputs are untouched).
 /// This is how the block time step (§1) reduces per-step gravity work:

@@ -4,6 +4,9 @@
 // Tsub-wide sub-warp accumulates one node's children (or, for leaves, its
 // bodies) and reduces with shfl_xor butterflies — the reductions the paper
 // identifies as calcNode's Volta-mode syncwarp cost (~23% in Fig 5).
+// The float butterflies (simt::reduce_add/min/max) execute on the AVX2
+// lane registers when GOTHIC_SIMD is enabled (simt/simd.hpp) —
+// bit-identical to the scalar crossbar, same op tallies.
 // The node size bmax bounds the distance from the centre of mass to any
 // body in the node, the b_J of the acceleration MAC (Eq. 2).
 #pragma once

@@ -5,6 +5,7 @@
 // (§4.1), so each shuffle stage is executed and counted through Warp.
 #pragma once
 
+#include "simt/simd.hpp"
 #include "simt/warp.hpp"
 
 #include <type_traits>
@@ -31,6 +32,24 @@ inline void count_cmp(Warp& w, lane_mask exec) {
   count_adds<T>(w, exec);
 }
 
+#if GOTHIC_SIMD_AVX2
+/// AVX2 fast path for the float butterfly reductions: same shuffle stages,
+/// same counts (shuffles charged via Warp::shfl_counted, adds/compares via
+/// count_adds/count_cmp), data exchanged in vector registers instead of the
+/// emulated crossbar. Bit-identical to the scalar loops below. Returns
+/// false when SIMD is disabled at runtime.
+inline bool reduce_butterfly_simd(Warp& w, LaneArray<float>& v, int width,
+                                  lane_mask mask, simd::ButterflyOp op) {
+  if (!simd_enabled()) return false;
+  for (int delta = width >> 1; delta > 0; delta >>= 1) {
+    const lane_mask exec = w.shfl_counted(mask);
+    simd::butterfly_f32(v, delta, exec, op);
+    count_adds<float>(w, exec); // count_cmp is count_adds for min/max too
+  }
+  return true;
+}
+#endif
+
 } // namespace detail
 
 /// Inclusive prefix sum within each width-segment (Hillis-Steele over
@@ -38,6 +57,22 @@ inline void count_cmp(Warp& w, lane_mask exec) {
 template <typename T>
 void inclusive_scan_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
                         lane_mask mask = kFullMask) {
+#if GOTHIC_SIMD_AVX2
+  if constexpr (std::is_same_v<T, int>) {
+    if (simd_enabled()) {
+      // AVX2 fast path: same Hillis-Steele stages and counts (the shuffle
+      // charged via shfl_counted, the adds via count_adds), movement and
+      // add fused in vector registers. Integer adds are exact, so the
+      // result is bit-identical to the scalar loop below.
+      for (int delta = 1; delta < width; delta <<= 1) {
+        const lane_mask exec = w.shfl_counted(mask, "shfl_up");
+        simd::scan_up_add_i32(v, delta, width, exec);
+        detail::count_adds<T>(w, exec);
+      }
+      return;
+    }
+  }
+#endif
   for (int delta = 1; delta < width; delta <<= 1) {
     LaneArray<T> up = v;
     w.shfl_up(up, delta, width, mask);
@@ -59,6 +94,28 @@ void exclusive_scan_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
                         LaneArray<T>* total = nullptr) {
   LaneArray<T> inc = v;
   inclusive_scan_add(w, inc, width, mask);
+#if GOTHIC_SIMD_AVX2
+  if constexpr (std::is_same_v<T, int>) {
+    if (simd_enabled()) {
+      // Same collectives and counts as the scalar wrapper below; the
+      // segment-total broadcast and the inc - v subtraction run on the
+      // lane registers (exact integer ops, bit-identical).
+      if (total != nullptr) {
+        const lane_mask exec = w.shfl_counted(mask, "shfl");
+        LaneArray<T> t = inc;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+          if (!lane_active(exec, lane)) continue;
+          t[lane] = inc[(lane / width) * width + width - 1];
+        }
+        *total = t;
+      }
+      const lane_mask exec = w.active();
+      simd::masked_sub_from_i32(v, inc, exec);
+      detail::count_adds<T>(w, exec);
+      return;
+    }
+  }
+#endif
   const lane_mask exec = w.active();
   if (total != nullptr) {
     LaneArray<T> t = inc;
@@ -78,6 +135,14 @@ void exclusive_scan_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
 template <typename T>
 void reduce_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
                 lane_mask mask = kFullMask) {
+#if GOTHIC_SIMD_AVX2
+  if constexpr (std::is_same_v<T, float>) {
+    if (detail::reduce_butterfly_simd(w, v, width, mask,
+                                      simd::ButterflyOp::Add)) {
+      return;
+    }
+  }
+#endif
   for (int delta = width >> 1; delta > 0; delta >>= 1) {
     LaneArray<T> other = v;
     w.shfl_xor(other, delta, width, mask);
@@ -93,6 +158,14 @@ void reduce_add(Warp& w, LaneArray<T>& v, int width = kWarpSize,
 template <typename T>
 void reduce_min(Warp& w, LaneArray<T>& v, int width = kWarpSize,
                 lane_mask mask = kFullMask) {
+#if GOTHIC_SIMD_AVX2
+  if constexpr (std::is_same_v<T, float>) {
+    if (detail::reduce_butterfly_simd(w, v, width, mask,
+                                      simd::ButterflyOp::Min)) {
+      return;
+    }
+  }
+#endif
   for (int delta = width >> 1; delta > 0; delta >>= 1) {
     LaneArray<T> other = v;
     w.shfl_xor(other, delta, width, mask);
@@ -108,6 +181,14 @@ void reduce_min(Warp& w, LaneArray<T>& v, int width = kWarpSize,
 template <typename T>
 void reduce_max(Warp& w, LaneArray<T>& v, int width = kWarpSize,
                 lane_mask mask = kFullMask) {
+#if GOTHIC_SIMD_AVX2
+  if constexpr (std::is_same_v<T, float>) {
+    if (detail::reduce_butterfly_simd(w, v, width, mask,
+                                      simd::ButterflyOp::Max)) {
+      return;
+    }
+  }
+#endif
   for (int delta = width >> 1; delta > 0; delta >>= 1) {
     LaneArray<T> other = v;
     w.shfl_xor(other, delta, width, mask);

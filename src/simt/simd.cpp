@@ -1,0 +1,50 @@
+#include "simt/simd.hpp"
+
+#include "util/env.hpp"
+
+#include <atomic>
+
+namespace gothic::simt {
+namespace {
+
+bool cpu_has_avx2() {
+#if GOTHIC_SIMD_AVX2
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+// Tri-state override: -1 = follow GOTHIC_SIMD env, 0/1 = forced by
+// set_simd_enabled (tests, fuzz legs).
+std::atomic<int> g_override{-1};
+
+bool env_default() {
+  static const bool on = env_size("GOTHIC_SIMD", 1) != 0;
+  return on;
+}
+
+} // namespace
+
+bool simd_compiled() { return GOTHIC_SIMD_AVX2 != 0; }
+
+bool simd_available() {
+  static const bool ok = simd_compiled() && cpu_has_avx2();
+  return ok;
+}
+
+bool simd_enabled() {
+  if (!simd_available()) return false;
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  return env_default();
+}
+
+bool set_simd_enabled(bool on) {
+  const bool prev = simd_enabled();
+  g_override.store((on && simd_available()) ? 1 : 0,
+                   std::memory_order_relaxed);
+  return prev;
+}
+
+} // namespace gothic::simt

@@ -25,6 +25,7 @@
 
 #include "simt/lane_mask.hpp"
 #include "simt/op_counter.hpp"
+#include "simt/simd.hpp"
 #include "util/types.hpp"
 
 #include <array>
@@ -196,11 +197,32 @@ public:
                                  lane_mask mask = kFullMask) {
     const lane_mask exec = begin_collective(mask, "ballot");
     lane_mask out = 0;
-    for (int lane = 0; lane < kWarpSize; ++lane) {
-      if (lane_active(exec, lane) && pred[lane]) out |= lane_bit(lane);
+#if GOTHIC_SIMD_AVX2
+    if (simd_enabled()) {
+      // Pure integer work — identical to the lane loop by construction.
+      out = simd::ballot32(pred.data()) & exec;
+    } else
+#endif
+    {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if (lane_active(exec, lane) && pred[lane]) out |= lane_bit(lane);
+      }
     }
     end_collective(exec, /*is_ballot=*/true);
     return out;
+  }
+
+  /// Count-only shfl-family collective: performs the mask validation, the
+  /// implicit *_sync convergence barrier and the op tallies of one shuffle
+  /// stage — without moving any data — and returns the executing lanes.
+  /// The SIMD fast paths (simt/simd.hpp) move the data in vector registers
+  /// instead of through the emulated crossbar; charging the collective
+  /// through this hook keeps OpCounts bit-identical to the scalar path.
+  lane_mask shfl_counted(lane_mask mask = kFullMask,
+                         const char* what = "shfl_xor") {
+    const lane_mask exec = begin_collective(mask, what);
+    end_collective(exec, /*is_ballot=*/false);
+    return exec;
   }
 
   /// __any_sync / __all_sync.

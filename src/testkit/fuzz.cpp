@@ -2,6 +2,7 @@
 
 #include "nbody/sharded_simulation.hpp"
 #include "runtime/device.hpp"
+#include "simt/simd.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
@@ -76,9 +77,13 @@ RunOutcome replay_seed(const FuzzConfig& cfg, std::uint64_t seed,
                        const std::vector<real>& reference) {
   // The walk schedule is part of the replay token: deriving it from the
   // seed makes a failing seed reproduce the exact run with no extra state
-  // and spreads the seeded sweep across all four schedules.
+  // and spreads the seeded sweep across all four schedules. Bit 4 picks
+  // the SIMD substrate the same way, so every sweep cross-checks the AVX2
+  // and scalar paths against the one reference (the bit is a no-op on
+  // hosts without AVX2 — set_simd_enabled clamps to availability).
   FuzzConfig run_cfg = cfg;
   run_cfg.schedule = static_cast<gravity::WalkSchedule>(seed % 4);
+  simt::ScopedSimd simd(((seed >> 4) & 1) != 0);
   SeededSchedule ctrl(seed);
   const std::vector<real> state = run_controlled(run_cfg, true, &ctrl);
   RunOutcome out;
@@ -332,10 +337,12 @@ ShardRunOutcome run_sharded(const FuzzConfig& cfg, std::uint64_t seed,
                             const std::vector<real>& reference) {
   ShardRunOutcome out;
   // Low bits so short sequential seed ranges already cover the matrix:
-  // bits 0-1 walk schedule, bit 2 async mode, bits 3+ shard count.
+  // bits 0-1 walk schedule, bit 2 async mode, bits 3+ shard count, bit 5
+  // the SIMD substrate (clamped to a no-op on hosts without AVX2).
   const int shard_choices[] = {1, 2, 4};
   out.shards = shard_choices[(seed >> 3) % 3];
   out.async = ((seed >> 2) & 1) != 0;
+  simt::ScopedSimd simd(((seed >> 5) & 1) != 0);
 
   nbody::SimConfig sim_cfg = fuzz_sim_config(
       cfg.rebuild_interval, static_cast<gravity::WalkSchedule>(seed % 4));

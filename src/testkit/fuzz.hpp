@@ -41,7 +41,10 @@ struct FuzzConfig {
   /// Walk schedule of the run. Numerically invisible by contract, which
   /// the seeded sweep verifies: replay_seed overrides this from the seed
   /// (seed % 4) so every sweep covers all four schedules against one
-  /// reference, and a failing seed alone reproduces the exact run.
+  /// reference, and a failing seed alone reproduces the exact run. The
+  /// SIMD substrate is part of the same token — replay_seed pins
+  /// GOTHIC_SIMD from (seed >> 4) & 1, so sweeps cross-check the AVX2 and
+  /// scalar paths too (a no-op on hosts without AVX2).
   gravity::WalkSchedule schedule = gravity::WalkSchedule::CostWeighted;
 };
 
@@ -142,10 +145,11 @@ struct ShardRunOutcome {
 
 /// Run the fuzz workload through ShardedSimulation. The seed is the full
 /// replay token: walk schedule from seed % 4, async mode from
-/// (seed >> 2) & 1, shard count K in {1, 2, 4} from (seed >> 3) % 3, and
-/// one SeededSchedule stream controller per shard device derived from
-/// (seed, shard). Compares bit-for-bit against `reference` (from
-/// run_controlled(cfg, false, nullptr) — the unsharded synchronous run).
+/// (seed >> 2) & 1, shard count K in {1, 2, 4} from (seed >> 3) % 3, the
+/// SIMD substrate from (seed >> 5) & 1, and one SeededSchedule stream
+/// controller per shard device derived from (seed, shard). Compares
+/// bit-for-bit against `reference` (from run_controlled(cfg, false,
+/// nullptr) — the unsharded synchronous run).
 ShardRunOutcome run_sharded(const FuzzConfig& cfg, std::uint64_t seed,
                             const std::vector<real>& reference);
 

@@ -236,6 +236,7 @@ TEST_F(ReportSchema, JsonKeepsRequiredKeysAndSectionTypes) {
   require(scale, "dacc_min_exp", JsonValue::Type::Number);
   require(scale, "threads", JsonValue::Type::Number);
   require(scale, "async", JsonValue::Type::Bool);
+  require(scale, "simd", JsonValue::Type::Bool);
 
   require(doc, "tables", JsonValue::Type::Array);
   require(doc, "profiles", JsonValue::Type::Array);
@@ -369,6 +370,7 @@ TEST(ExternalReport, EnvNamedBenchJsonKeepsGoldenSchema) {
     require(scale, "steps", JsonValue::Type::Number);
     require(scale, "threads", JsonValue::Type::Number);
     require(scale, "async", JsonValue::Type::Bool);
+    require(scale, "simd", JsonValue::Type::Bool);
   }
   if (doc.has("profiles")) {
     for (const JsonValue& prof : doc.at("profiles").array) {

@@ -9,13 +9,16 @@
 #include "octree/partition.hpp"
 #include "octree/tree_build.hpp"
 #include "runtime/device.hpp"
+#include "simt/simd.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 namespace gothic::octree {
@@ -237,7 +240,22 @@ TEST(Partition, OwnedAndTopNodesTileTheTreeExactly) {
 /// bodies and nodes, the top set, and each remote shard's LET export —
 /// and compare against the full-tree reference. A single missing cell
 /// poisons the result with NaN, so bit-equality proves sufficiency.
-void expect_let_sufficient(System& s, int shards) {
+/// `simd_export`/`simd_walk` pin GOTHIC_SIMD for the export side
+/// (let_bounds + build_let) and the destination walk respectively —
+/// crossing them asserts the bounds stay sufficient when exporter and
+/// destination run different substrate paths; unset keeps the ambient
+/// setting.
+void expect_let_sufficient(System& s, int shards,
+                           std::optional<bool> simd_export = {},
+                           std::optional<bool> simd_walk = {}) {
+  auto with_simd = [](std::optional<bool> on, auto&& fn) {
+    if (on.has_value()) {
+      simt::ScopedSimd guard(*on);
+      fn();
+    } else {
+      fn();
+    }
+  };
   const auto groups = gravity::walk_groups(s.tree, s.x, s.y, s.z);
   const auto bounds = group_body_bounds(groups, s.n(), shards);
   std::vector<double> w(groups.size(), 1.0);
@@ -306,28 +324,35 @@ void expect_let_sufficient(System& s, int shards) {
       }
     }
 
-    // Import each remote shard's LET export.
-    const gravity::LetBounds db = gravity::let_bounds(
-        s.x, s.y, s.z, {}, dst_groups, {}, cfg.mode);
-    ASSERT_TRUE(db.any);
-    for (int src = 0; src < shards; ++src) {
-      if (src == dst) continue;
-      gravity::LetExport exp;
-      gravity::build_let(s.tree, cfg.mac, cfg.g,
-                         bounds[static_cast<std::size_t>(src)],
-                         bounds[static_cast<std::size_t>(src) + 1], db, exp);
-      for (index_t node : exp.cells) copy_cell(node);
-      for (const gravity::LetRange& r : exp.bodies) {
-        copy_bodies(r.first, r.count);
+    // Import each remote shard's LET export (under the export-side SIMD
+    // setting when pinned).
+    with_simd(simd_export, [&] {
+      const gravity::LetBounds db = gravity::let_bounds(
+          s.x, s.y, s.z, {}, dst_groups, {}, cfg.mode);
+      ASSERT_TRUE(db.any);
+      for (int src = 0; src < shards; ++src) {
+        if (src == dst) continue;
+        gravity::LetExport exp;
+        gravity::build_let(s.tree, cfg.mac, cfg.g,
+                           bounds[static_cast<std::size_t>(src)],
+                           bounds[static_cast<std::size_t>(src) + 1], db,
+                           exp);
+        for (index_t node : exp.cells) copy_cell(node);
+        for (const gravity::LetRange& r : exp.bodies) {
+          copy_bodies(r.first, r.count);
+        }
+        exported_cells += exp.cells.size();
       }
-      exported_cells += exp.cells.size();
-    }
+    });
 
-    // Walk only the destination's groups over the poisoned view.
+    // Walk only the destination's groups over the poisoned view (under
+    // the walk-side SIMD setting when pinned).
     std::vector<real> ax(s.n(), real(0)), ay(s.n(), real(0));
     std::vector<real> az(s.n(), real(0)), pot(s.n(), real(0));
-    gravity::walk_tree(view, vx, vy, vz, s.m, {}, cfg, ax, ay, az, pot,
-                       nullptr, nullptr, {}, dst_groups);
+    with_simd(simd_walk, [&] {
+      gravity::walk_tree(view, vx, vy, vz, s.m, {}, cfg, ax, ay, az, pot,
+                         nullptr, nullptr, {}, dst_groups);
+    });
     for (index_t i = bounds[static_cast<std::size_t>(dst)];
          i < bounds[static_cast<std::size_t>(dst) + 1]; ++i) {
       ASSERT_TRUE(std::isfinite(ax[i]))
@@ -360,6 +385,45 @@ TEST(Let, ExportIsSufficientOnUniformBox) {
   s.build();
   expect_let_sufficient(s, 2);
   expect_let_sufficient(s, 3);
+}
+
+TEST(Let, ExportStaysSufficientAcrossSimdPathsAtTheRadiusBoundary) {
+  // Two tightenings of the sufficiency oracle. (1) Radius boundary:
+  // random positions put roughly half of all decomposition radii on the
+  // double→float rounding boundary that group_bounding_radius now rounds
+  // up — assert the decomposition actually contains such groups, so the
+  // poisoned-view walk exercises the boundary case rather than testing
+  // nothing. (2) Crossed substrate paths: export under one GOTHIC_SIMD
+  // setting and walk under the other — bounds computed by one path must
+  // stay sufficient for a destination running the other.
+  if (!simt::simd_available()) {
+    GTEST_SKIP() << "AVX2 unavailable on this host";
+  }
+  System s = plummer(2048, 31);
+  s.build();
+
+  const auto groups = gravity::walk_groups(s.tree, s.x, s.y, s.z);
+  int boundary_groups = 0;
+  for (const gravity::GroupSpan& g : groups) {
+    if (g.count < 2) continue;
+    double cx, cy, cz;
+    const float r = gravity::group_bounding_radius(s.x, s.y, s.z, g.first,
+                                                   g.count, cx, cy, cz);
+    double r2 = 0;
+    for (index_t i = g.first; i < g.first + g.count; ++i) {
+      const double dx = s.x[i] - cx, dy = s.y[i] - cy, dz = s.z[i] - cz;
+      r2 = std::max(r2, dx * dx + dy * dy + dz * dz);
+    }
+    const double rd = std::sqrt(r2);
+    ASSERT_GE(static_cast<double>(r), rd);
+    if (static_cast<double>(static_cast<float>(rd)) < rd) ++boundary_groups;
+  }
+  EXPECT_GT(boundary_groups, 0)
+      << "decomposition hit no rounding-boundary radii; the boundary case "
+         "is untested";
+
+  expect_let_sufficient(s, 2, /*simd_export=*/true, /*simd_walk=*/false);
+  expect_let_sufficient(s, 2, /*simd_export=*/false, /*simd_walk=*/true);
 }
 
 TEST(Let, EmptyDestinationExportsNothing) {

@@ -5,6 +5,7 @@
 #include "octree/calc_node.hpp"
 #include "octree/tree_build.hpp"
 #include "runtime/device.hpp"
+#include "simt/simd.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
@@ -548,6 +549,104 @@ TEST(WalkTree, ThrowsWithoutCalcNode) {
   std::vector<real> ax(s.n()), ay(s.n()), az(s.n());
   EXPECT_NO_THROW(
       walk_tree(s.tree, s.x, s.y, s.z, s.m, {}, cfg, ax, ay, az));
+}
+
+TEST(WalkTree, SimdAndScalarWalksAreBitIdenticalWithEqualCounts) {
+  // GOTHIC_SIMD=1 vs =0 must be invisible: accelerations, potentials, op
+  // tallies and traversal stats all bit/count-identical. Sizes are chosen
+  // so groups hit every lane-block shape of the AVX2 flush — n=5 is pure
+  // scalar remainder, n=61 mixes full 8-lane blocks with remainders, the
+  // larger ones exercise full 32-lane groups — with the quadrupole term
+  // both off and on.
+  if (!simt::simd_available()) {
+    GTEST_SKIP() << "AVX2 unavailable on this host";
+  }
+  for (const std::size_t n : {std::size_t{5}, std::size_t{61},
+                              std::size_t{1000}, std::size_t{4096}}) {
+    System s = plummer(n, 9100 + n);
+    std::vector<index_t> perm;
+    build_tree(s.x, s.y, s.z, s.tree, perm, BuildConfig{});
+    auto apply = [&perm](std::vector<real>& v) {
+      std::vector<real> out(v.size());
+      octree::gather(v, perm, out);
+      v = std::move(out);
+    };
+    apply(s.x);
+    apply(s.y);
+    apply(s.z);
+    apply(s.m);
+    octree::CalcNodeConfig nc;
+    nc.compute_quadrupole = true;
+    calc_node(s.tree, s.x, s.y, s.z, s.m, nc);
+    for (const bool quad : {false, true}) {
+      WalkConfig cfg;
+      cfg.mac.type = MacType::OpeningAngle;
+      cfg.use_quadrupole = quad;
+      simt::OpCounts scalar_ops, simd_ops;
+      WalkStats scalar_stats, simd_stats;
+      ForceResult scalar_r, simd_r;
+      {
+        simt::ScopedSimd off(false);
+        scalar_r = run_walk(s, cfg, {}, &scalar_ops, &scalar_stats);
+      }
+      {
+        simt::ScopedSimd on(true);
+        simd_r = run_walk(s, cfg, {}, &simd_ops, &simd_stats);
+      }
+      ASSERT_EQ(scalar_ops, simd_ops) << "n=" << n << " quad=" << quad;
+      EXPECT_EQ(scalar_stats.interactions, simd_stats.interactions);
+      EXPECT_EQ(scalar_stats.mac_evals, simd_stats.mac_evals);
+      EXPECT_EQ(scalar_stats.flushes, simd_stats.flushes);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(scalar_r.ax[i], simd_r.ax[i]) << "n=" << n << " i=" << i;
+        ASSERT_EQ(scalar_r.ay[i], simd_r.ay[i]) << "n=" << n << " i=" << i;
+        ASSERT_EQ(scalar_r.az[i], simd_r.az[i]) << "n=" << n << " i=" << i;
+        ASSERT_EQ(scalar_r.pot[i], simd_r.pot[i]) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(WalkTree, GroupBoundingRadiusRoundsUpAtTheFloatBoundary) {
+  // The double→float cast of the group radius rounds to nearest, so about
+  // half of all runs used to report a radius *below* the true double
+  // radius — the compactness rule then certified slightly-too-wide groups
+  // and the MAC judged cells against an undersized sphere. The fixed
+  // radius must always cover the exact double radius, taking the next
+  // float up exactly when (and only when) the plain cast rounds down.
+  Xoshiro256 rng(20260808);
+  int rounded_up = 0;
+  for (int trial = 0; trial < 256; ++trial) {
+    std::vector<real> x(3), y(3), z(3);
+    for (int i = 0; i < 3; ++i) {
+      x[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+      y[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+      z[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    }
+    double cx, cy, cz;
+    const float r = group_bounding_radius(x, y, z, 0, 3, cx, cy, cz);
+    // Exact double radius, recomputed the same way.
+    double r2 = 0;
+    for (int i = 0; i < 3; ++i) {
+      const double dx = x[i] - cx, dy = y[i] - cy, dz = z[i] - cz;
+      r2 = std::max(r2, dx * dx + dy * dy + dz * dz);
+    }
+    const double rd = std::sqrt(r2);
+    ASSERT_GE(static_cast<double>(r), rd) << "trial " << trial;
+    const float cast = static_cast<float>(rd);
+    if (static_cast<double>(cast) < rd) {
+      // The boundary case the old code got wrong.
+      ++rounded_up;
+      EXPECT_EQ(r, std::nextafterf(cast,
+                                   std::numeric_limits<float>::infinity()))
+          << "trial " << trial;
+    } else {
+      EXPECT_EQ(r, cast) << "trial " << trial;
+    }
+  }
+  // Round-to-nearest rounds down about half the time; 256 random radii
+  // must produce many boundary cases or the regression test tests nothing.
+  EXPECT_GT(rounded_up, 32);
 }
 
 } // namespace

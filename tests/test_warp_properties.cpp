@@ -5,6 +5,7 @@
 // Volta syncwarp counts against the log2(width) stage formula, and the
 // mask-coverage pitfall (§2.1) under both modes.
 #include "simt/scan.hpp"
+#include "simt/simd.hpp"
 #include "simt/warp.hpp"
 
 #include "util/rng.hpp"
@@ -14,6 +15,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <limits>
 
 namespace gothic::simt {
 namespace {
@@ -255,6 +257,76 @@ TEST(WarpProperties, UndercoveringMaskThrowsUnderVoltaOnly) {
       LaneArray<int> v{};
       EXPECT_NO_THROW(w.shfl_down(v, 1, kWarpSize, bad));
     }
+  }
+}
+
+TEST(WarpProperties, SimdAndScalarReductionsAreBitIdenticalOnRandomMasks) {
+  // The AVX2 fast path of the float butterflies (simt/simd.hpp) must be a
+  // pure implementation detail: same registers bit for bit — including
+  // untouched inactive lanes and IEEE special values — and same op
+  // tallies, for every width and random active mask.
+  if (!simd_available()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  Xoshiro256 rng(505);
+  for (int width : kWidths) {
+    for (int trial = 0; trial < 32; ++trial) {
+      const lane_mask active = random_mask(rng);
+      LaneArray<float> base = random_floats(rng);
+      // Sprinkle IEEE specials (canonical quiet NaN so payload picks can't
+      // differ, infinities, signed zeros) over a few lanes.
+      for (int k = 0; k < 4; ++k) {
+        const int lane = static_cast<int>(rng.next() % kWarpSize);
+        switch (rng.next() % 4) {
+          case 0: base[lane] = std::numeric_limits<float>::quiet_NaN(); break;
+          case 1: base[lane] = std::numeric_limits<float>::infinity(); break;
+          case 2: base[lane] = -std::numeric_limits<float>::infinity(); break;
+          default: base[lane] = -0.0f; break;
+        }
+      }
+      const ExecMode mode =
+          (trial & 1) != 0 ? ExecMode::Volta : ExecMode::Pascal;
+      auto run = [&](bool use_simd, OpCounts& c) {
+        ScopedSimd guard(use_simd);
+        Warp w(mode, c);
+        w.diverge(active);
+        LaneArray<float> v = base;
+        switch (trial % 3) {
+          case 0: reduce_add(w, v, width); break;
+          case 1: reduce_min(w, v, width); break;
+          default: reduce_max(w, v, width); break;
+        }
+        return v;
+      };
+      OpCounts scalar_counts, simd_counts;
+      const LaneArray<float> scalar = run(false, scalar_counts);
+      const LaneArray<float> simd = run(true, simd_counts);
+      ASSERT_EQ(scalar_counts, simd_counts)
+          << "op tallies diverged at width " << width << " trial " << trial;
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(scalar[lane]),
+                  std::bit_cast<std::uint32_t>(simd[lane]))
+            << "width " << width << " trial " << trial << " lane " << lane
+            << " scalar " << scalar[lane] << " simd " << simd[lane];
+      }
+    }
+  }
+}
+
+TEST(WarpProperties, SimdSelectorReportsAndRestoresState) {
+  // set_simd_enabled is clamped to availability and ScopedSimd restores
+  // the previous state on every exit path.
+  const bool initial = simd_enabled();
+  {
+    ScopedSimd off(false);
+    EXPECT_FALSE(simd_enabled());
+    {
+      ScopedSimd on(true);
+      EXPECT_EQ(simd_enabled(), simd_available());
+    }
+    EXPECT_FALSE(simd_enabled());
+  }
+  EXPECT_EQ(simd_enabled(), initial);
+  if (!simd_compiled()) {
+    EXPECT_FALSE(simd_available());
   }
 }
 

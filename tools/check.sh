@@ -8,6 +8,10 @@
 # asynchronous stream scheduler) and once with GOTHIC_ASYNC=0 (the
 # synchronous escape hatch) — results must be identical.
 #
+# The SIMD stage repeats tier-1 plus a fuzz smoke under GOTHIC_SIMD=1
+# (AVX2 lane kernels) and GOTHIC_SIMD=0 (scalar oracle) — the two warp
+# substrates must be bit-identical.
+#
 # The fuzz stage drives gothic_fuzz — seeded + exhaustively enumerated
 # interleavings of the step DAG checked bit-identical against the
 # synchronous reference, plus fault-injection plans (launch-body throws,
@@ -70,6 +74,20 @@ for mode in 1 0; do
       "../bench-results/BENCH_balance.async$mode.json")
 done
 echo "bench smoke passed"
+
+echo "== SIMD substrate: scalar vs AVX2 lane kernels =="
+# GOTHIC_SIMD selects the warp substrate at runtime: 1 = the AVX2 lane
+# kernels (when compiled in and the CPU reports AVX2), 0 = the scalar
+# oracle. Results and op counts are bit-identical by contract (DESIGN.md,
+# "SIMD substrate"), so the whole tier-1 suite plus a fuzz smoke run
+# under both settings; on a host without AVX2 the =1 leg degrades to the
+# scalar path and the stage still passes.
+for simd in 1 0; do
+  echo "-- GOTHIC_SIMD=$simd --"
+  (cd build && GOTHIC_SIMD=$simd ctest --output-on-failure -j)
+  GOTHIC_SIMD=$simd ./build/tools/gothic_fuzz --schedules=16 --faults=4
+done
+echo "SIMD stage passed"
 
 echo "== schedule fuzz + fault injection (both scheduler modes) =="
 # Seeded sweep (64 schedules), DFS enumeration, and 8 fault plans; every
