@@ -184,6 +184,13 @@ bool BenchReport::write(std::ostream& log) const {
   std::ofstream os(dest);
   if (os) os << json();
   if (!os) {
+    // The bench log is routinely redirected to /dev/null in CI, so a bad
+    // GOTHIC_BENCH_JSON_DIR must also hit stderr or the report silently
+    // never materializes.
+    std::fprintf(stderr,
+                 "gothic: error: could not write bench report %s "
+                 "(check GOTHIC_BENCH_JSON_DIR)\n",
+                 dest.c_str());
     log << "warning: could not write " << dest << "\n";
     return false;
   }

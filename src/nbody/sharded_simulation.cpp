@@ -68,6 +68,13 @@ ShardedSimulation::ShardedSimulation(Particles particles, SimConfig cfg,
   naz_.resize(n);
   npot_.resize(n);
 
+  // Flight recorder before the first launch, so the bootstrap DAG is
+  // already on the ring if it faults. It heads the listener chain.
+  if (trace::FlightRecorder::env_enabled()) {
+    flight_ = std::make_unique<trace::FlightRecorder>();
+    listener_ = flight_.get();
+  }
+
   shards_.reserve(static_cast<std::size_t>(opt.shards));
   for (int s = 0; s < opt.shards; ++s) {
     auto sh = std::make_unique<Shard>();
@@ -84,10 +91,15 @@ ShardedSimulation::ShardedSimulation(Particles particles, SimConfig cfg,
   // Bootstrap mirrors Simulation's constructor on shard 0's device, so the
   // post-construction state is bit-identical to an unsharded Simulation
   // for every K.
-  launch_build();
-  launch_permute(false).wait();
-  ++rebuilds_;
-  bootstrap_forces();
+  try {
+    launch_build();
+    launch_permute(false).wait();
+    ++rebuilds_;
+    bootstrap_forces();
+  } catch (...) {
+    dump_flight("ShardedSimulation bootstrap error");
+    throw;
+  }
   policy_.record_rebuild(step_make_seconds());
   absorb_records(*shards_[0]);
 
@@ -402,6 +414,20 @@ void ShardedSimulation::absorb_records(const Shard& sh) {
   }
 }
 
+void ShardedSimulation::dump_flight(const std::string& reason) {
+  if (!flight_) return;
+  // An aborted phase's records never reached the listener chain (records
+  // are forwarded only after a successful step), so backfill the shard
+  // sinks into the ring — record_only keeps the downstream listener out
+  // of the error path — then dump the incident.
+  for (auto& sh : shards_) {
+    for (const runtime::LaunchRecord& rec : sh->sink.step_records()) {
+      flight_->record_only(rec);
+    }
+  }
+  flight_->dump(reason);
+}
+
 StepReport ShardedSimulation::step() {
   StepReport report;
   const int k = shard_count();
@@ -590,13 +616,16 @@ StepReport ShardedSimulation::step() {
   } catch (...) {
     // Host-side issue failure: drain every device (swallowing their
     // errors) so the next step starts from quiescent devices, then
-    // propagate what stopped the issue phase.
+    // propagate what stopped the issue phase. The drain completes the
+    // in-flight records, so the incident dump below sees them.
     for (auto& sh : shards_) {
       try {
         sh->dev->synchronize();
       } catch (...) { // NOLINT(bugprone-empty-catch)
       }
     }
+    dump_flight("ShardedSimulation::step host issue failure at step " +
+                std::to_string(step_count_ + 1));
     throw;
   }
 
@@ -611,7 +640,11 @@ StepReport ShardedSimulation::step() {
   }
   ++steps_since_rebuild_;
   ++step_count_;
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    dump_flight("ShardedSimulation::step shard error at step " +
+                std::to_string(step_count_));
+    std::rethrow_exception(first_error);
+  }
 
   // --- harvest ----------------------------------------------------------
   last_stats_.busy_seconds.assign(static_cast<std::size_t>(k), 0.0);

@@ -123,9 +123,24 @@ public:
   /// forwarded serially after each step completes (per-shard sinks fill
   /// concurrently during the step); per-record timestamps are in the
   /// *issuing shard's* device epoch, so cross-shard timestamp skew is
-  /// expected in traces.
+  /// expected in traces. When the flight recorder is enabled
+  /// (GOTHIC_FLIGHT) it stays at the head of the chain and forwards to
+  /// `l`.
   void set_instrumentation_listener(runtime::RecordListener* l) {
-    listener_ = l;
+    if (flight_) {
+      flight_->set_next(l);
+    } else {
+      listener_ = l;
+    }
+  }
+
+  /// The GOTHIC_FLIGHT incident recorder; null when the env var is unset.
+  /// step() dumps it on both error paths (host-issue failure after the
+  /// drain, and the post-join first-error rethrow), backfilling the shard
+  /// sinks' records first — an aborted step's launches never reached the
+  /// listener chain.
+  [[nodiscard]] trace::FlightRecorder* flight_recorder() {
+    return flight_.get();
   }
 
   [[nodiscard]] Energies energies() const {
@@ -150,6 +165,10 @@ private:
   void let_import(Shard& sh);
   /// Fold a shard's phase records into timers_/ops_ (no listener).
   void absorb_records(const Shard& sh);
+  /// Error-path incident dump: backfill every shard sink's step records
+  /// into the flight recorder (they never reached the listener chain) and
+  /// dump with `reason`. No-op when GOTHIC_FLIGHT is unset.
+  void dump_flight(const std::string& reason);
   /// Sum of makeTree/makeTree(permute) record seconds of shard 0's
   /// current phase (excludes letImport, which shares Kernel::MakeTree).
   [[nodiscard]] double step_make_seconds() const;
@@ -196,6 +215,10 @@ private:
   // them into the Simulation-compatible accessors).
   KernelTimers timers_;
   std::array<simt::OpCounts, static_cast<std::size_t>(Kernel::Count)> ops_{};
+  /// Head of the listener chain: the flight recorder when GOTHIC_FLIGHT
+  /// is set (user listeners chain behind it via set_next), otherwise the
+  /// user's listener directly.
+  std::unique_ptr<trace::FlightRecorder> flight_;
   runtime::RecordListener* listener_ = nullptr;
   ShardStepStats last_stats_;
 };

@@ -14,6 +14,12 @@ Simulation::Simulation(Particles particles, SimConfig cfg)
   if (particles_.size() == 0) {
     throw std::invalid_argument("Simulation: empty particle set");
   }
+  // Flight recorder before the first launch, so the bootstrap DAG is
+  // already on the ring if it faults.
+  if (trace::FlightRecorder::env_enabled()) {
+    flight_ = std::make_unique<trace::FlightRecorder>();
+    sink_.set_listener(flight_.get());
+  }
   const std::size_t n = particles_.size();
   px_.resize(n);
   py_.resize(n);
@@ -23,9 +29,14 @@ Simulation::Simulation(Particles particles, SimConfig cfg)
   naz_.resize(n);
   npot_.resize(n);
 
-  issue_rebuild(runtime::Event{}, nullptr).wait();
-  bootstrap_forces();
-  runtime::Device::current().synchronize();
+  try {
+    issue_rebuild(runtime::Event{}, nullptr).wait();
+    bootstrap_forces();
+    runtime::Device::current().synchronize();
+  } catch (...) {
+    if (flight_) flight_->dump("Simulation bootstrap error");
+    throw;
+  }
   policy_.record_rebuild(step_make_seconds());
 
   // Assign initial block levels from the bootstrap accelerations.
@@ -149,6 +160,19 @@ void Simulation::bootstrap_forces() {
 }
 
 StepReport Simulation::step() {
+  if (!flight_) return step_impl();
+  try {
+    return step_impl();
+  } catch (...) {
+    // The faulted launch's record is already on the ring: Device::launch
+    // completes the record on its catch path before rethrowing.
+    flight_->dump("Simulation::step error at step " +
+                  std::to_string(step_count_ + 1));
+    throw;
+  }
+}
+
+StepReport Simulation::step_impl() {
   StepReport report;
   const std::size_t n = particles_.size();
   runtime::Device& dev = runtime::Device::current();

@@ -11,9 +11,11 @@
 #include "octree/calc_node.hpp"
 #include "octree/tree_build.hpp"
 #include "runtime/device.hpp"
+#include "trace/flight_recorder.hpp"
 #include "util/timer.hpp"
 
 #include <array>
+#include <memory>
 
 namespace gothic::nbody {
 
@@ -126,9 +128,22 @@ public:
   /// Attach an observability hook (e.g. trace::Session): `l` receives
   /// every completed LaunchRecord and one StepMark per step() until
   /// detached with nullptr. The listener must outlive its attachment; set
-  /// only between steps (never while launches are in flight).
+  /// only between steps (never while launches are in flight). When the
+  /// flight recorder is enabled (GOTHIC_FLIGHT) it stays at the head of
+  /// the chain and forwards to `l`.
   void set_instrumentation_listener(runtime::RecordListener* l) {
-    sink_.set_listener(l);
+    if (flight_) {
+      flight_->set_next(l);
+    } else {
+      sink_.set_listener(l);
+    }
+  }
+
+  /// The GOTHIC_FLIGHT incident recorder; null when the env var is unset.
+  /// step() dumps it automatically when a step fails; callers may dump()
+  /// on demand (gothic_run --flight-dump).
+  [[nodiscard]] trace::FlightRecorder* flight_recorder() {
+    return flight_.get();
   }
 
   [[nodiscard]] Energies energies() const {
@@ -143,6 +158,9 @@ private:
   /// predicted positions. Returns the join event; pass a null event when
   /// no predict is in flight (construction).
   runtime::Event issue_rebuild(runtime::Event e_pred, StepReport* report);
+  /// The step body; step() wraps it with the flight-recorder dump on the
+  /// error path.
+  StepReport step_impl();
   void bootstrap_forces();
   /// Apply perm_ to a scratch array out-of-place via permute_buf_ (both
   /// retain capacity across rebuilds).
@@ -160,6 +178,11 @@ private:
   /// work (makeTree -> calcNode -> walkTree) and integration (predict,
   /// correct), matching GOTHIC's concurrent-stream issue order.
   runtime::InstrumentationSink sink_;
+  /// Always-on bounded incident recorder, created when GOTHIC_FLIGHT is
+  /// set; sits at the head of the listener chain (see
+  /// set_instrumentation_listener). Null ⇒ the hot path keeps the sink's
+  /// single null-listener pointer test.
+  std::unique_ptr<trace::FlightRecorder> flight_;
   runtime::Stream tree_stream_{"tree"};
   runtime::Stream integrate_stream_{"integrate"};
   int rebuilds_ = 0;

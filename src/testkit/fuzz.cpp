@@ -3,6 +3,7 @@
 #include "nbody/sharded_simulation.hpp"
 #include "runtime/device.hpp"
 #include "simt/simd.hpp"
+#include "trace/flight_recorder.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
@@ -202,6 +203,16 @@ FaultOutcome run_fault_plan(const FuzzConfig& cfg, const FaultPlan& plan) {
   runtime::Device dev(cfg.workers, 1, cfg.lanes);
   dev.set_schedule_controller(&ctrl);
 
+  // GOTHIC_FLIGHT turns every fault-plan failure into a self-describing
+  // incident report: the recorder rides the device's default sink and is
+  // dumped the moment an injected fault propagates, so the dump holds the
+  // faulted launch with its stream and dependency edges.
+  std::unique_ptr<trace::FlightRecorder> flight;
+  if (trace::FlightRecorder::env_enabled()) {
+    flight = std::make_unique<trace::FlightRecorder>();
+    dev.sink().set_listener(flight.get());
+  }
+
   runtime::Stream a("fault-a");
   runtime::Stream b("fault-b");
   std::atomic<int> ran{0};
@@ -237,8 +248,15 @@ FaultOutcome run_fault_plan(const FuzzConfig& cfg, const FaultPlan& plan) {
   } catch (const InjectedFault& f) {
     threw = true;
     faulted_id = f.launch_id();
+    if (flight) {
+      flight->dump("gothic_fuzz fault plan: injected fault at launch " +
+                   std::to_string(faulted_id));
+    }
   } catch (...) {
     foreign_error = true;
+    if (flight) {
+      flight->dump("gothic_fuzz fault plan: non-injected exception");
+    }
   }
 
   bool second_clean = true;
@@ -259,6 +277,7 @@ FaultOutcome run_fault_plan(const FuzzConfig& cfg, const FaultPlan& plan) {
     reuse_ok = false;
   }
   dev.set_schedule_controller(nullptr);
+  if (flight) dev.sink().set_listener(nullptr);
 
   out.injected_throws = ctrl.injected_throws();
   out.injected_stalls = ctrl.injected_stalls();

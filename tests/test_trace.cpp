@@ -2,6 +2,7 @@
 // events, determinism), latency-histogram percentile math, metrics
 // registry accounting (including negative-overlap steps), interned record
 // names, and the zero-allocation guarantee when no listener is attached.
+#include "trace/flight_recorder.hpp"
 #include "trace/metrics.hpp"
 #include "trace/session.hpp"
 #include "trace/trace_writer.hpp"
@@ -239,6 +240,39 @@ TEST(ZeroOverhead, SteadyStateLaunchesDoNotAllocateWithoutListener) {
   EXPECT_EQ(after, before)
       << "instrumentation stream allocated in steady state with no "
          "listener attached";
+}
+
+TEST(ZeroOverhead, FlightRingWritesAreAllocationFreeAfterWarmup) {
+  FlightRecorder flight(/*launch_capacity=*/8, /*step_capacity=*/4);
+  runtime::LaunchRecord walk = synthetic_record(Kernel::WalkTree, 1, 0.0, 1e-4);
+  runtime::LaunchRecord calc = synthetic_record(Kernel::CalcNode, 2, 0.0, 1e-4);
+  calc.label = "calc";
+  calc.stream = "s1";
+  runtime::StepMark mark;
+  mark.index = 1;
+  mark.kernel_seconds = 2e-4;
+  mark.wall_seconds = 1.5e-4;
+  // Warm-up: the rings are pre-sized, so the only allocations are the
+  // first interning of each label/stream name.
+  for (int warm = 0; warm < 4; ++warm) {
+    flight.on_record(walk);
+    flight.on_record(calc);
+    flight.on_step(mark);
+  }
+  const std::uint64_t before = g_allocations.load();
+  for (std::uint64_t iter = 0; iter < 200; ++iter) {
+    walk.id = 10 + 3 * iter;
+    calc.id = walk.id + 1;
+    mark.index = iter;
+    flight.on_record(walk);
+    flight.record_only(calc); // the error-path backfill shares the ring
+    flight.on_step(mark);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after, before)
+      << "flight-recorder ring writes allocated after warm-up";
+  EXPECT_EQ(flight.seen_records(), 8u + 400u);
+  EXPECT_EQ(flight.seen_steps(), 4u + 200u);
 }
 
 // --- trace writer ----------------------------------------------------------

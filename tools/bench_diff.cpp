@@ -1,0 +1,87 @@
+// bench_diff — the perf-regression gate over two BENCH_*.json trees.
+//
+//   bench_diff --baseline=bench-results --candidate=build/bench-fresh
+//   bench_diff --baseline=... --candidate=... --threshold=0.5
+//              --abs-floor=0.002 --json=diff.json
+//   bench_diff --baseline=... --candidate=... --update-baseline
+//
+// Pairs reports by canonical name (repeat runs BENCH_x.runK.json are
+// folded with per-metric MIN — wall-clock noise is additive), gates the
+// timing metrics with a relative threshold plus an absolute noise floor,
+// and compares deterministic op counts informationally. See
+// bench/support/baseline.hpp for the exact rules.
+//
+// Exit status: 0 = no regressions, 1 = regressions above threshold,
+// 2 = usage or schema error. --update-baseline archives the candidate
+// reports into the baseline directory (after gating; pass
+// --force-update to archive even over regressions).
+#include "support/baseline.hpp"
+#include "util/args.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+int main(int argc, char** argv) {
+  using namespace gothic;
+  try {
+    const Args args(argc, argv);
+    const std::string baseline_dir = args.get("baseline", "");
+    const std::string candidate_dir = args.get("candidate", "");
+    bench::DiffOptions opt;
+    opt.threshold = args.get_double("threshold", opt.threshold);
+    opt.abs_floor = args.get_double("abs-floor", opt.abs_floor);
+    const bool update = args.get_flag("update-baseline");
+    const bool force_update = args.get_flag("force-update");
+    const std::string json_path = args.get("json", "");
+    for (const std::string& key : args.unused()) {
+      std::cerr << "bench_diff: warning: unused option --" << key << "\n";
+    }
+    if (baseline_dir.empty() || candidate_dir.empty()) {
+      std::cerr << "usage: bench_diff --baseline=DIR --candidate=DIR\n"
+                   "  [--threshold=REL] [--abs-floor=SECONDS]\n"
+                   "  [--json=FILE] [--update-baseline] [--force-update]\n";
+      return 2;
+    }
+    if (opt.threshold < 0.0 || opt.abs_floor < 0.0) {
+      std::cerr << "bench_diff: --threshold/--abs-floor must be >= 0\n";
+      return 2;
+    }
+
+    const bench::BaselineStore baseline(baseline_dir);
+    const bench::BaselineStore candidate(candidate_dir);
+    if (candidate.entries().empty()) {
+      std::cerr << "bench_diff: no BENCH_*.json reports under "
+                << candidate_dir << "\n";
+      return 2;
+    }
+
+    const bench::DiffReport rep =
+        bench::diff_baselines(baseline, candidate, opt);
+    rep.print(std::cout, opt);
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      if (os) os << rep.json(opt);
+      if (!os) {
+        std::cerr << "bench_diff: error: could not write " << json_path
+                  << "\n";
+        return 2;
+      }
+    }
+    if (!rep.errors.empty()) return 2;
+
+    if (update && (rep.regressions.empty() || force_update)) {
+      const std::size_t copied = bench::update_baseline(baseline, candidate);
+      std::cout << "bench_diff: archived " << copied << " report(s) into "
+                << baseline_dir << "\n";
+    } else if (update) {
+      std::cerr << "bench_diff: refusing --update-baseline over "
+                << rep.regressions.size()
+                << " regression(s); pass --force-update to override\n";
+    }
+    return rep.regressions.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -12,6 +12,14 @@
 # (AVX2 lane kernels) and GOTHIC_SIMD=0 (scalar oracle) — the two warp
 # substrates must be bit-identical.
 #
+# The observability smoke validates the Perfetto trace (zero dropped
+# records), the flight-recorder incident dump left by a fault-injected
+# fuzz run, and the bench JSON; the telemetry stage validates the
+# GOTHIC_TELEMETRY JSONL stream under every scheduler x substrate
+# combination; the bench_diff gate compares the fresh BENCH reports
+# against the archived trajectory in bench-results/ (and self-tests with
+# a synthetic slowdown) before promoting them.
+#
 # The fuzz stage drives gothic_fuzz — seeded + exhaustively enumerated
 # interleavings of the step DAG checked bit-identical against the
 # synchronous reference, plus fault-injection plans (launch-body throws,
@@ -35,9 +43,12 @@ echo "-- ctest (GOTHIC_ASYNC=1, stream scheduler) --"
 echo "-- ctest (GOTHIC_ASYNC=0, synchronous escape hatch) --"
 (cd build && GOTHIC_ASYNC=0 ctest --output-on-failure -j)
 
-echo "== observability smoke (trace + bench JSON, both scheduler modes) =="
-# A traced driver step must emit valid Perfetto JSON, and a figure bench
-# must emit a parseable BENCH_*.json, under both schedulers.
+echo "== observability smoke (trace + flight + bench JSON, both scheduler modes) =="
+# A traced driver step must emit valid Perfetto JSON with zero dropped
+# launch records (a non-zero count means the timeline is silently
+# truncated), a figure bench must emit a parseable BENCH_*.json, and a
+# fault-injected gothic_fuzz run must leave a valid flight-recorder
+# incident dump naming the faulted launch — under both schedulers.
 for mode in 1 0; do
   echo "-- GOTHIC_ASYNC=$mode --"
   (cd build &&
@@ -45,23 +56,64 @@ for mode in 1 0; do
       ./tools/gothic_run --model=plummer --n=2048 --steps=2 --metrics \
         >/dev/null &&
     python3 -m json.tool smoke_trace.json >/dev/null &&
+    python3 -c "
+import json
+n = json.load(open('smoke_trace.json'))['otherData']['dropped_records']
+assert n == 0, 'trace dropped %d launch records' % n" &&
     rm -f smoke_trace.json &&
     GOTHIC_ASYNC=$mode GOTHIC_BENCH_N=4096 GOTHIC_BENCH_STEPS=1 \
       GOTHIC_BENCH_DACC_MIN=2 ./bench/bench_fig04_breakdown_macc \
         >/dev/null &&
     python3 -m json.tool BENCH_fig04_breakdown_macc.json >/dev/null &&
-    rm -f BENCH_fig04_breakdown_macc.json)
+    rm -f BENCH_fig04_breakdown_macc.json &&
+    rm -f smoke_flight.json &&
+    GOTHIC_ASYNC=$mode GOTHIC_FLIGHT=smoke_flight.json \
+      ./tools/gothic_fuzz --schedules=0 --enumerate=0 --faults=4 \
+        >/dev/null &&
+    python3 -c "
+import json
+d = json.load(open('smoke_flight.json'))['flight_recorder']
+assert d['launches'], 'flight dump holds no launches'
+assert 'injected fault' in d['reason'], d['reason']" &&
+    rm -f smoke_flight.json)
 done
 echo "observability smoke passed"
+
+echo "== telemetry stream (GOTHIC_ASYNC x GOTHIC_SIMD) =="
+# GOTHIC_TELEMETRY streams one schema-pinned JSONL record per step plus a
+# leading config line; every line must parse and the stream must cover
+# every step under each scheduler x warp-substrate combination.
+for mode in 1 0; do
+  for simd in 1 0; do
+    echo "-- GOTHIC_ASYNC=$mode GOTHIC_SIMD=$simd --"
+    (cd build &&
+      rm -f smoke_telemetry.jsonl &&
+      GOTHIC_ASYNC=$mode GOTHIC_SIMD=$simd \
+        GOTHIC_TELEMETRY=smoke_telemetry.jsonl \
+        ./tools/gothic_run --model=plummer --n=2048 --steps=3 >/dev/null &&
+      python3 -c "
+import json
+lines = [json.loads(l) for l in open('smoke_telemetry.jsonl') if l.strip()]
+assert lines and lines[0]['type'] == 'config', 'missing config line'
+steps = [l for l in lines if l['type'] == 'step']
+assert len(steps) == 3, 'expected 3 step records, got %d' % len(steps)
+for s in steps:
+    assert 'kernels' in s and 'wall_seconds' in s, sorted(s)" &&
+      rm -f smoke_telemetry.jsonl)
+  done
+done
+echo "telemetry stage passed"
 
 echo "== bench smoke: load balancing (both scheduler modes) =="
 # bench_balance compares the three walk schedules at a small N, asserts
 # bit-identical accelerations, and must emit a BENCH_balance.json that
 # passes both a raw JSON parse and the golden-schema test. 4 workers so
-# the imbalance ratio is meaningful on single-core CI runners; reports
-# are archived under bench-results/ instead of deleted so a failing run
-# leaves evidence behind.
-mkdir -p bench-results
+# the imbalance ratio is meaningful on single-core CI runners. Fresh
+# reports land in bench-fresh/ (kept on failure as evidence); the
+# bench_diff gate below compares them against the archived trajectory in
+# bench-results/ and promotes them into it.
+rm -rf bench-fresh
+mkdir -p bench-fresh
 for mode in 1 0; do
   echo "-- GOTHIC_ASYNC=$mode --"
   (cd build &&
@@ -71,7 +123,7 @@ for mode in 1 0; do
     GOTHIC_BENCH_VALIDATE_JSON=BENCH_balance.json ./tests/test_bench_support \
       --gtest_filter='ExternalReport.*' >/dev/null &&
     mv BENCH_balance.json \
-      "../bench-results/BENCH_balance.async$mode.json")
+      "../bench-fresh/BENCH_balance.async$mode.json")
 done
 echo "bench smoke passed"
 
@@ -119,11 +171,59 @@ for mode in 1 0; do
     python3 -m json.tool BENCH_shard.json >/dev/null &&
     GOTHIC_BENCH_VALIDATE_JSON=BENCH_shard.json ./tests/test_bench_support \
       --gtest_filter='ExternalReport.*' >/dev/null &&
-    mv BENCH_shard.json "../bench-results/BENCH_shard.async$mode.json")
+    mv BENCH_shard.json "../bench-fresh/BENCH_shard.async$mode.json")
   GOTHIC_ASYNC=$mode ./build/tools/gothic_fuzz --schedules=0 --faults=0 \
     --shards=16 --shard-faults=6
 done
 echo "shard stage passed"
+
+echo "== perf-regression gate: bench_diff over the BENCH trajectory =="
+# Gate the fresh reports against the archived trajectory in
+# bench-results/, then promote them as its newest point
+# (--update-baseline refuses the promotion over a regression). Smoke runs
+# at N=4096 are noisy, so the CI gate is deliberately loose: more than 4x
+# slower AND > 50 ms absolute. The first run on a clean tree simply seeds
+# bench-results/.
+./build/tools/bench_diff --baseline=bench-results --candidate=bench-fresh \
+  --threshold=3.0 --abs-floor=0.05 --json=build/bench_diff.json \
+  --update-baseline
+python3 -m json.tool build/bench_diff.json >/dev/null
+
+# Negative self-test: a synthetic 100x slowdown injected into one fresh
+# report must trip the same gate.
+rm -rf build/bench-slow
+mkdir -p build/bench-slow
+python3 -c "
+import glob, json
+src = sorted(glob.glob('bench-fresh/BENCH_*.json'))[0]
+doc = json.load(open(src))
+slowed = 0
+for t in doc.get('tables', []):
+    headers = [h.lower() for h in t['headers']]
+    cols = [i for i, h in enumerate(headers)
+            if 'second' in h or 'elapsed' in h or 'time' in h or '[s]' in h]
+    for row in t['rows']:
+        for c in cols:
+            try:
+                row[c] = repr(float(row[c]) * 100.0)
+                slowed += 1
+            except ValueError:
+                pass
+for p in doc.get('profiles', []):
+    for key in ('kernel_seconds', 'wall_seconds'):
+        if key in p.get('measured', {}):
+            p['measured'][key] *= 100.0
+            slowed += 1
+assert slowed > 0, 'no timing surface found to slow down in ' + src
+json.dump(doc, open('build/bench-slow/' + src.split('/')[-1], 'w'))"
+if ./build/tools/bench_diff --baseline=bench-results \
+    --candidate=build/bench-slow --threshold=3.0 --abs-floor=0.05 \
+    >/dev/null; then
+  echo "bench_diff failed to flag a synthetic 100x slowdown" >&2
+  exit 1
+fi
+rm -rf build/bench-slow bench-fresh
+echo "bench_diff gate passed"
 
 if [[ "${1:-}" == "--fast" ]]; then
   exit 0

@@ -28,6 +28,12 @@
 //   --csv=<file>                  dump final state as CSV
 //   --trace=<file>                write a Perfetto trace of the run's
 //                                 launch DAG (default: $GOTHIC_TRACE)
+//   --telemetry=<file>            stream one JSONL telemetry record per
+//                                 step (default: $GOTHIC_TELEMETRY)
+//   --flight-dump[=<file>]        enable the flight recorder (as if
+//                                 GOTHIC_FLIGHT were set; default file
+//                                 flight.json) and dump the launch/step
+//                                 rings at the end of the run
 //   --metrics                     print per-kernel latency histograms
 //                                 (p50/p95/max) and arena gauges at exit
 //   --shards=<int>                run the sharded pipeline over K per-shard
@@ -131,16 +137,19 @@ int drive(Sim& sim, runtime::Device& trace_dev, const Args& args) {
   const std::string csv = args.get("csv", "");
   const std::string trace_path =
       args.get("trace", trace::Session::env_trace_path());
+  const std::string telemetry_path =
+      args.get("telemetry", trace::TelemetryWriter::env_telemetry_path());
   const bool metrics = args.get_flag("metrics");
+  const bool flight_dump = args.has("flight-dump");
   for (const std::string& key : args.unused()) {
     std::cerr << "warning: unused option --" << key << "\n";
   }
 
-  // Observability is opt-in: with neither --trace nor --metrics the
+  // Observability is opt-in: with no --trace/--telemetry/--metrics the
   // simulation runs with a null listener (no per-launch overhead).
   std::unique_ptr<trace::Session> session;
-  if (metrics || !trace_path.empty()) {
-    session = std::make_unique<trace::Session>(trace_path);
+  if (metrics || !trace_path.empty() || !telemetry_path.empty()) {
+    session = std::make_unique<trace::Session>(trace_path, telemetry_path);
     sim.set_instrumentation_listener(session.get());
   }
 
@@ -187,6 +196,9 @@ int drive(Sim& sim, runtime::Device& trace_dev, const Args& args) {
     const bool ok = session->finish(trace_dev);
     if (metrics) session->metrics().print(std::cout);
     if (session->tracing()) {
+      // Non-zero drops mean the bounded trace buffer truncated the
+      // timeline — surfaced here so CI smoke can assert on it.
+      std::cout << "trace dropped records: " << session->dropped() << "\n";
       if (ok) {
         std::cout << "perfetto trace written to " << session->trace_path()
                   << " (load at ui.perfetto.dev)\n";
@@ -194,6 +206,19 @@ int drive(Sim& sim, runtime::Device& trace_dev, const Args& args) {
         std::cerr << "warning: could not write trace to "
                   << session->trace_path() << "\n";
       }
+    }
+    if (trace::TelemetryWriter* tel = session->telemetry();
+        tel != nullptr && tel->ok()) {
+      std::cout << "telemetry stream written to " << tel->path() << " ("
+                << tel->lines() << " records)\n";
+    }
+  }
+  if (trace::FlightRecorder* fr = sim.flight_recorder();
+      fr != nullptr && flight_dump) {
+    if (fr->dump("on demand (gothic_run --flight-dump)")) {
+      std::cout << "flight-recorder dump written to "
+                << trace::FlightRecorder::env_flight_path() << " ("
+                << fr->seen_records() << " launches seen)\n";
     }
   }
   return 0;
@@ -214,6 +239,15 @@ int shard_count(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
+    // --flight-dump enables the recorder the same way GOTHIC_FLIGHT does
+    // (the simulations read the variable at construction); an explicit
+    // GOTHIC_FLIGHT destination wins over the flag's default file.
+    if (args.has("flight-dump") &&
+        std::getenv("GOTHIC_FLIGHT") == nullptr) {
+      std::string dest = args.get("flight-dump", "");
+      if (dest.empty()) dest = "flight.json";
+      setenv("GOTHIC_FLIGHT", dest.c_str(), 1);
+    }
     const int shards = shard_count(args);
     if (shards > 1) {
       nbody::ShardOptions opt;
