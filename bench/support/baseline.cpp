@@ -125,17 +125,21 @@ MetricSet extract(const JsonValue& doc) {
   }
   MetricSet out;
   if (doc.has("scale")) {
-    // Reports are comparable only at the same problem scale and
-    // scheduler/substrate configuration.
+    // Reports are comparable only at the same problem scale,
+    // scheduler/substrate configuration, and workload identity (the
+    // scenario/force keys bench_scenario stamps into the scale stanza).
     const JsonValue& s = doc.at("scale");
-    for (const char* key : {"n", "steps", "dacc_min_exp", "async", "simd"}) {
+    for (const char* key : {"n", "steps", "dacc_min_exp", "async", "simd",
+                            "scenario", "force"}) {
       out.scale += key;
       out.scale += '=';
       if (s.has(key)) {
         const JsonValue& v = s.at(key);
-        out.scale += v.type == JsonValue::Type::Bool
-                         ? (v.boolean ? "1" : "0")
-                         : num(v.number);
+        switch (v.type) {
+          case JsonValue::Type::Bool: out.scale += v.boolean ? "1" : "0"; break;
+          case JsonValue::Type::String: out.scale += v.str; break;
+          default: out.scale += num(v.number); break;
+        }
       }
       out.scale += ';';
     }

@@ -32,7 +32,14 @@ std::string escaped(const std::string& s) {
   return out;
 }
 
-std::string quoted(const std::string& s) { return "\"" + escaped(s) + "\""; }
+// Built with += rather than `"\"" + escaped(s) + "\""` — the rvalue
+// operator+ chain trips a GCC 12 -Wrestrict false positive when inlined.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  out += escaped(s);
+  out += '"';
+  return out;
+}
 
 std::string num(double v) {
   char buf[40];
@@ -78,6 +85,15 @@ void BenchReport::set_scale(const BenchScale& scale) {
                 ", \"threads\": " + std::to_string(scale.threads) +
                 ", \"async\": " + (scale.async ? "true" : "false") +
                 ", \"simd\": " + (scale.simd ? "true" : "false") + "}";
+}
+
+void BenchReport::set_scale(const BenchScale& scale,
+                            const std::string& scenario,
+                            const std::string& force) {
+  set_scale(scale);
+  scale_json_.pop_back(); // reopen the object to append the matrix keys
+  scale_json_ += ", \"scenario\": " + quoted(scenario) +
+                 ", \"force\": " + quoted(force) + "}";
 }
 
 void BenchReport::add_table(const Table& t) {

@@ -24,6 +24,12 @@ public:
   explicit BenchReport(std::string name);
 
   void set_scale(const BenchScale& scale);
+  /// Scale with the scenario matrix fingerprint: appends "scenario" (the
+  /// registry entry name) and "force" (force_law_name) keys, so
+  /// bench_diff refuses to compare reports from different scenarios (the
+  /// baseline store folds every scale key into its fingerprint).
+  void set_scale(const BenchScale& scale, const std::string& scenario,
+                 const std::string& force);
   /// Serialise a printed table verbatim (title, headers, string rows).
   void add_table(const Table& t);
   /// One measured configuration: per-kernel op-category counts plus the

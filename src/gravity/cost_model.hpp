@@ -47,6 +47,23 @@ inline constexpr std::uint64_t kQuadMul = 9;
 /// Extra shared-memory footprint / load per pseudo-particle with moments.
 inline constexpr std::uint64_t kQuadBytes = 24;
 
+// Lennard-Jones force kernel (ForceLaw::LennardJones), per pair:
+//   dx,dy,dz = r_j - r_i                  -> 3 FP32 add
+//   r2 = dx^2 + dy^2 + dz^2               -> 1 mul + 2 FMA
+//   cutoff/self test (r2 > 0, r2 <= rc2)  -> 2 compares (int below)
+//   inv = 1/r2                            -> 1 division (SFU class)
+//   s2 = sig2*inv; s6 = (s2*s2)*s2; s12   -> 4 mul
+//   coef = 24 eps m_j (s6 - 2 s12) inv    -> 2 add + 4 mul
+//   vpair = 4 eps m_j (s12 - s6)          -> 1 add + 2 mul
+//   a += coef*{dx,dy,dz} (masked)         -> 3 FMA
+//   pot += vpair (masked)                 -> 1 add
+// plus list indexing and the two masks    -> ~5 integer instructions.
+inline constexpr std::uint64_t kLjPairAdd = 7;
+inline constexpr std::uint64_t kLjPairFma = 5;
+inline constexpr std::uint64_t kLjPairMul = 10;
+inline constexpr std::uint64_t kLjPairSpecial = 1;
+inline constexpr std::uint64_t kLjPairInt = 5;
+
 // MAC evaluation, per (group, node).
 inline constexpr std::uint64_t kMacAdd = 6;
 inline constexpr std::uint64_t kMacFma = 3;

@@ -61,6 +61,68 @@ void direct_forces(std::span<const real> x, std::span<const real> y,
   }
 }
 
+void direct_forces_lj(std::span<const real> x, std::span<const real> y,
+                      std::span<const real> z, std::span<const real> m,
+                      const LJParams& lj, real g, std::span<real> ax,
+                      std::span<real> ay, std::span<real> az,
+                      std::span<real> pot, simt::OpCounts* ops) {
+  const std::size_t n = x.size();
+  if (y.size() != n || z.size() != n || m.size() != n || ax.size() != n ||
+      ay.size() != n || az.size() != n ||
+      (!pot.empty() && pot.size() != n)) {
+    throw std::invalid_argument("direct_forces_lj: span size mismatch");
+  }
+  if (!(lj.sigma > real(0)) || !(lj.epsilon > real(0)) ||
+      !(lj.cutoff > real(0))) {
+    throw std::invalid_argument(
+        "direct_forces_lj: sigma, epsilon and cutoff must be positive");
+  }
+  // Identical per-pair float sequence as walk_tree's flush_list_lj, so the
+  // only tree-vs-direct difference is summation order.
+  const float sig2 = lj.sigma * lj.sigma;
+  const float rc2 = lj.cutoff * lj.cutoff;
+  const float ecoef = 24.0f * lj.epsilon;
+  const float e4 = 4.0f * lj.epsilon;
+
+  runtime::Device::current().parallel_for(0, n, [&](std::size_t i) {
+    const float xi = x[i], yi = y[i], zi = z[i];
+    float sx = 0, sy = 0, sz = 0, sp = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float dx = x[j] - xi;
+      const float dy = y[j] - yi;
+      const float dz = z[j] - zi;
+      const float r2 = dx * dx + dy * dy + dz * dz;
+      const bool in = r2 > 0.0f && r2 <= rc2;
+      const float inv = 1.0f / r2;
+      const float s2 = sig2 * inv;
+      const float s6 = (s2 * s2) * s2;
+      const float s12 = s6 * s6;
+      const float coef = (ecoef * m[j]) * ((s6 - (s12 + s12)) * inv);
+      const float vpair = (e4 * m[j]) * (s12 - s6);
+      sx += in ? coef * dx : 0.0f;
+      sy += in ? coef * dy : 0.0f;
+      sz += in ? coef * dz : 0.0f;
+      sp += in ? vpair : 0.0f;
+    }
+    ax[i] = g * sx;
+    ay[i] = g * sy;
+    az[i] = g * sz;
+    if (!pot.empty()) pot[i] = g * sp;
+  });
+
+  if (ops != nullptr) {
+    const auto pairs = static_cast<std::uint64_t>(n) * n;
+    ops->fp32_add += pairs * cost::kLjPairAdd;
+    ops->fp32_fma += pairs * cost::kLjPairFma;
+    ops->fp32_mul += pairs * cost::kLjPairMul;
+    ops->fp32_special += pairs * cost::kLjPairSpecial;
+    ops->int_ops += pairs * cost::kLjPairInt;
+    ops->bytes_load += static_cast<std::uint64_t>(n) * 16 +
+                       pairs / kWarpSize * 16;
+    ops->bytes_store += static_cast<std::uint64_t>(n) * 16;
+  }
+}
+
 void direct_forces_ref(std::span<const real> x, std::span<const real> y,
                        std::span<const real> z, std::span<const real> m,
                        double eps, double g, std::span<double> ax,

@@ -3,6 +3,7 @@
 // tests and the accuracy_sweep example.
 #pragma once
 
+#include "gravity/walk_tree.hpp"
 #include "simt/op_counter.hpp"
 #include "util/types.hpp"
 
@@ -28,5 +29,19 @@ void direct_forces_ref(std::span<const real> x, std::span<const real> y,
                        double eps, double g, std::span<double> ax,
                        std::span<double> ay, std::span<double> az,
                        std::span<double> pot = {});
+
+/// Single-precision direct summation of the truncated Lennard-Jones law
+/// (ForceLaw::LennardJones) with the exact per-pair sequence of the tree
+/// walk's flush kernel — the reference the scenario physics-oracle suite
+/// compares the LJ tree walk against (the tree result differs only by
+/// summation order). Self pairs and pairs beyond lj.cutoff contribute
+/// exactly zero; `pot` follows the same mass-weighted specific-potential
+/// convention as the walk.
+void direct_forces_lj(std::span<const real> x, std::span<const real> y,
+                      std::span<const real> z, std::span<const real> m,
+                      const LJParams& lj, real g, std::span<real> ax,
+                      std::span<real> ay, std::span<real> az,
+                      std::span<real> pot = {},
+                      simt::OpCounts* ops = nullptr);
 
 } // namespace gothic::gravity

@@ -31,8 +31,8 @@ using simt::Warp;
 /// invisible: the butterfly reductions are bit-identical on both paths,
 /// so bounds exported under one GOTHIC_SIMD setting stay sufficient for
 /// a walk under the other (asserted by the poisoned-view boundary test).
-bool conservative_accept(const octree::Octree& tree, const MacParams& mac,
-                         real g, const LetBounds& dst, index_t node) {
+bool conservative_accept(const octree::Octree& tree, const WalkConfig& cfg,
+                         const LetBounds& dst, index_t node) {
   const auto cx = static_cast<double>(tree.com_x[node]);
   const auto cy = static_cast<double>(tree.com_y[node]);
   const auto cz = static_cast<double>(tree.com_z[node]);
@@ -49,14 +49,21 @@ bool conservative_accept(const octree::Octree& tree, const MacParams& mac,
   double lb = dist - slack - static_cast<double>(dst.rgrp_max);
   if (lb < 0.0) lb = 0.0;
   float deff = std::nextafterf(static_cast<float>(lb), 0.0f);
+  if (cfg.law == ForceLaw::LennardJones) {
+    // Cutoff-MAC pruning direction: if even the lower-bound distance culls
+    // (deff > cutoff + bmax), every destination group's own walk — whose
+    // deff can only be larger — culls too, so the subtree is never read.
+    return deff > cfg.lj.cutoff + tree.bmax[node];
+  }
   const float bsize =
-      mac.type == MacType::Gadget
+      cfg.mac.type == MacType::Gadget
           ? tree.box.edge / static_cast<float>(1u << tree.depth[node])
           : tree.bmax[node];
-  return mac_accept(mac, deff, tree.mass[node], bsize, dst.amin_min, g);
+  return mac_accept(cfg.mac, deff, tree.mass[node], bsize, dst.amin_min,
+                    cfg.g);
 }
 
-void build_let_node(const octree::Octree& tree, const MacParams& mac, real g,
+void build_let_node(const octree::Octree& tree, const WalkConfig& cfg,
                     index_t src_begin, index_t src_end, const LetBounds& dst,
                     index_t node, LetExport& out) {
   const index_t first = tree.body_first[node];
@@ -64,7 +71,7 @@ void build_let_node(const octree::Octree& tree, const MacParams& mac, real g,
   if (end <= src_begin || first >= src_end) return; // disjoint subtree
   const bool inside = first >= src_begin && end <= src_end;
   if (inside) out.cells.push_back(node);
-  if (conservative_accept(tree, mac, g, dst, node)) return; // pruned
+  if (conservative_accept(tree, cfg, dst, node)) return; // pruned
   if (tree.is_leaf(node)) {
     // A leaf some destination group may open spills its bodies. Leaves
     // straddling the source range are top leaves, replicated everywhere.
@@ -76,7 +83,7 @@ void build_let_node(const octree::Octree& tree, const MacParams& mac, real g,
   const index_t c0 = tree.child_first[node];
   const index_t cn = tree.child_count[node];
   for (index_t c = 0; c < cn; ++c) {
-    build_let_node(tree, mac, g, src_begin, src_end, dst, c0 + c, out);
+    build_let_node(tree, cfg, src_begin, src_end, dst, c0 + c, out);
   }
 }
 
@@ -162,11 +169,11 @@ LetBounds let_bounds(std::span<const real> x, std::span<const real> y,
   return b;
 }
 
-void build_let(const octree::Octree& tree, const MacParams& mac, real g,
+void build_let(const octree::Octree& tree, const WalkConfig& cfg,
                index_t src_begin, index_t src_end, const LetBounds& dst,
                LetExport& out) {
   if (!dst.any || src_begin >= src_end || tree.num_nodes() == 0) return;
-  build_let_node(tree, mac, g, src_begin, src_end, dst, 0, out);
+  build_let_node(tree, cfg, src_begin, src_end, dst, 0, out);
 }
 
 } // namespace gothic::gravity

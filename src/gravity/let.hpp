@@ -85,7 +85,11 @@ struct LetExport {
 /// the sharded pipeline replicates those (and their leaf body ranges)
 /// everywhere, so they are recursed through but never exported. When
 /// `!dst.any` the destination walks nothing and the export is empty.
-void build_let(const octree::Octree& tree, const MacParams& mac, real g,
+/// `cfg` supplies the force law the destination walks with: gravity prunes
+/// below conservatively-accepted cells (mac/g), Lennard-Jones prunes below
+/// conservatively-culled cells (lj.cutoff) — both tests are monotone in
+/// the same direction, so the conservative distance bound transfers.
+void build_let(const octree::Octree& tree, const WalkConfig& cfg,
                index_t src_begin, index_t src_end, const LetBounds& dst,
                LetExport& out);
 

@@ -396,6 +396,101 @@ int flush_list_avx2(const GroupTask& t, const InteractionList& list, int gn,
   }
   return gn;
 }
+/// AVX2 lane kernel of flush_list_lj: the Lennard-Jones mirror of
+/// flush_list_avx2, executing *exactly* the scalar per-pair sequence below
+/// (same mul association, IEEE division for 1/r2, -ffp-contract=off).
+/// Out-of-range and self pairs are masked with _mm256_and_ps, whose
+/// all-zero lanes produce the same +0.0f the scalar ternary's literal
+/// does — including when the unmasked product is inf/NaN (r2 == 0) — so
+/// the masked select-then-add matches the scalar loop bit for bit.
+/// Returns gn.
+int flush_list_lj_avx2(const GroupTask& t, const InteractionList& list,
+                       int gn, std::size_t g0, LaneArray<float>& acc_x,
+                       LaneArray<float>& acc_y, LaneArray<float>& acc_z,
+                       LaneArray<float>& acc_p) {
+  namespace v = simt::simd;
+  const float sig2 = t.cfg->lj.sigma * t.cfg->lj.sigma;
+  const float rc2 = t.cfg->lj.cutoff * t.cfg->lj.cutoff;
+  const float ecoef = 24.0f * t.cfg->lj.epsilon;
+  const float e4 = 4.0f * t.cfg->lj.epsilon;
+  const int ls = list.size;
+  const v::f32x8 sig2v = v::broadcast(sig2);
+  const v::f32x8 rc2v = v::broadcast(rc2);
+  const v::f32x8 ecoefv = v::broadcast(ecoef);
+  const v::f32x8 e4v = v::broadcast(e4);
+  const v::f32x8 one = v::broadcast(1.0f);
+  const v::f32x8 zero = _mm256_setzero_ps();
+  const auto kernel = [&](v::f32x8 xi, v::f32x8 yi, v::f32x8 zi,
+                          v::f32x8& sx, v::f32x8& sy, v::f32x8& sz,
+                          v::f32x8& sp) {
+    for (int j = 0; j < ls; ++j) {
+      const v::f32x8 smj = v::broadcast(list.sm[j]);
+      const v::f32x8 dx = v::sub(v::broadcast(list.sx[j]), xi);
+      const v::f32x8 dy = v::sub(v::broadcast(list.sy[j]), yi);
+      const v::f32x8 dz = v::sub(v::broadcast(list.sz[j]), zi);
+      const v::f32x8 r2 = v::add(
+          v::add(v::mul(dx, dx), v::mul(dy, dy)), v::mul(dz, dz));
+      // in-range mask: r2 > 0 drops self pairs (the group's own spilled
+      // bodies), r2 <= rc2 is the exact per-pair cutoff. Ordered-quiet
+      // compares reject NaN like the scalar &&.
+      const v::f32x8 in =
+          _mm256_and_ps(_mm256_cmp_ps(r2, zero, _CMP_GT_OQ),
+                        _mm256_cmp_ps(r2, rc2v, _CMP_LE_OQ));
+      const v::f32x8 inv = _mm256_div_ps(one, r2);
+      const v::f32x8 s2 = v::mul(sig2v, inv);
+      const v::f32x8 s6 = v::mul(v::mul(s2, s2), s2);
+      const v::f32x8 s12 = v::mul(s6, s6);
+      const v::f32x8 coef = v::mul(
+          v::mul(ecoefv, smj),
+          v::mul(v::sub(s6, v::add(s12, s12)), inv));
+      const v::f32x8 vpair = v::mul(v::mul(e4v, smj), v::sub(s12, s6));
+      sx = v::add(sx, _mm256_and_ps(in, v::mul(coef, dx)));
+      sy = v::add(sy, _mm256_and_ps(in, v::mul(coef, dy)));
+      sz = v::add(sz, _mm256_and_ps(in, v::mul(coef, dz)));
+      sp = v::add(sp, _mm256_and_ps(in, vpair));
+    }
+  };
+  const int full = gn & ~7;
+  for (int lane = 0; lane < full; lane += 8) {
+    const v::f32x8 xi = v::load8(t.x.data() + g0 + lane);
+    const v::f32x8 yi = v::load8(t.y.data() + g0 + lane);
+    const v::f32x8 zi = v::load8(t.z.data() + g0 + lane);
+    v::f32x8 sx = _mm256_setzero_ps();
+    v::f32x8 sy = _mm256_setzero_ps();
+    v::f32x8 sz = _mm256_setzero_ps();
+    v::f32x8 sp = _mm256_setzero_ps();
+    kernel(xi, yi, zi, sx, sy, sz, sp);
+    v::store8(acc_x.data() + lane, v::add(v::load8(acc_x.data() + lane), sx));
+    v::store8(acc_y.data() + lane, v::add(v::load8(acc_y.data() + lane), sy));
+    v::store8(acc_z.data() + lane, v::add(v::load8(acc_z.data() + lane), sz));
+    v::store8(acc_p.data() + lane, v::add(v::load8(acc_p.data() + lane), sp));
+  }
+  if (const int rn = gn - full; rn > 0) {
+    // Masked remainder, as in flush_list_avx2: dead lanes load zeros
+    // (r2 = 0 there masks their garbage out anyway) and are never stored.
+    const v::i32x8 tm = v::tail_mask8(rn);
+    const v::f32x8 xi = _mm256_maskload_ps(t.x.data() + g0 + full, tm);
+    const v::f32x8 yi = _mm256_maskload_ps(t.y.data() + g0 + full, tm);
+    const v::f32x8 zi = _mm256_maskload_ps(t.z.data() + g0 + full, tm);
+    v::f32x8 sx = _mm256_setzero_ps();
+    v::f32x8 sy = _mm256_setzero_ps();
+    v::f32x8 sz = _mm256_setzero_ps();
+    v::f32x8 sp = _mm256_setzero_ps();
+    kernel(xi, yi, zi, sx, sy, sz, sp);
+    _mm256_maskstore_ps(acc_x.data() + full, tm,
+                        v::add(v::load8(acc_x.data() + full), sx));
+    _mm256_maskstore_ps(acc_y.data() + full, tm,
+                        v::add(v::load8(acc_y.data() + full), sy));
+    _mm256_maskstore_ps(acc_z.data() + full, tm,
+                        v::add(v::load8(acc_z.data() + full), sz));
+    _mm256_maskstore_ps(acc_p.data() + full, tm,
+                        v::add(v::load8(acc_p.data() + full), sp));
+  }
+  return gn;
+}
+#endif // GOTHIC_SIMD_AVX2
+
+#if GOTHIC_SIMD_AVX2
 /// AVX2 lane kernel of the per-batch MAC sweep: eight frontier nodes per
 /// iteration — centre-of-mass/mass/bmax gathered by node index, distance,
 /// deff and the acceptance inequality evaluated in lane registers with the
@@ -470,6 +565,68 @@ int mac_eval_avx2(const Octree& tree, const WalkConfig& cfg, float ctr_x,
 }
 #endif // GOTHIC_SIMD_AVX2
 
+/// Flush (ForceLaw::LennardJones): truncated 12-6 forces of all listed
+/// bodies on the group's bodies. The list holds only spilled leaf bodies
+/// (the cutoff MAC never appends pseudo-particles), and every pair is
+/// re-tested against the cutoff here, so the tree result equals the
+/// direct sum up to summation order. Self pairs (r2 == 0) mask to zero —
+/// that is also what keeps the group's own spilled bodies harmless.
+void flush_list_lj(const GroupTask& t, InteractionList& list, int gn,
+                   std::size_t g0, LaneArray<float>& acc_x,
+                   LaneArray<float>& acc_y, LaneArray<float>& acc_z,
+                   LaneArray<float>& acc_p, simt::OpCounts& counts,
+                   WalkStats& stats) {
+  const float sig2 = t.cfg->lj.sigma * t.cfg->lj.sigma;
+  const float rc2 = t.cfg->lj.cutoff * t.cfg->lj.cutoff;
+  const float ecoef = 24.0f * t.cfg->lj.epsilon;
+  const float e4 = 4.0f * t.cfg->lj.epsilon;
+  const int ls = list.size;
+  int lane0 = 0;
+#if GOTHIC_SIMD_AVX2
+  if (simt::simd_enabled()) {
+    lane0 = flush_list_lj_avx2(t, list, gn, g0, acc_x, acc_y, acc_z, acc_p);
+  }
+#endif
+  for (int lane = lane0; lane < gn; ++lane) {
+    const float xi = t.x[g0 + lane];
+    const float yi = t.y[g0 + lane];
+    const float zi = t.z[g0 + lane];
+    float sx = 0, sy = 0, sz = 0, sp = 0;
+    for (int j = 0; j < ls; ++j) {
+      const float dx = list.sx[j] - xi;
+      const float dy = list.sy[j] - yi;
+      const float dz = list.sz[j] - zi;
+      const float r2 = dx * dx + dy * dy + dz * dz;
+      const bool in = r2 > 0.0f && r2 <= rc2;
+      const float inv = 1.0f / r2;
+      const float s2 = sig2 * inv;
+      const float s6 = (s2 * s2) * s2;
+      const float s12 = s6 * s6;
+      // a_i += m_j 24 eps (s6 - 2 s12) / r2 * d  (d points from i to j, so
+      // a positive coefficient is attractive); pot_i += m_j 4 eps (s12-s6).
+      const float coef = (ecoef * list.sm[j]) * ((s6 - (s12 + s12)) * inv);
+      const float vpair = (e4 * list.sm[j]) * (s12 - s6);
+      sx += in ? coef * dx : 0.0f;
+      sy += in ? coef * dy : 0.0f;
+      sz += in ? coef * dz : 0.0f;
+      sp += in ? vpair : 0.0f;
+    }
+    acc_x[lane] += sx;
+    acc_y[lane] += sy;
+    acc_z[lane] += sz;
+    acc_p[lane] += sp;
+  }
+  const auto pairs = static_cast<std::uint64_t>(gn) * ls;
+  counts.fp32_add += pairs * cost::kLjPairAdd;
+  counts.fp32_fma += pairs * cost::kLjPairFma;
+  counts.fp32_mul += pairs * cost::kLjPairMul;
+  counts.fp32_special += pairs * cost::kLjPairSpecial;
+  counts.int_ops += pairs * cost::kLjPairInt;
+  stats.interactions += pairs;
+  stats.flushes += 1;
+  list.size = 0;
+}
+
 /// Flush: gravity of all listed sources on the group's bodies.
 void flush_list(const GroupTask& t, InteractionList& list, int gn,
                 std::size_t g0, LaneArray<float>& acc_x,
@@ -477,6 +634,11 @@ void flush_list(const GroupTask& t, InteractionList& list, int gn,
                 LaneArray<float>& acc_p, simt::OpCounts& counts,
                 WalkStats& stats) {
   if (list.size == 0) return;
+  if (t.cfg->law == ForceLaw::LennardJones) {
+    flush_list_lj(t, list, gn, g0, acc_x, acc_y, acc_z, acc_p, counts,
+                  stats);
+    return;
+  }
   // Accumulators and lane stores are float end to end (explicitly, not via
   // `real`): eps2, the per-pair temporaries and the acc_* updates below
   // narrow nowhere, so the scalar and SIMD paths cannot diverge on a store.
@@ -612,30 +774,58 @@ void walk_group(const GroupTask& t, std::size_t g0, int gn, Workspace& ws,
       LaneArray<int> child_n{};
       int mac_lane0 = 0;
 #if GOTHIC_SIMD_AVX2
-      if (simt::simd_enabled() && cfg.mac.type != MacType::Gadget) {
+      if (simt::simd_enabled() && cfg.law == ForceLaw::Gravity &&
+          cfg.mac.type != MacType::Gadget) {
         mac_lane0 =
             mac_eval_avx2(tree, cfg, ctr_x, ctr_y, ctr_z, rgrp, amin,
                           &ws.cur[batch], bn, accepted, spill_leaf, child_n);
       }
 #endif
-      for (int lane = mac_lane0; lane < bn; ++lane) {
-        const index_t node = ws.cur[batch + lane];
-        const float dx = tree.com_x[node] - ctr_x;
-        const float dy = tree.com_y[node] - ctr_y;
-        const float dz = tree.com_z[node] - ctr_z;
-        const float d = std::sqrt(dx * dx + dy * dy + dz * dz);
-        const float deff = std::max(d - rgrp, 0.0f);
-        // The Gadget MAC opens by cell edge length; the others use bmax.
-        const float bsize =
-            cfg.mac.type == MacType::Gadget
-                ? tree.box.edge / static_cast<float>(1u << tree.depth[node])
-                : tree.bmax[node];
-        const bool ok = mac_accept(cfg.mac, deff, tree.mass[node], bsize,
-                                   amin, cfg.g);
-        accepted[lane] = ok;
-        const bool leaf = tree.is_leaf(node);
-        spill_leaf[lane] = !ok && leaf;
-        child_n[lane] = (!ok && !leaf) ? tree.child_count[node] : 0;
+      if (cfg.law == ForceLaw::LennardJones) {
+        // Cutoff MAC (no pseudo-particles): a node is culled — dropped
+        // entirely — when every body below it provably lies beyond the
+        // cutoff of every group body: deff lower-bounds the group-to-com
+        // distance and bmax bounds the subtree's spread about its com, so
+        // deff > cutoff + bmax implies every pair distance > cutoff.
+        // Culling is only an optimisation: reached pairs re-test the
+        // cutoff exactly in the flush, so a non-culled far node changes
+        // nothing. NaN geometry (a poisoned shard view) compares false,
+        // descends, and surfaces as NaN forces — never a silent cull.
+        // Like the Gadget MAC, this stays on the scalar loop under both
+        // substrates, so the decisions are substrate-identical trivially.
+        for (int lane = mac_lane0; lane < bn; ++lane) {
+          const index_t node = ws.cur[batch + lane];
+          const float dx = tree.com_x[node] - ctr_x;
+          const float dy = tree.com_y[node] - ctr_y;
+          const float dz = tree.com_z[node] - ctr_z;
+          const float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+          const float deff = std::max(d - rgrp, 0.0f);
+          const bool culled = deff > cfg.lj.cutoff + tree.bmax[node];
+          accepted[lane] = false;
+          const bool leaf = tree.is_leaf(node);
+          spill_leaf[lane] = !culled && leaf;
+          child_n[lane] = (!culled && !leaf) ? tree.child_count[node] : 0;
+        }
+      } else {
+        for (int lane = mac_lane0; lane < bn; ++lane) {
+          const index_t node = ws.cur[batch + lane];
+          const float dx = tree.com_x[node] - ctr_x;
+          const float dy = tree.com_y[node] - ctr_y;
+          const float dz = tree.com_z[node] - ctr_z;
+          const float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+          const float deff = std::max(d - rgrp, 0.0f);
+          // The Gadget MAC opens by cell edge length; the others use bmax.
+          const float bsize =
+              cfg.mac.type == MacType::Gadget
+                  ? tree.box.edge / static_cast<float>(1u << tree.depth[node])
+                  : tree.bmax[node];
+          const bool ok = mac_accept(cfg.mac, deff, tree.mass[node], bsize,
+                                     amin, cfg.g);
+          accepted[lane] = ok;
+          const bool leaf = tree.is_leaf(node);
+          spill_leaf[lane] = !ok && leaf;
+          child_n[lane] = (!ok && !leaf) ? tree.child_count[node] : 0;
+        }
       }
       counts.bytes_load += static_cast<std::uint64_t>(
           static_cast<double>(bn) * cost::kNodeBytes *
@@ -757,20 +947,24 @@ void walk_group(const GroupTask& t, std::size_t g0, int gn, Workspace& ws,
 
   // --- store results -------------------------------------------------------
   const real g = cfg.g;
+  const bool lj = cfg.law == ForceLaw::LennardJones;
   for (int lane = 0; lane < gn; ++lane) {
     t.ax[g0 + lane] = g * acc_x[lane];
     t.ay[g0 + lane] = g * acc_y[lane];
     t.az[g0 + lane] = g * acc_z[lane];
     if (!t.pot.empty()) {
-      // Remove the self-interaction potential introduced by the group's
-      // own leaf spill (force contribution is exactly zero).
+      // Gravity: remove the self-interaction potential introduced by the
+      // group's own leaf spill (force contribution is exactly zero).
+      // Lennard-Jones masks self pairs to zero in the flush, so there is
+      // nothing to correct.
       t.pot[g0 + lane] =
-          g * (acc_p[lane] + t.m[g0 + lane] / cfg.eps);
+          lj ? g * acc_p[lane]
+             : g * (acc_p[lane] + t.m[g0 + lane] / cfg.eps);
     }
   }
   counts.fp32_mul += static_cast<std::uint64_t>(gn) * 3;
   counts.bytes_store += static_cast<std::uint64_t>(gn) * 16;
-  if (!t.pot.empty()) {
+  if (!t.pot.empty() && !lj) {
     counts.fp32_add += static_cast<std::uint64_t>(gn);
     counts.fp32_special += static_cast<std::uint64_t>(gn);
   }
@@ -809,6 +1003,18 @@ void walk_tree(const Octree& tree, std::span<const real> x,
     throw std::invalid_argument(
         "walk_tree: use_quadrupole requires calc_node with "
         "compute_quadrupole");
+  }
+  if (cfg.law == ForceLaw::LennardJones) {
+    if (cfg.use_quadrupole) {
+      throw std::invalid_argument(
+          "walk_tree: Lennard-Jones has no quadrupole term");
+    }
+    if (!(cfg.lj.sigma > real(0)) || !(cfg.lj.epsilon > real(0)) ||
+        !(cfg.lj.cutoff > real(0))) {
+      throw std::invalid_argument(
+          "walk_tree: Lennard-Jones requires positive sigma, epsilon and "
+          "cutoff");
+    }
   }
 
   GroupTask task{&tree, x, y, z, m, aold_mag, &cfg, ax, ay, az, pot};

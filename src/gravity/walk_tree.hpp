@@ -57,6 +57,42 @@ inline constexpr double kAutoStaticActivityFraction = 0.75;
 /// ...and the previous walk's imbalance ratio stayed below this bound.
 inline constexpr double kAutoImbalanceTolerance = 1.25;
 
+/// Interaction law evaluated by the flush kernel. The traversal machinery
+/// (group decomposition, frontier batching, list flushing, schedules,
+/// sharding) is shared; only the per-node acceptance test and the per-pair
+/// kernel change — the seam exafmm's van-der-Waals traversal demonstrates.
+enum class ForceLaw : int {
+  /// Plummer-softened monopole (optionally quadrupole) gravity, Eq. 1,
+  /// with MAC-accepted pseudo-particles (MacParams decides acceptance).
+  Gravity = 0,
+  /// Truncated 12-6 Lennard-Jones over the same tree walk. There are no
+  /// pseudo-particles: a node is *culled* when its whole subtree provably
+  /// lies beyond the cutoff (deff > cutoff + bmax, the "cutoff MAC"),
+  /// otherwise it is opened; reached leaves spill bodies and every pair is
+  /// re-tested against the cutoff exactly, so culling only needs to be
+  /// conservative. MacParams and use_quadrupole are ignored/rejected.
+  LennardJones = 1,
+};
+
+[[nodiscard]] constexpr const char* force_law_name(ForceLaw law) {
+  switch (law) {
+    case ForceLaw::LennardJones: return "lj";
+    case ForceLaw::Gravity: default: return "gravity";
+  }
+}
+
+/// Lennard-Jones parameters (ForceLaw::LennardJones). Pair energy is
+/// mass-weighted so Newton's third law holds for unequal masses:
+///   U_ij = 4 eps_lj m_i m_j [ (sigma/r)^12 - (sigma/r)^6 ],  r <= cutoff
+/// and the walk stores specific potentials pot_i = sum_j m_j 4 eps_lj
+/// (s12 - s6), so nbody's W = 1/2 sum m_i pot_i convention is unchanged.
+/// `cutoff` is an absolute distance (conventionally ~2.5 sigma).
+struct LJParams {
+  real sigma = real(1);
+  real epsilon = real(1);
+  real cutoff = real(2.5);
+};
+
 /// Caller-owned cost-feedback state of the cost-weighted walk schedule:
 /// `cost` persists the per-group measured cost (interaction + MAC work)
 /// across walk_tree calls; `weights` is the activity-masked scratch the
@@ -96,6 +132,10 @@ struct WalkConfig {
   /// Raises per-interaction cost but lets a coarser dacc reach the same
   /// force accuracy (bench_ablation_quadrupole).
   bool use_quadrupole = false;
+  /// Which pairwise law the flush kernel evaluates (see ForceLaw).
+  ForceLaw law = ForceLaw::Gravity;
+  /// Lennard-Jones parameters; read only when law == LennardJones.
+  LJParams lj{};
   /// How the group loop is spread over the device workers; numerically
   /// invisible (see WalkSchedule). Cost-weighted is the GOTHIC default —
   /// it needs a GroupCosts vector to act on and otherwise behaves as

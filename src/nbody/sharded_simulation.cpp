@@ -394,7 +394,7 @@ void ShardedSimulation::let_import(Shard& sh) {
     if (src == sh.id) continue;
     gravity::LetExport& imp = sh.imports[static_cast<std::size_t>(src)];
     imp.clear();
-    gravity::build_let(tree_, cfg_.walk.mac, cfg_.walk.g,
+    gravity::build_let(tree_, cfg_.walk,
                        body_bounds_[static_cast<std::size_t>(src)],
                        body_bounds_[static_cast<std::size_t>(src) + 1],
                        sh.bounds, imp);

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 
 namespace gothic::nbody {
 
@@ -43,6 +44,13 @@ struct SimConfig {
   bool auto_rebuild = true;
   int fixed_rebuild_interval = 8;
   RebuildPolicy::Config policy{};
+
+  /// Name of the scenario-registry entry this configuration came from
+  /// (src/scenario); empty for hand-built configs. A workload label only —
+  /// carried into bench scale fingerprints and error messages, never read
+  /// by the step loop — so nbody stays independent of the registry.
+  /// ShardedSimulation takes the same SimConfig and inherits it.
+  std::string scenario;
 
   /// Set the simt scheduling mode of every kernel at once.
   void set_mode(simt::ExecMode mode) {

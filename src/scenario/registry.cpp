@@ -1,0 +1,510 @@
+#include "scenario/registry.hpp"
+
+#include "galaxy/m31.hpp"
+#include "galaxy/spherical_sampler.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gothic::scenario {
+
+namespace {
+
+/// Merge two particle sets, offsetting the second by (+dx,+dy,+dz) in
+/// position and (+dvx,+dvy,+dvz) in velocity and the first by the
+/// negation — a symmetric two-body orbit setup (galaxy_collision idiom).
+nbody::Particles merge_pair(nbody::Particles a, const nbody::Particles& b,
+                            double dx, double dy, double dz, double dvx,
+                            double dvy, double dvz) {
+  const std::size_t na = a.size();
+  const std::size_t n = na + b.size();
+  auto grow = [n](std::vector<real>& v) { v.resize(n, real(0)); };
+  grow(a.x);
+  grow(a.y);
+  grow(a.z);
+  grow(a.vx);
+  grow(a.vy);
+  grow(a.vz);
+  grow(a.ax);
+  grow(a.ay);
+  grow(a.az);
+  grow(a.pot);
+  grow(a.m);
+  grow(a.aold_mag);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    a.x[na + i] = b.x[i] + static_cast<real>(dx);
+    a.y[na + i] = b.y[i] + static_cast<real>(dy);
+    a.z[na + i] = b.z[i] + static_cast<real>(dz);
+    a.vx[na + i] = b.vx[i] + static_cast<real>(dvx);
+    a.vy[na + i] = b.vy[i] + static_cast<real>(dvy);
+    a.vz[na + i] = b.vz[i] + static_cast<real>(dvz);
+    a.m[na + i] = b.m[i];
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    a.x[i] -= static_cast<real>(dx);
+    a.y[i] -= static_cast<real>(dy);
+    a.z[i] -= static_cast<real>(dz);
+    a.vx[i] -= static_cast<real>(dvx);
+    a.vy[i] -= static_cast<real>(dvy);
+    a.vz[i] -= static_cast<real>(dvz);
+  }
+  return a;
+}
+
+/// Cold unit-mass cube of side 2 centred on the origin (uniform random
+/// positions, zero velocities) — the near-uniform distribution the paper
+/// contrasts with the centrally-concentrated M31 model.
+nbody::Particles make_uniform_box(std::size_t n, std::uint64_t seed) {
+  nbody::Particles p(n);
+  Xoshiro256 rng(seed);
+  const real m = static_cast<real>(1.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.y[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.z[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    p.m[i] = m;
+  }
+  return p;
+}
+
+/// Near-lattice Lennard-Jones box: a cubic lattice at spacing a0 with
+/// +-5% positional jitter and zero velocities. The lattice spacing sits
+/// at the LJ minimum (a0 = 2^(1/6) sigma, see lj_box's configure), so
+/// the system starts near equilibrium and short integrations conserve
+/// energy well despite the truncated cutoff.
+nbody::Particles make_lj_lattice(std::size_t n, std::uint64_t seed) {
+  constexpr double a0 = 0.1;
+  nbody::Particles p(n);
+  Xoshiro256 rng(seed);
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(n))));
+  const double half = 0.5 * a0 * static_cast<double>(side - 1);
+  const real m = static_cast<real>(1.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ix = i % side;
+    const std::size_t iy = (i / side) % side;
+    const std::size_t iz = i / (side * side);
+    const double jx = rng.uniform(-0.05, 0.05) * a0;
+    const double jy = rng.uniform(-0.05, 0.05) * a0;
+    const double jz = rng.uniform(-0.05, 0.05) * a0;
+    p.x[i] = static_cast<real>(a0 * static_cast<double>(ix) - half + jx);
+    p.y[i] = static_cast<real>(a0 * static_cast<double>(iy) - half + jy);
+    p.z[i] = static_cast<real>(a0 * static_cast<double>(iz) - half + jz);
+    p.m[i] = m;
+  }
+  return p;
+}
+
+std::vector<Scenario> build_registry() {
+  std::vector<Scenario> r;
+
+  {
+    Scenario s;
+    s.name = "m31";
+    s.summary = "the paper's M31 model (NFW halo + Sersic + bulge + disk)";
+    s.default_n = 4096;
+    s.default_seed = 20190805;
+    // Multi-component model: the sphericalized-disk approximation puts the
+    // realisation slightly out of equilibrium, so the drift bound is the
+    // loosest of the gravity scenarios.
+    s.force_tol = 2e-2;
+    s.energy_tol = 5e-3;
+    s.make = [](std::size_t n, std::uint64_t seed) {
+      return galaxy::build_m31(n, seed);
+    };
+    s.configure = [](nbody::SimConfig& cfg) {
+      cfg.scenario = "m31";
+      cfg.walk.eps = real(0.0156); // paper's softening (15.6 pc)
+      cfg.walk.mac.dacc = real(1.0 / 512);
+      cfg.eta = 0.25;
+      cfg.dt_max = 1.0 / 32;
+    };
+    r.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "plummer";
+    s.summary = "equilibrium Plummer sphere (M = a = 1)";
+    s.force_tol = 2e-2;
+    s.energy_tol = 2e-3;
+    s.make = [](std::size_t n, std::uint64_t seed) {
+      return galaxy::make_plummer(n, 1.0, 1.0, seed);
+    };
+    s.configure = [](nbody::SimConfig& cfg) {
+      cfg.scenario = "plummer";
+      cfg.walk.eps = real(0.02);
+      cfg.walk.mac.dacc = real(1.0 / 512);
+      cfg.eta = 0.25;
+      cfg.dt_max = 1.0 / 32;
+    };
+    r.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "collision";
+    s.summary = "two Plummer galaxies on a bound head-on collision orbit";
+    s.force_tol = 2e-2;
+    s.energy_tol = 2e-3;
+    s.make = [](std::size_t n, std::uint64_t seed) {
+      // galaxy_collision example's orbit: separation 6, approach at half
+      // the mutual parabolic speed, small impact parameter in y.
+      const std::size_t half = n / 2;
+      nbody::Particles g1 = galaxy::make_plummer(half, 1.0, 1.0, seed);
+      nbody::Particles g2 =
+          galaxy::make_plummer(n - half, 1.0, 1.0, seed ^ 0x9e3779b9ull);
+      const double sep = 6.0;
+      const double vapp = 0.5 * std::sqrt(2.0 * 2.0 / (2.0 * sep));
+      return merge_pair(std::move(g1), g2, sep / 2, 0.25, 0.0, -vapp / 2,
+                        0.0, 0.0);
+    };
+    s.configure = [](nbody::SimConfig& cfg) {
+      cfg.scenario = "collision";
+      cfg.walk.eps = real(0.02);
+      cfg.walk.mac.dacc = real(1.0 / 512);
+      cfg.eta = 0.2;
+      cfg.dt_max = 1.0 / 32;
+    };
+    r.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "uniform-box";
+    s.summary = "cold uniform cube (near-uniform tree, collapse onset)";
+    s.force_tol = 2e-2;
+    s.energy_tol = 5e-3; // cold start: |E| is small, drift ratio inflates
+    s.make = make_uniform_box;
+    s.configure = [](nbody::SimConfig& cfg) {
+      cfg.scenario = "uniform-box";
+      cfg.walk.eps = real(0.03); // cold system: collisional without it
+      cfg.walk.mac.dacc = real(1.0 / 512);
+      cfg.eta = 0.2;
+      cfg.dt_max = 1.0 / 64;
+    };
+    r.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "cold-collapse";
+    s.summary = "cold uniform sphere collapsing from rest";
+    s.force_tol = 2e-2;
+    s.energy_tol = 5e-3;
+    s.make = [](std::size_t n, std::uint64_t seed) {
+      return galaxy::make_uniform_sphere(n, 1.0, 1.0, seed);
+    };
+    s.configure = [](nbody::SimConfig& cfg) {
+      cfg.scenario = "cold-collapse";
+      cfg.walk.eps = real(0.03);
+      cfg.walk.mac.dacc = real(1.0 / 512);
+      cfg.eta = 0.2;
+      cfg.dt_max = 1.0 / 64;
+    };
+    r.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "merger";
+    s.summary = "two compact Plummer clusters on a bound transverse orbit";
+    s.force_tol = 2e-2;
+    s.energy_tol = 2e-3;
+    s.make = [](std::size_t n, std::uint64_t seed) {
+      const std::size_t half = n / 2;
+      nbody::Particles c1 = galaxy::make_plummer(half, 0.5, 0.7, seed);
+      nbody::Particles c2 =
+          galaxy::make_plummer(n - half, 0.5, 0.7, seed ^ 0x6a09e667ull);
+      // Offset +-3 in x with transverse velocities +-0.15 in y: a bound
+      // orbit (E_orb = v^2/4 - GM/2d < 0 for these values) that mergers
+      // after a few crossing times.
+      return merge_pair(std::move(c1), c2, 3.0, 0.0, 0.0, 0.0, 0.15, 0.0);
+    };
+    s.configure = [](nbody::SimConfig& cfg) {
+      cfg.scenario = "merger";
+      cfg.walk.eps = real(0.02);
+      cfg.walk.mac.dacc = real(1.0 / 512);
+      cfg.eta = 0.2;
+      cfg.dt_max = 1.0 / 32;
+    };
+    r.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "lj-box";
+    s.summary = "Lennard-Jones lattice over the tree walk (cutoff MAC)";
+    s.law = gravity::ForceLaw::LennardJones;
+    // The truncated cutoff discards tail energy as pairs cross it, so the
+    // drift bound is looser than the gravity scenarios'; the force oracle
+    // is exact up to summation order (every pair re-tests the cutoff).
+    s.force_tol = 1e-4;
+    s.energy_tol = 2e-2;
+    s.make = make_lj_lattice;
+    s.configure = [](nbody::SimConfig& cfg) {
+      cfg.scenario = "lj-box";
+      cfg.walk.law = gravity::ForceLaw::LennardJones;
+      // Lattice spacing a0 = 0.1 sits at the LJ minimum r_min = 2^(1/6)
+      // sigma; cutoff at the conventional 2.5 sigma.
+      cfg.walk.lj.sigma = real(0.1 / 1.122462048309373);
+      cfg.walk.lj.epsilon = real(1);
+      cfg.walk.lj.cutoff = real(2.5 * 0.1 / 1.122462048309373);
+      cfg.walk.use_quadrupole = false;
+      cfg.eta = 0.2;
+      cfg.dt_max = 1.0 / 64;
+    };
+    r.push_back(std::move(s));
+  }
+
+  return r;
+}
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+double parse_num(const std::string& path, int line_no, const std::string& key,
+                 const std::string& value) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || value.empty()) {
+    throw std::invalid_argument("scenario config " + path + ":" +
+                                std::to_string(line_no) + ": bad value '" +
+                                value + "' for key '" + key + "'");
+  }
+  return v;
+}
+
+bool parse_bool(const std::string& path, int line_no, const std::string& key,
+                const std::string& value) {
+  if (value == "true" || value == "1" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "off") return false;
+  throw std::invalid_argument("scenario config " + path + ":" +
+                              std::to_string(line_no) + ": bad value '" +
+                              value + "' for key '" + key +
+                              "' (want true/false)");
+}
+
+std::uint64_t splitmix64_hash(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+} // namespace
+
+const std::vector<Scenario>& registry() {
+  static const std::vector<Scenario> r = build_registry();
+  return r;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const Scenario& s : registry()) names.push_back(s.name);
+  return names;
+}
+
+std::string registered_names() {
+  std::string out;
+  for (const Scenario& s : registry()) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  return out;
+}
+
+const Scenario& find_scenario(const std::string& name) {
+  for (const Scenario& s : registry()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown scenario '" + name +
+                              "' (registered: " + registered_names() + ")");
+}
+
+Scenario scenario_from_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open scenario config '" + path + "'");
+  }
+
+  // Two passes over the parsed keys: `base` must be resolved before the
+  // overrides wrap its configure, so stash the assignments first.
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::vector<int> kv_line;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "scenario config " + path + ":" + std::to_string(line_no) +
+          ": expected key = value, got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      throw std::invalid_argument("scenario config " + path + ":" +
+                                  std::to_string(line_no) +
+                                  ": empty key or value");
+    }
+    kv.emplace_back(key, value);
+    kv_line.push_back(line_no);
+  }
+
+  std::string base = "plummer";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    if (kv[i].first == "base") base = kv[i].second;
+  }
+  Scenario sc = find_scenario(base); // copies the base entry
+
+  // SimConfig overrides accumulated into one wrapper around the base
+  // configure (applied after it, so file keys win).
+  struct Overrides {
+    std::vector<std::function<void(nbody::SimConfig&)>> ops;
+  };
+  auto ov = std::make_shared<Overrides>();
+
+  static const char* kKeys =
+      "base, name, n, seed, eps, g, mac, dacc, theta, quadrupole, law, "
+      "sigma, lj-eps, cutoff, eta, dt-max";
+
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    const std::string& key = kv[i].first;
+    const std::string& value = kv[i].second;
+    const int ln = kv_line[i];
+    if (key == "base") {
+      continue; // already consumed
+    } else if (key == "name") {
+      sc.name = value;
+      ov->ops.push_back(
+          [value](nbody::SimConfig& c) { c.scenario = value; });
+    } else if (key == "n") {
+      const double v = parse_num(path, ln, key, value);
+      if (v < 1) {
+        throw std::invalid_argument("scenario config " + path + ":" +
+                                    std::to_string(ln) + ": n must be >= 1");
+      }
+      sc.default_n = static_cast<std::size_t>(v);
+    } else if (key == "seed") {
+      sc.default_seed =
+          static_cast<std::uint64_t>(parse_num(path, ln, key, value));
+    } else if (key == "eps") {
+      const auto v = static_cast<real>(parse_num(path, ln, key, value));
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.walk.eps = v; });
+    } else if (key == "g") {
+      const auto v = static_cast<real>(parse_num(path, ln, key, value));
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.walk.g = v; });
+    } else if (key == "mac") {
+      gravity::MacType t;
+      if (value == "acc") {
+        t = gravity::MacType::Acceleration;
+      } else if (value == "theta") {
+        t = gravity::MacType::OpeningAngle;
+      } else if (value == "gadget") {
+        t = gravity::MacType::Gadget;
+      } else {
+        throw std::invalid_argument("scenario config " + path + ":" +
+                                    std::to_string(ln) + ": bad mac '" +
+                                    value + "' (want acc|theta|gadget)");
+      }
+      ov->ops.push_back([t](nbody::SimConfig& c) { c.walk.mac.type = t; });
+    } else if (key == "dacc") {
+      const auto v = static_cast<real>(parse_num(path, ln, key, value));
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.walk.mac.dacc = v; });
+    } else if (key == "theta") {
+      const auto v = static_cast<real>(parse_num(path, ln, key, value));
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.walk.mac.theta = v; });
+    } else if (key == "quadrupole") {
+      const bool v = parse_bool(path, ln, key, value);
+      ov->ops.push_back(
+          [v](nbody::SimConfig& c) { c.walk.use_quadrupole = v; });
+    } else if (key == "law") {
+      gravity::ForceLaw law;
+      if (value == "gravity") {
+        law = gravity::ForceLaw::Gravity;
+      } else if (value == "lj") {
+        law = gravity::ForceLaw::LennardJones;
+      } else {
+        throw std::invalid_argument("scenario config " + path + ":" +
+                                    std::to_string(ln) + ": bad law '" +
+                                    value + "' (want gravity|lj)");
+      }
+      sc.law = law;
+      ov->ops.push_back([law](nbody::SimConfig& c) { c.walk.law = law; });
+    } else if (key == "sigma") {
+      const auto v = static_cast<real>(parse_num(path, ln, key, value));
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.walk.lj.sigma = v; });
+    } else if (key == "lj-eps") {
+      const auto v = static_cast<real>(parse_num(path, ln, key, value));
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.walk.lj.epsilon = v; });
+    } else if (key == "cutoff") {
+      const auto v = static_cast<real>(parse_num(path, ln, key, value));
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.walk.lj.cutoff = v; });
+    } else if (key == "eta") {
+      const double v = parse_num(path, ln, key, value);
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.eta = v; });
+    } else if (key == "dt-max") {
+      const double v = parse_num(path, ln, key, value);
+      ov->ops.push_back([v](nbody::SimConfig& c) { c.dt_max = v; });
+    } else {
+      throw std::invalid_argument(
+          "scenario config " + path + ":" + std::to_string(ln) +
+          ": unknown key '" + key + "' (valid: " + std::string(kKeys) + ")");
+    }
+  }
+
+  const std::string label = sc.name;
+  auto base_configure = sc.configure;
+  sc.configure = [base_configure, ov, label](nbody::SimConfig& cfg) {
+    base_configure(cfg);
+    for (const auto& op : ov->ops) op(cfg);
+    cfg.scenario = label;
+  };
+  return sc;
+}
+
+Scenario scenario_from_spec(const std::string& spec) {
+  for (const Scenario& s : registry()) {
+    if (s.name == spec) return s;
+  }
+  if (std::ifstream(spec)) {
+    return scenario_from_config_file(spec);
+  }
+  throw std::invalid_argument("unknown scenario '" + spec +
+                              "' and no such config file (registered: " +
+                              registered_names() + ")");
+}
+
+const Scenario& scenario_from_seed(std::uint64_t seed) {
+  const auto& r = registry();
+  return r[splitmix64_hash(seed) % r.size()];
+}
+
+nbody::SimConfig scenario_sim_config(const Scenario& sc) {
+  nbody::SimConfig cfg;
+  sc.configure(cfg);
+  return cfg;
+}
+
+} // namespace gothic::scenario

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <memory>
 
 namespace gothic::testkit {
@@ -411,6 +412,117 @@ SweepReport sweep_shard_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
       rep.failing_seeds.push_back(seed);
       append_run_failure(rep,
                          "seed " + hex_seed(seed) + " (K=" +
+                             std::to_string(out.shards) +
+                             (out.async ? ", async" : ", sync") + ")",
+                         out.bit_identical, out.violations);
+    }
+  }
+  return rep;
+}
+
+// --- Scenario-registry sweeps ---------------------------------------------
+
+nbody::SimConfig scenario_fuzz_config(const scenario::Scenario& sc,
+                                      int rebuild_interval,
+                                      gravity::WalkSchedule schedule) {
+  nbody::SimConfig cfg = fuzz_sim_config(rebuild_interval, schedule);
+  sc.configure(cfg);
+  // The scenario owns the force law and accuracy; the fuzzer re-pins the
+  // cadence fields so every run of a scenario issues the identical launch
+  // DAG regardless of what the scenario's production defaults are.
+  cfg.block_time_steps = false;
+  cfg.dt_max = 1.0 / 4096.0;
+  cfg.auto_rebuild = false;
+  cfg.fixed_rebuild_interval = rebuild_interval;
+  cfg.walk.schedule = schedule;
+  return cfg;
+}
+
+std::vector<real> scenario_reference(const FuzzConfig& cfg,
+                                     const scenario::Scenario& sc) {
+  runtime::Device dev(cfg.workers, 0, cfg.lanes);
+  runtime::ScopedDevice scope(dev);
+  nbody::Simulation sim(
+      sc.make(cfg.n, cfg.workload_seed),
+      scenario_fuzz_config(sc, cfg.rebuild_interval,
+                           gravity::WalkSchedule::Static));
+  for (int i = 0; i < cfg.steps; ++i) (void)sim.step();
+  return pack_state(sim.particles());
+}
+
+ScenarioRunOutcome run_scenario(const FuzzConfig& cfg, std::uint64_t seed,
+                                const std::vector<real>& reference) {
+  const scenario::Scenario& sc = scenario::scenario_from_seed(seed);
+  ScenarioRunOutcome out;
+  out.scenario = sc.name;
+  // Same seed-bit encoding as run_sharded (bits 0-1 walk schedule, bit 2
+  // async, bits 3+ shard count, bit 5 SIMD) so one token language covers
+  // both sweeps; the scenario is an independent hash of the whole seed.
+  const int shard_choices[] = {1, 2, 4};
+  out.shards = shard_choices[(seed >> 3) % 3];
+  out.async = ((seed >> 2) & 1) != 0;
+  simt::ScopedSimd simd(((seed >> 5) & 1) != 0);
+
+  nbody::SimConfig sim_cfg = scenario_fuzz_config(
+      sc, cfg.rebuild_interval, static_cast<gravity::WalkSchedule>(seed % 4));
+  nbody::ShardOptions opt;
+  opt.shards = out.shards;
+  opt.workers = cfg.workers;
+  opt.async = out.async ? 1 : 0;
+  opt.lanes = cfg.lanes;
+  nbody::ShardedSimulation sim(sc.make(cfg.n, cfg.workload_seed), sim_cfg,
+                               opt);
+
+  std::vector<std::unique_ptr<SeededSchedule>> ctrls;
+  for (int s = 0; s < out.shards; ++s) {
+    ctrls.push_back(std::make_unique<SeededSchedule>(
+        seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(s + 1))));
+    sim.shard_device(s).set_schedule_controller(ctrls.back().get());
+  }
+  for (int i = 0; i < cfg.steps; ++i) (void)sim.step();
+  for (int s = 0; s < out.shards; ++s) {
+    sim.shard_device(s).set_schedule_controller(nullptr);
+    if (s != 0) out.signature += '|';
+    out.signature += ctrls[static_cast<std::size_t>(s)]->signature();
+    out.decision_points +=
+        ctrls[static_cast<std::size_t>(s)]->decision_points();
+    for (const std::string& v :
+         ctrls[static_cast<std::size_t>(s)]->violations()) {
+      out.violations.push_back("shard " + std::to_string(s) + ": " + v);
+    }
+  }
+  out.bit_identical = pack_state(sim.particles()) == reference;
+  return out;
+}
+
+ScenarioRunOutcome replay_scenario_seed(const FuzzConfig& cfg,
+                                        std::uint64_t seed) {
+  return run_scenario(
+      cfg, seed, scenario_reference(cfg, scenario::scenario_from_seed(seed)));
+}
+
+SweepReport sweep_scenario_seeds(const FuzzConfig& cfg,
+                                 std::uint64_t base_seed, std::size_t count) {
+  SweepReport rep;
+  // One synchronous reference per scenario the seed range actually hits
+  // (IC generation can dwarf the run itself, e.g. the M31 model).
+  std::map<std::string, std::vector<real>> refs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const scenario::Scenario& sc = scenario::scenario_from_seed(seed);
+    auto it = refs.find(sc.name);
+    if (it == refs.end()) {
+      it = refs.emplace(sc.name, scenario_reference(cfg, sc)).first;
+    }
+    const ScenarioRunOutcome out = run_scenario(cfg, seed, it->second);
+    ++rep.runs;
+    rep.signatures.insert(out.scenario + ":" + out.signature);
+    rep.decision_points_total += out.decision_points;
+    if (!out.bit_identical || !out.violations.empty()) {
+      rep.failing_seeds.push_back(seed);
+      append_run_failure(rep,
+                         "seed " + hex_seed(seed) + " (scenario " +
+                             out.scenario + ", K=" +
                              std::to_string(out.shards) +
                              (out.async ? ", async" : ", sync") + ")",
                          out.bit_identical, out.violations);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "nbody/simulation.hpp"
+#include "scenario/registry.hpp"
 #include "testkit/fault.hpp"
 #include "testkit/schedule.hpp"
 
@@ -157,6 +158,52 @@ ShardRunOutcome run_sharded(const FuzzConfig& cfg, std::uint64_t seed,
 /// failing seed alone.
 SweepReport sweep_shard_seeds(const FuzzConfig& cfg, std::uint64_t base_seed,
                               std::size_t count);
+
+// --- Scenario-registry sweeps ---------------------------------------------
+
+/// A scenario's SimConfig with the fuzz determinism constraints re-pinned
+/// on top (shared steps, fixed dt and rebuild cadence): the scenario picks
+/// the force law and accuracy, the fuzzer keeps the launch DAG identical
+/// across runs so stream schedules stay the only degree of freedom.
+nbody::SimConfig scenario_fuzz_config(const scenario::Scenario& sc,
+                                      int rebuild_interval,
+                                      gravity::WalkSchedule schedule);
+
+/// Synchronous unsharded reference state of a scenario's fuzz workload
+/// (sc.make(cfg.n, cfg.workload_seed), cfg.steps steps).
+std::vector<real> scenario_reference(const FuzzConfig& cfg,
+                                     const scenario::Scenario& sc);
+
+/// Outcome of one scenario-parameterized controlled run.
+struct ScenarioRunOutcome {
+  std::string scenario; ///< registry entry the seed selected
+  int shards = 1;
+  bool async = false;
+  std::string signature;
+  std::size_t decision_points = 0;
+  bool bit_identical = false;
+  std::vector<std::string> violations;
+};
+
+/// One scenario leg: the seed is the full replay token — the *scenario*
+/// comes from scenario::scenario_from_seed(seed) (hashed, so consecutive
+/// seeds land on different registry entries) and the schedule/async/
+/// shard-count/SIMD bits follow run_sharded's encoding. Compares the
+/// final state bit-for-bit against `reference` (scenario_reference of the
+/// same scenario); a printed seed therefore reproduces workload (ICs +
+/// force law) and schedule together.
+ScenarioRunOutcome run_scenario(const FuzzConfig& cfg, std::uint64_t seed,
+                                const std::vector<real>& reference);
+
+/// Replay one scenario seed, computing its own reference (the repro entry
+/// point of gothic_fuzz --replay-scenario).
+ScenarioRunOutcome replay_scenario_seed(const FuzzConfig& cfg,
+                                        std::uint64_t seed);
+
+/// N independent run_scenario runs; synchronous references are computed
+/// once per distinct scenario hit by the seed range.
+SweepReport sweep_scenario_seeds(const FuzzConfig& cfg,
+                                 std::uint64_t base_seed, std::size_t count);
 
 /// Outcome of one fault plan injected into one shard of a sharded step.
 struct ShardFaultOutcome {

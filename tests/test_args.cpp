@@ -1,7 +1,14 @@
-// Command-line argument parser.
+// Command-line argument parser, plus the `--scenario <name|file>` spec
+// resolution gothic_run feeds user input through (its catch block prints
+// e.what() as a one-line stderr error, so the messages must stay
+// single-line and list the registered names).
+#include "scenario/registry.hpp"
 #include "util/args.hpp"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
 
 namespace gothic {
 namespace {
@@ -60,6 +67,77 @@ TEST(ArgsTest, NegativeNumbersAsValues) {
   EXPECT_EQ(a.get_int("offset", 0), -3);
   // "-2.5" does not start with "--", so the space form captures it.
   EXPECT_DOUBLE_EQ(a.get_double("scale", 0.0), -2.5);
+}
+
+// --- gothic_run --scenario spec resolution --------------------------------
+
+/// Expect `fn` to throw std::invalid_argument and return its message.
+template <typename Fn>
+std::string spec_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return {};
+}
+
+/// RAII scratch config file in the test working directory.
+struct ScratchConfig {
+  std::string path;
+  explicit ScratchConfig(const std::string& name, const std::string& text)
+      : path("args_scenario_" + name + ".cfg") {
+    std::ofstream os(path);
+    os << text;
+  }
+  ~ScratchConfig() { std::filesystem::remove(path); }
+};
+
+TEST(ScenarioSpec, UnknownNameErrorIsOneLineAndListsRegistry) {
+  const std::string msg =
+      spec_error([] { (void)scenario::scenario_from_spec("bogus"); });
+  EXPECT_NE(msg.find("unknown scenario 'bogus'"), std::string::npos) << msg;
+  // Every registered name must appear so the user can pick a valid one.
+  for (const std::string& name : scenario::scenario_names()) {
+    EXPECT_NE(msg.find(name), std::string::npos) << msg;
+  }
+  EXPECT_EQ(msg.find('\n'), std::string::npos) << "must stay one line";
+}
+
+TEST(ScenarioSpec, MalformedConfigLineNamesFileAndLine) {
+  const ScratchConfig f("noequals", "base = plummer\njust a bare line\n");
+  const std::string msg =
+      spec_error([&] { (void)scenario::scenario_from_spec(f.path); });
+  EXPECT_NE(msg.find(f.path + ":2"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find('\n'), std::string::npos);
+}
+
+TEST(ScenarioSpec, UnknownConfigKeyListsValidKeys) {
+  const ScratchConfig f("badkey", "warp = 9\n");
+  const std::string msg =
+      spec_error([&] { (void)scenario::scenario_from_spec(f.path); });
+  EXPECT_NE(msg.find("unknown key 'warp'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("valid:"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find('\n'), std::string::npos);
+}
+
+TEST(ScenarioSpec, UnknownBaseListsRegisteredNames) {
+  const ScratchConfig f("badbase", "base = nope\n");
+  const std::string msg =
+      spec_error([&] { (void)scenario::scenario_from_spec(f.path); });
+  EXPECT_NE(msg.find("unknown scenario 'nope'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("registered:"), std::string::npos) << msg;
+}
+
+TEST(ScenarioSpec, RegisteredNameWinsAndFileFallbackWorks) {
+  // An exact registered name resolves without touching the filesystem.
+  EXPECT_EQ(scenario::scenario_from_spec("plummer").name, "plummer");
+  // A non-name spec that is an openable file parses as a config file.
+  const ScratchConfig f("derive", "base = plummer\nn = 256\nlaw = lj\n");
+  const scenario::Scenario sc = scenario::scenario_from_spec(f.path);
+  EXPECT_EQ(sc.default_n, 256u);
+  EXPECT_EQ(sc.law, gravity::ForceLaw::LennardJones);
 }
 
 } // namespace

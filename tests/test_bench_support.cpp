@@ -251,6 +251,31 @@ TEST_F(ReportSchema, JsonKeepsRequiredKeysAndSectionTypes) {
   EXPECT_EQ(notes.array[0].str, "golden-schema regression fixture");
 }
 
+TEST_F(ReportSchema, ScenarioOverloadStampsMatrixKeysIntoScale) {
+  // bench_scenario's set_scale overload appends the workload identity to
+  // the scale stanza; the base keys must survive unchanged so the bench
+  // gate's fingerprint still covers problem size and substrate.
+  BenchReport r("scenario_check");
+  BenchScale scale;
+  scale.n = 1024;
+  scale.steps = 8;
+  r.set_scale(scale, "lj-box", "lj");
+  Table t("t", {"n"});
+  t.add_row({"1024"});
+  r.add_table(t);
+
+  const JsonValue doc = JsonParser(r.json()).parse();
+  const JsonValue& sc = require(doc, "scale", JsonValue::Type::Object);
+  EXPECT_EQ(require(sc, "n", JsonValue::Type::Number).number, 1024.0);
+  require(sc, "steps", JsonValue::Type::Number);
+  require(sc, "dacc_min_exp", JsonValue::Type::Number);
+  require(sc, "threads", JsonValue::Type::Number);
+  require(sc, "async", JsonValue::Type::Bool);
+  require(sc, "simd", JsonValue::Type::Bool);
+  EXPECT_EQ(require(sc, "scenario", JsonValue::Type::String).str, "lj-box");
+  EXPECT_EQ(require(sc, "force", JsonValue::Type::String).str, "lj");
+}
+
 TEST_F(ReportSchema, TablesKeepRectangularShape) {
   const StepProfile p = profile_step(workload(), 1.0 / 512, 1);
   const JsonValue doc = JsonParser(golden_report(p).json()).parse();
@@ -434,11 +459,13 @@ protected:
   /// column, profile measurements, and a metrics kernel entry.
   static std::string report_json(double kernel_s, double wall_s,
                                  double walk_s, int n = 4096,
-                                 std::uint64_t fma = 100) {
+                                 std::uint64_t fma = 100,
+                                 const std::string& scale_extra = "") {
     std::ostringstream os;
     os << "{\"bench\": \"diffcase\", \"scale\": {\"n\": " << n
        << ", \"steps\": 4, \"dacc_min_exp\": 9, \"threads\": 2, "
-          "\"async\": true, \"simd\": false},\n"
+          "\"async\": true, \"simd\": false"
+       << scale_extra << "},\n"
        << "\"tables\": [{\"title\": \"step timings\", \"headers\": "
           "[\"case\", \"seconds\", \"walk [s]\"], \"rows\": [[\"volta\", \""
        << wall_s << "\", \"" << walk_s << "\"]]}],\n"
@@ -545,6 +572,38 @@ TEST_F(BaselineDiff, ScaleMismatchSkipsTheReportWithANote) {
   EXPECT_TRUE(out.compared.empty());
   ASSERT_FALSE(out.notes.empty());
   EXPECT_NE(out.notes[0].find("scale mismatch"), std::string::npos);
+}
+
+TEST_F(BaselineDiff, ScenarioFingerprintMismatchSkipsWithANote) {
+  // bench_scenario stamps the scenario name and force law into the scale
+  // stanza; two reports from different scenarios must never be diffed
+  // against each other even when everything else matches.
+  write_report(base_, "BENCH_scenario_x.json",
+               report_json(0.10, 0.12, 0.08, 4096, 100,
+                           ", \"scenario\": \"plummer\", "
+                           "\"force\": \"gravity\""));
+  write_report(cand_, "BENCH_scenario_x.json",
+               report_json(10.0, 12.0, 8.0, 4096, 100,
+                           ", \"scenario\": \"lj-box\", \"force\": \"lj\""));
+  const DiffReport out = diff();
+  EXPECT_TRUE(out.regressions.empty());
+  EXPECT_TRUE(out.compared.empty());
+  ASSERT_FALSE(out.notes.empty());
+  EXPECT_NE(out.notes[0].find("scale mismatch"), std::string::npos);
+  EXPECT_NE(out.notes[0].find("plummer"), std::string::npos);
+  EXPECT_NE(out.notes[0].find("lj-box"), std::string::npos);
+}
+
+TEST_F(BaselineDiff, MatchingScenarioFingerprintStillGates) {
+  const std::string tag = ", \"scenario\": \"plummer\", "
+                          "\"force\": \"gravity\"";
+  write_report(base_, "BENCH_scenario_x.json",
+               report_json(0.10, 0.12, 0.08, 4096, 100, tag));
+  write_report(cand_, "BENCH_scenario_x.json",
+               report_json(10.0, 12.0, 8.0, 4096, 100, tag));
+  const DiffReport out = diff();
+  ASSERT_EQ(out.compared.size(), 1u);
+  EXPECT_FALSE(out.regressions.empty());
 }
 
 TEST_F(BaselineDiff, CountDriftIsInformationalNeverAFailure) {

@@ -333,7 +333,7 @@ void expect_let_sufficient(System& s, int shards,
       for (int src = 0; src < shards; ++src) {
         if (src == dst) continue;
         gravity::LetExport exp;
-        gravity::build_let(s.tree, cfg.mac, cfg.g,
+        gravity::build_let(s.tree, cfg,
                            bounds[static_cast<std::size_t>(src)],
                            bounds[static_cast<std::size_t>(src) + 1], db,
                            exp);
@@ -431,7 +431,7 @@ TEST(Let, EmptyDestinationExportsNothing) {
   s.build();
   gravity::LetBounds none; // any == false: destination walks nothing
   gravity::LetExport exp;
-  gravity::build_let(s.tree, gravity::MacParams{}, real(1), 0,
+  gravity::build_let(s.tree, gravity::WalkConfig{}, 0,
                      static_cast<index_t>(s.n()), none, exp);
   EXPECT_TRUE(exp.cells.empty());
   EXPECT_TRUE(exp.bodies.empty());

@@ -1,14 +1,21 @@
 // Physical-symmetry property tests of the force solvers: gravity must be
 // invariant under translation and rotation of the whole system, linear in
-// the source masses, and independent of particle ordering.
+// the source masses, and independent of particle ordering. The second half
+// is the scenario physics-oracle matrix — every registry entry is checked
+// against the double-precision direct reference (force error, momentum
+// balance) and integrated briefly under its own energy-drift bound.
 #include "gravity/direct.hpp"
 #include "gravity/walk_tree.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/simulation.hpp"
 #include "octree/calc_node.hpp"
 #include "octree/tree_build.hpp"
+#include "scenario/registry.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace gothic::gravity {
@@ -178,6 +185,115 @@ TEST(PhysicsInvariance, GravityIsAlwaysAttractive) {
   const Forces f = tree_forces(s, real(0.9));
   EXPECT_LT(f.ax.back(), 0.0f); // pulled toward the origin
 }
+
+// --- Scenario physics-oracle matrix ---------------------------------------
+// Parameterized over the whole registry: registering a scenario enrolls it
+// here automatically. N is small enough for the O(N^2) double-precision
+// reference; the per-scenario bounds live on the Scenario itself because
+// accuracy is distribution-dependent.
+
+class ScenarioOracle : public ::testing::TestWithParam<std::string> {
+protected:
+  static constexpr std::size_t kN = 384;
+
+  const scenario::Scenario& sc() const {
+    return scenario::find_scenario(GetParam());
+  }
+
+  /// The scenario's SimConfig pinned to deterministic shared steps.
+  nbody::SimConfig config() const {
+    nbody::SimConfig cfg = scenario::scenario_sim_config(sc());
+    cfg.block_time_steps = false;
+    cfg.auto_rebuild = false;
+    cfg.fixed_rebuild_interval = 2;
+    return cfg;
+  }
+};
+
+TEST_P(ScenarioOracle, TreeForcesMatchDirectSummation) {
+  const scenario::Scenario& s = sc();
+  nbody::Simulation sim(s.make(kN, s.default_seed), config());
+  sim.refresh_forces();
+  const nbody::Particles& p = sim.particles();
+  const gravity::WalkConfig& w = sim.config().walk;
+
+  // Double-precision (gravity) or walk-ordered FP32 (LJ) reference at the
+  // exact post-sort particle positions.
+  std::vector<double> rx(kN), ry(kN), rz(kN);
+  if (s.law == gravity::ForceLaw::LennardJones) {
+    std::vector<real> ax(kN), ay(kN), az(kN);
+    direct_forces_lj(p.x, p.y, p.z, p.m, w.lj, w.g, ax, ay, az);
+    for (std::size_t i = 0; i < kN; ++i) {
+      rx[i] = ax[i];
+      ry[i] = ay[i];
+      rz[i] = az[i];
+    }
+  } else {
+    direct_forces_ref(p.x, p.y, p.z, p.m, w.eps, w.g, rx, ry, rz);
+  }
+
+  // Worst-particle relative error, floored by a fraction of the RMS
+  // acceleration so distant near-zero-force particles cannot blow up the
+  // relative measure.
+  double sum_sq = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    sum_sq += rx[i] * rx[i] + ry[i] * ry[i] + rz[i] * rz[i];
+  }
+  const double a_rms = std::sqrt(sum_sq / static_cast<double>(kN));
+  double worst = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double dx = p.ax[i] - rx[i];
+    const double dy = p.ay[i] - ry[i];
+    const double dz = p.az[i] - rz[i];
+    const double ref = std::sqrt(rx[i] * rx[i] + ry[i] * ry[i] + rz[i] * rz[i]);
+    const double err = std::sqrt(dx * dx + dy * dy + dz * dz) /
+                       std::max(ref, 0.05 * a_rms);
+    worst = std::max(worst, err);
+  }
+  EXPECT_LT(worst, s.force_tol) << "scenario " << s.name;
+}
+
+TEST_P(ScenarioOracle, MomentumBalanceOfOneForceEvaluation) {
+  const scenario::Scenario& s = sc();
+  nbody::Simulation sim(s.make(kN, s.default_seed), config());
+  sim.refresh_forces();
+  const nbody::Particles& p = sim.particles();
+  double fx = 0, fy = 0, fz = 0, scale = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    fx += static_cast<double>(p.m[i]) * p.ax[i];
+    fy += static_cast<double>(p.m[i]) * p.ay[i];
+    fz += static_cast<double>(p.m[i]) * p.az[i];
+    scale += static_cast<double>(p.m[i]) *
+             std::sqrt(static_cast<double>(p.ax[i]) * p.ax[i] +
+                       static_cast<double>(p.ay[i]) * p.ay[i] +
+                       static_cast<double>(p.az[i]) * p.az[i]);
+  }
+  const double imbalance =
+      std::sqrt(fx * fx + fy * fy + fz * fz) / std::max(scale, 1e-30);
+  EXPECT_LT(imbalance, s.momentum_tol) << "scenario " << s.name;
+}
+
+TEST_P(ScenarioOracle, EnergyDriftBoundedOverShortIntegration) {
+  const scenario::Scenario& s = sc();
+  nbody::Simulation sim(s.make(kN, s.default_seed), config());
+  sim.refresh_forces();
+  const nbody::Energies e0 = sim.energies();
+  sim.run(8);
+  sim.refresh_forces();
+  const nbody::Energies e1 = sim.energies();
+  const double drift = std::fabs((e1.total() - e0.total()) /
+                                 std::max(std::fabs(e0.total()), 1e-30));
+  EXPECT_LT(drift, s.energy_tol) << "scenario " << s.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ScenarioOracle,
+    ::testing::ValuesIn(scenario::scenario_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
 
 } // namespace
 } // namespace gothic::gravity

@@ -649,5 +649,128 @@ TEST(WalkTree, GroupBoundingRadiusRoundsUpAtTheFloatBoundary) {
   EXPECT_GT(rounded_up, 32);
 }
 
+// --- Lennard-Jones over the same tree walk --------------------------------
+// The force-law seam (ForceLaw::LennardJones): culling with the cutoff MAC
+// must stay conservative, the flush kernel must reproduce the direct pair
+// sum exactly up to summation order, and the AVX2 substrate must remain
+// bit-identical to the scalar one (the same contract gravity has).
+
+System uniform_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  System s;
+  s.x.resize(n);
+  s.y.resize(n);
+  s.z.resize(n);
+  s.m.assign(n, real(1.0 / static_cast<double>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    s.x[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    s.y[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+    s.z[i] = static_cast<real>(rng.uniform(-1.0, 1.0));
+  }
+  return s;
+}
+
+WalkConfig lj_config() {
+  WalkConfig cfg;
+  cfg.law = ForceLaw::LennardJones;
+  cfg.lj.sigma = real(0.1);
+  cfg.lj.epsilon = real(1);
+  cfg.lj.cutoff = real(0.25);
+  return cfg;
+}
+
+TEST(WalkTreeLJ, MatchesDirectSummationUpToOrder) {
+  System s = uniform_cloud(1024, 11);
+  s.build();
+  const WalkConfig cfg = lj_config();
+  const ForceResult r = run_walk(s, cfg);
+
+  const std::size_t n = s.n();
+  std::vector<real> ax(n), ay(n), az(n), pot(n);
+  direct_forces_lj(s.x, s.y, s.z, s.m, cfg.lj, cfg.g, ax, ay, az, pot);
+
+  double a_rms = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a_rms += static_cast<double>(ax[i]) * ax[i] +
+             static_cast<double>(ay[i]) * ay[i] +
+             static_cast<double>(az[i]) * az[i];
+  }
+  a_rms = std::sqrt(a_rms / static_cast<double>(n));
+  ASSERT_GT(a_rms, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = r.ax[i] - ax[i];
+    const double dy = r.ay[i] - ay[i];
+    const double dz = r.az[i] - az[i];
+    const double ref = std::sqrt(static_cast<double>(ax[i]) * ax[i] +
+                                 static_cast<double>(ay[i]) * ay[i] +
+                                 static_cast<double>(az[i]) * az[i]);
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy + dz * dz) /
+                  std::max(ref, 0.05 * a_rms),
+              1e-4)
+        << "particle " << i;
+    EXPECT_NEAR(r.pot[i], pot[i],
+                1e-4 * (std::fabs(pot[i]) + 1e-6))
+        << "particle " << i;
+  }
+}
+
+TEST(WalkTreeLJ, BodiesBeyondCutoffContributeExactlyZero) {
+  // A compact cloud plus one probe far outside the cutoff: truncation is
+  // exact (not a smooth decay), so the probe's force and potential must be
+  // exactly zero — any drip-through means the cutoff MAC over-accepted.
+  System s = uniform_cloud(256, 12);
+  s.x.push_back(real(10));
+  s.y.push_back(real(0));
+  s.z.push_back(real(0));
+  s.m.push_back(real(1.0 / 256.0));
+  s.build();
+  const ForceResult r = run_walk(s, lj_config());
+  // Locate the probe in the Morton-sorted order.
+  std::size_t probe = s.n();
+  for (std::size_t i = 0; i < s.n(); ++i) {
+    if (s.x[i] == real(10)) probe = i;
+  }
+  ASSERT_LT(probe, s.n());
+  EXPECT_EQ(r.ax[probe], real(0));
+  EXPECT_EQ(r.ay[probe], real(0));
+  EXPECT_EQ(r.az[probe], real(0));
+  EXPECT_EQ(r.pot[probe], real(0));
+}
+
+TEST(WalkTreeLJ, ScalarAndSimdSubstratesBitIdentical) {
+  System s = uniform_cloud(768, 13);
+  s.build();
+  const WalkConfig cfg = lj_config();
+  ForceResult scalar, simd;
+  {
+    simt::ScopedSimd off(false);
+    scalar = run_walk(s, cfg);
+  }
+  {
+    simt::ScopedSimd on(true); // no-op on hosts without AVX2
+    simd = run_walk(s, cfg);
+  }
+  for (std::size_t i = 0; i < s.n(); ++i) {
+    ASSERT_EQ(scalar.ax[i], simd.ax[i]) << "particle " << i;
+    ASSERT_EQ(scalar.ay[i], simd.ay[i]) << "particle " << i;
+    ASSERT_EQ(scalar.az[i], simd.az[i]) << "particle " << i;
+    ASSERT_EQ(scalar.pot[i], simd.pot[i]) << "particle " << i;
+  }
+}
+
+TEST(WalkTreeLJ, RejectsQuadrupoleAndNonPositiveParameters) {
+  System s = uniform_cloud(64, 14);
+  s.build();
+  WalkConfig quad = lj_config();
+  quad.use_quadrupole = true;
+  EXPECT_THROW((void)run_walk(s, quad), std::invalid_argument);
+  WalkConfig sig = lj_config();
+  sig.lj.sigma = real(0);
+  EXPECT_THROW((void)run_walk(s, sig), std::invalid_argument);
+  WalkConfig cut = lj_config();
+  cut.lj.cutoff = real(-1);
+  EXPECT_THROW((void)run_walk(s, cut), std::invalid_argument);
+}
+
 } // namespace
 } // namespace gothic::gravity

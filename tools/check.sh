@@ -24,7 +24,16 @@
 # interleavings of the step DAG checked bit-identical against the
 # synchronous reference, plus fault-injection plans (launch-body throws,
 # worker stalls) checked for first-wins error propagation and device
-# reuse — under both scheduler modes.
+# reuse — under both scheduler modes. Its scenario legs sweep seeds whose
+# bits also select the workload from the scenario registry, so one
+# printed seed reproduces ICs + force law + schedule together.
+#
+# The scenario stage runs the physics-oracle matrix (force error vs
+# direct summation, energy drift, momentum balance — parameterized over
+# every registry entry) plus the per-scenario bit-identity suite under
+# both scheduler modes, then sweeps bench_scenario and validates one
+# golden-schema BENCH_scenario_<name>.json per scenario before the
+# bench_diff gate promotes them into bench-results/.
 #
 # The TSan stage rebuilds test_runtime, test_walk_tree and gothic_fuzz in
 # a separate build tree (build-tsan/) with GOTHIC_SANITIZE=thread and runs
@@ -149,7 +158,7 @@ echo "== schedule fuzz + fault injection (both scheduler modes) =="
 for mode in 1 0; do
   echo "-- GOTHIC_ASYNC=$mode --"
   GOTHIC_ASYNC=$mode ./build/tools/gothic_fuzz --schedules=64 \
-    --enumerate=64 --faults=8
+    --enumerate=64 --faults=8 --scenarios=6
 done
 echo "fuzz stage passed"
 
@@ -176,6 +185,32 @@ for mode in 1 0; do
     --shards=16 --shard-faults=6
 done
 echo "shard stage passed"
+
+echo "== scenario stage: physics-oracle matrix + bench_scenario =="
+# The parameterized invariance suite (force oracle vs direct summation,
+# energy drift, momentum balance) and the per-scenario shard/SIMD/async
+# bit-identity matrix, under both scheduler modes; then bench_scenario
+# sweeps the registry and must emit one golden-schema
+# BENCH_scenario_<name>.json per scenario — each validated by a raw JSON
+# parse plus the ExternalReport schema test and handed to the bench_diff
+# gate below (the scale fingerprint carries scenario name + force law, so
+# the gate refuses cross-scenario comparisons).
+for mode in 1 0; do
+  echo "-- GOTHIC_ASYNC=$mode --"
+  (cd build && GOTHIC_ASYNC=$mode ctest --output-on-failure -j \
+    -R 'Scenario|WalkTreeLJ')
+done
+(cd build &&
+  rm -f BENCH_scenario_*.json &&
+  GOTHIC_THREADS=4 GOTHIC_BENCH_N=2048 GOTHIC_BENCH_STEPS=8 \
+    ./bench/bench_scenario >/dev/null)
+for f in build/BENCH_scenario_*.json; do
+  python3 -m json.tool "$f" >/dev/null
+  (cd build && GOTHIC_BENCH_VALIDATE_JSON="$(basename "$f")" \
+    ./tests/test_bench_support --gtest_filter='ExternalReport.*' >/dev/null)
+  mv "$f" "bench-fresh/$(basename "$f")"
+done
+echo "scenario stage passed"
 
 echo "== perf-regression gate: bench_diff over the BENCH trajectory =="
 # Gate the fresh reports against the archived trajectory in

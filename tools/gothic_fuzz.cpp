@@ -19,9 +19,15 @@
 //                   sharded step (devices follow GOTHIC_ASYNC), asserting
 //                   the isolation contract: the fault surfaces from step()
 //                   and every shard device stays reusable.
+//   --scenarios=N   N seeded scenario runs: each seed hashes to a
+//                   scenario-registry entry (ICs + force law) and encodes
+//                   walk schedule, async mode, shard count and SIMD
+//                   substrate in its bits, compared bit-for-bit against
+//                   that scenario's synchronous reference.
 //
 //   --replay=SEED   re-run one seeded schedule (accepts 0x... hex) and
 //                   print its interleaving — the repro entry point.
+//   --replay-scenario=SEED  re-run one scenario seed the same way.
 //
 // Workload knobs (--n, --steps, --workers, --lanes, --rebuild-interval)
 // must match between a failing sweep and its replay. Exit code 0 iff every
@@ -52,18 +58,29 @@ int run(const gothic::Args& args) {
       static_cast<int>(args.get_int("rebuild-interval", 1));
   const std::uint64_t base_seed =
       std::stoull(args.get("seed", "1"), nullptr, 0);
+  const bool scenario_leg =
+      args.has("scenarios") || args.has("replay-scenario");
   const auto schedules = static_cast<std::size_t>(args.get_int(
-      "schedules", args.has("enumerate") || args.has("replay") ? 0 : 64));
+      "schedules", args.has("enumerate") || args.has("replay") || scenario_leg
+                       ? 0
+                       : 64));
   const auto enumerate =
       static_cast<std::size_t>(args.get_int("enumerate", 0));
-  const auto faults = static_cast<std::size_t>(
-      args.get_int("faults", args.has("replay") ? 0 : 8));
+  const auto faults = static_cast<std::size_t>(args.get_int(
+      "faults", args.has("replay") || scenario_leg ? 0 : 8));
   const auto shards = static_cast<std::size_t>(args.get_int("shards", 0));
   const auto shard_faults =
       static_cast<std::size_t>(args.get_int("shard-faults", 0));
+  const auto scenarios =
+      static_cast<std::size_t>(args.get_int("scenarios", 0));
   const bool replay = args.has("replay");
   const std::uint64_t replay_seed_value =
       replay ? std::stoull(args.get("replay", "0"), nullptr, 0) : 0;
+  const bool replay_scenario = args.has("replay-scenario");
+  const std::uint64_t replay_scenario_seed =
+      replay_scenario ? std::stoull(args.get("replay-scenario", "0"), nullptr,
+                                    0)
+                      : 0;
 
   for (const std::string& key : args.unused()) {
     std::fprintf(stderr, "gothic_fuzz: unknown option --%s\n", key.c_str());
@@ -131,6 +148,39 @@ int run(const gothic::Args& args) {
                 rep.runs, hex_seed(base_seed).c_str(), rep.signatures.size(),
                 rep.decision_points_total, rep.failures.size());
     print_failures(rep.failures);
+    ok = ok && rep.ok();
+  }
+
+  if (replay_scenario) {
+    const auto out =
+        gothic::testkit::replay_scenario_seed(cfg, replay_scenario_seed);
+    std::printf("replay-scenario %s: scenario %s, K=%d, %s, %zu decision "
+                "points, %s, %zu violations\n",
+                hex_seed(replay_scenario_seed).c_str(), out.scenario.c_str(),
+                out.shards, out.async ? "async" : "sync",
+                out.decision_points,
+                out.bit_identical ? "bit-identical" : "STATE DIVERGED",
+                out.violations.size());
+    std::printf("  interleaving: %s\n", out.signature.c_str());
+    print_failures(out.violations);
+    ok = ok && out.bit_identical && out.violations.empty();
+  }
+
+  if (scenarios > 0) {
+    const auto rep =
+        gothic::testkit::sweep_scenario_seeds(cfg, base_seed, scenarios);
+    std::printf("scenarios: %zu seeded runs from %s, %zu distinct "
+                "scenario interleavings, %zu decision points, %zu failures\n",
+                rep.runs, hex_seed(base_seed).c_str(), rep.signatures.size(),
+                rep.decision_points_total, rep.failures.size());
+    print_failures(rep.failures);
+    for (std::uint64_t s : rep.failing_seeds) {
+      std::printf("  replay with: gothic_fuzz --replay-scenario=%s --n=%zu "
+                  "--steps=%d --workers=%d --lanes=%d "
+                  "--rebuild-interval=%d\n",
+                  hex_seed(s).c_str(), cfg.n, cfg.steps, cfg.workers,
+                  cfg.lanes, cfg.rebuild_interval);
+    }
     ok = ok && rep.ok();
   }
 

@@ -8,8 +8,16 @@
 //
 // Options:
 //   --model=m31|plummer|uniform   initial conditions (default m31)
-//   --n=<int>                     particle count (default 32768)
-//   --seed=<int>                  RNG seed (default 1)
+//   --scenario=<name|file>        use a scenario-registry entry (or a
+//                                 key=value config file) for both ICs and
+//                                 force-law/accuracy defaults; individual
+//                                 flags below still override. Mutually
+//                                 exclusive with --model; unknown names
+//                                 fail listing the registered ones.
+//   --n=<int>                     particle count (default 32768, or the
+//                                 scenario's default_n)
+//   --seed=<int>                  RNG seed (default 1, or the scenario's
+//                                 default_seed)
 //   --steps=<int>                 block steps to advance (default 64)
 //   --dacc=<float>                Eq. 2 accuracy parameter (default 2^-9)
 //   --mac=acc|theta|gadget        MAC type (default acc)
@@ -43,6 +51,7 @@
 #include "galaxy/m31.hpp"
 #include "galaxy/spherical_sampler.hpp"
 #include "nbody/sharded_simulation.hpp"
+#include "scenario/registry.hpp"
 #include "nbody/simulation.hpp"
 #include "nbody/snapshot.hpp"
 #include "runtime/device.hpp"
@@ -62,7 +71,8 @@ namespace {
 
 using namespace gothic;
 
-nbody::Particles make_initial(const Args& args) {
+nbody::Particles make_initial(const Args& args,
+                              const scenario::Scenario* sc) {
   const std::string restart = args.get("restart", "");
   if (!restart.empty()) {
     nbody::SnapshotHeader hdr;
@@ -70,6 +80,13 @@ nbody::Particles make_initial(const Args& args) {
     std::cout << "restarted from " << restart << " (N = " << hdr.n
               << ", t = " << hdr.time << ")\n";
     return p;
+  }
+  if (sc != nullptr) {
+    const auto n = static_cast<std::size_t>(
+        args.get_int("n", static_cast<long long>(sc->default_n)));
+    const auto seed = static_cast<std::uint64_t>(
+        args.get_int("seed", static_cast<long long>(sc->default_seed)));
+    return sc->make(n, seed);
   }
   const auto n = static_cast<std::size_t>(args.get_int("n", 32768));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -82,9 +99,22 @@ nbody::Particles make_initial(const Args& args) {
   throw std::invalid_argument("unknown --model '" + model + "'");
 }
 
-nbody::SimConfig make_config(const Args& args) {
+nbody::SimConfig make_config(const Args& args,
+                             const scenario::Scenario* sc) {
   nbody::SimConfig cfg;
-  const std::string mac = args.get("mac", "acc");
+  if (sc != nullptr) {
+    // Scenario defaults first; explicit flags below override them.
+    sc->configure(cfg);
+  } else {
+    cfg.walk.eps = real(0.0156);
+    cfg.dt_max = 1.0 / 8;
+  }
+  const std::string mac =
+      args.get("mac", cfg.walk.mac.type == gravity::MacType::OpeningAngle
+                          ? "theta"
+                          : cfg.walk.mac.type == gravity::MacType::Gadget
+                                ? "gadget"
+                                : "acc");
   if (mac == "acc") {
     cfg.walk.mac.type = gravity::MacType::Acceleration;
   } else if (mac == "theta") {
@@ -94,13 +124,17 @@ nbody::SimConfig make_config(const Args& args) {
   } else {
     throw std::invalid_argument("unknown --mac '" + mac + "'");
   }
-  cfg.walk.mac.dacc = static_cast<real>(args.get_double("dacc", 1.0 / 512));
-  cfg.walk.mac.theta = static_cast<real>(args.get_double("theta", 0.7));
-  cfg.walk.eps = static_cast<real>(args.get_double("eps", 0.0156));
-  cfg.walk.use_quadrupole = args.get_flag("quadrupole");
+  cfg.walk.mac.dacc = static_cast<real>(
+      args.get_double("dacc", static_cast<double>(cfg.walk.mac.dacc)));
+  cfg.walk.mac.theta = static_cast<real>(
+      args.get_double("theta", static_cast<double>(cfg.walk.mac.theta)));
+  cfg.walk.eps = static_cast<real>(
+      args.get_double("eps", static_cast<double>(cfg.walk.eps)));
+  cfg.walk.use_quadrupole =
+      args.get_flag("quadrupole") || cfg.walk.use_quadrupole;
   cfg.calc.compute_quadrupole = cfg.walk.use_quadrupole;
-  cfg.eta = args.get_double("eta", 0.25);
-  cfg.dt_max = args.get_double("dt-max", 1.0 / 8);
+  cfg.eta = args.get_double("eta", cfg.eta);
+  cfg.dt_max = args.get_double("dt-max", cfg.dt_max);
   cfg.max_level = static_cast<int>(args.get_int("max-level", 6));
   cfg.block_time_steps = !args.get_flag("shared-steps");
   const std::string mode = args.get("mode", "pascal");
@@ -248,16 +282,29 @@ int main(int argc, char** argv) {
       if (dest.empty()) dest = "flight.json";
       setenv("GOTHIC_FLIGHT", dest.c_str(), 1);
     }
+    std::unique_ptr<scenario::Scenario> sc;
+    if (args.has("scenario")) {
+      if (args.has("model")) {
+        throw std::invalid_argument(
+            "--model and --scenario are mutually exclusive");
+      }
+      sc = std::make_unique<scenario::Scenario>(
+          scenario::scenario_from_spec(args.get("scenario", "")));
+      std::cout << "scenario " << sc->name << " ["
+                << gravity::force_law_name(sc->law) << "]: " << sc->summary
+                << "\n";
+    }
     const int shards = shard_count(args);
     if (shards > 1) {
       nbody::ShardOptions opt;
       opt.shards = shards;
-      nbody::ShardedSimulation sim(make_initial(args), make_config(args),
-                                   opt);
+      nbody::ShardedSimulation sim(make_initial(args, sc.get()),
+                                   make_config(args, sc.get()), opt);
       std::cout << "sharded pipeline: " << shards << " shards\n";
       return drive(sim, sim.shard_device(0), args);
     }
-    nbody::Simulation sim(make_initial(args), make_config(args));
+    nbody::Simulation sim(make_initial(args, sc.get()),
+                          make_config(args, sc.get()));
     return drive(sim, runtime::Device::current(), args);
   } catch (const std::exception& e) {
     std::cerr << "gothic_run: " << e.what() << "\n";
