@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 namespace gothic::galaxy {
@@ -15,6 +16,12 @@ double freeman_vc2(double mass, double rd, double R) {
   const double sigma0 = mass / (2.0 * kPi * rd * rd);
   const double y = R / (2.0 * rd);
   // Modified Bessel functions from the C++17 special-function set.
+  // libstdc++'s implementation calls lgamma, which writes the libm global
+  // `signgam`; serialize so concurrent profile builds (session pools
+  // constructing galaxies in parallel) stay race-free. Construction-only
+  // code — the per-step hot paths never come through here.
+  static std::mutex bessel_mutex;
+  const std::lock_guard<std::mutex> lock(bessel_mutex);
   const double bessel =
       std::cyl_bessel_i(0.0, y) * std::cyl_bessel_k(0.0, y) -
       std::cyl_bessel_i(1.0, y) * std::cyl_bessel_k(1.0, y);

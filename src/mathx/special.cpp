@@ -8,6 +8,15 @@
 namespace gothic {
 namespace {
 
+// std::lgamma writes the libm global `signgam`, which races when two
+// threads build galaxy profiles concurrently (pooled session construction
+// does exactly that); lgamma_r keeps the sign in a local instead. Every
+// argument here is positive, so the sign is discarded.
+double lgamma_threadsafe(double a) {
+  int sign = 0;
+  return ::lgamma_r(a, &sign);
+}
+
 // Series representation of P(a,x), for x < a+1.
 double gamma_p_series(double a, double x) {
   double sum = 1.0 / a;
@@ -17,7 +26,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 // Continued fraction for Q(a,x) = 1 - P(a,x), for x >= a+1 (Lentz).
@@ -39,7 +48,7 @@ double gamma_q_cf(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < 1e-16) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 } // namespace
@@ -53,7 +62,7 @@ double gamma_p(double a, double x) {
   return 1.0 - gamma_q_cf(a, x);
 }
 
-double gamma_fn(double a) { return std::exp(std::lgamma(a)); }
+double gamma_fn(double a) { return std::exp(lgamma_threadsafe(a)); }
 
 double sersic_b_approx(double n) {
   // Ciotti & Bertin (1999) eq. 18, accurate to ~1e-6 for n > 0.36.

@@ -79,8 +79,9 @@ ShardedSimulation::ShardedSimulation(Particles particles, SimConfig cfg,
   for (int s = 0; s < opt.shards; ++s) {
     auto sh = std::make_unique<Shard>();
     sh->id = s;
-    sh->tree_name = "shard" + std::to_string(s) + "/tree";
-    sh->integrate_name = "shard" + std::to_string(s) + "/integrate";
+    sh->tree_name = cfg_.stream_prefix + "shard" + std::to_string(s) + "/tree";
+    sh->integrate_name =
+        cfg_.stream_prefix + "shard" + std::to_string(s) + "/integrate";
     sh->tree_stream = runtime::Stream(sh->tree_name.c_str());
     sh->integrate_stream = runtime::Stream(sh->integrate_name.c_str());
     sh->dev =

@@ -10,7 +10,10 @@ namespace gothic::nbody {
 Simulation::Simulation(Particles particles, SimConfig cfg)
     : particles_(std::move(particles)), cfg_(cfg),
       steps_(cfg.dt_max, cfg.block_time_steps ? cfg.max_level : 0),
-      policy_(cfg.policy) {
+      policy_(cfg.policy), tree_stream_name_(cfg_.stream_prefix + "tree"),
+      integrate_stream_name_(cfg_.stream_prefix + "integrate"),
+      tree_stream_(tree_stream_name_.c_str()),
+      integrate_stream_(integrate_stream_name_.c_str()) {
   if (particles_.size() == 0) {
     throw std::invalid_argument("Simulation: empty particle set");
   }

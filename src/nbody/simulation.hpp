@@ -52,6 +52,15 @@ struct SimConfig {
   /// ShardedSimulation takes the same SimConfig and inherits it.
   std::string scenario;
 
+  /// Prefix of this simulation's stream names: "tree"/"integrate" become
+  /// "<prefix>tree"/"<prefix>integrate" (sharded: "<prefix>shardK/tree").
+  /// trace::TraceWriter keys Perfetto tracks by stream name, so a service
+  /// pool running many simulations sets a per-session prefix ("s3/") and
+  /// gets one clearly-labelled track group per session. Purely a label:
+  /// stream *identity* (and thus lane mapping) is per-Stream-object
+  /// either way.
+  std::string stream_prefix;
+
   /// Set the simt scheduling mode of every kernel at once.
   void set_mode(simt::ExecMode mode) {
     walk.mode = mode;
@@ -191,8 +200,12 @@ private:
   /// set_instrumentation_listener). Null ⇒ the hot path keeps the sink's
   /// single null-listener pointer test.
   std::unique_ptr<trace::FlightRecorder> flight_;
-  runtime::Stream tree_stream_{"tree"};
-  runtime::Stream integrate_stream_{"integrate"};
+  /// Owned storage of the (possibly prefixed) stream names — Stream holds
+  /// a borrowed const char*. Declared before the streams they feed.
+  std::string tree_stream_name_;
+  std::string integrate_stream_name_;
+  runtime::Stream tree_stream_;
+  runtime::Stream integrate_stream_;
   int rebuilds_ = 0;
   int step_count_ = 0;
   int steps_since_rebuild_ = 0;

@@ -382,6 +382,19 @@ Device::LaneConfig Device::resolve_lanes(int requested, int workers) {
   return cfg;
 }
 
+namespace {
+// Once-per-process latches of the two lane-resolution warnings: every
+// device of a pool resolves the same GOTHIC_ASYNC_LANES setting, and one
+// line is diagnostic while dozens are stderr flooding.
+std::atomic<bool> g_warned_lane_clamp{false};
+std::atomic<bool> g_warned_single_lane{false};
+} // namespace
+
+void Device::reset_lane_warnings() {
+  g_warned_lane_clamp.store(false);
+  g_warned_single_lane.store(false);
+}
+
 void Device::ensure_engine_locked() {
   if (!lanes_.empty()) return;
   const int n = static_cast<int>(slots_.size());
@@ -403,14 +416,18 @@ void Device::ensure_engine_locked() {
   }
   const LaneConfig cfg = resolve_lanes(requested, n);
   if (explicit_request && cfg.clamped) {
-    std::fprintf(stderr,
-                 "gothic: requested %d stream lanes, clamped to %d "
-                 "(valid range 1..%d for %d workers)\n",
-                 cfg.requested, cfg.lanes, n, n);
+    if (!g_warned_lane_clamp.exchange(true)) {
+      std::fprintf(stderr,
+                   "gothic: requested %d stream lanes, clamped to %d "
+                   "(valid range 1..%d for %d workers)\n",
+                   cfg.requested, cfg.lanes, n, n);
+    }
   } else if (explicit_request && cfg.lanes == 1) {
-    std::fprintf(stderr,
-                 "gothic: 1 stream lane requested; all streams share it and "
-                 "cannot overlap\n");
+    if (!g_warned_single_lane.exchange(true)) {
+      std::fprintf(stderr,
+                   "gothic: 1 stream lane requested; all streams share it "
+                   "and cannot overlap\n");
+    }
   }
   const int l = cfg.lanes;
   lanes_.reserve(static_cast<std::size_t>(l));
@@ -503,7 +520,10 @@ void Device::run_node(Lane& lane, LaunchNode& node) {
     std::lock_guard<std::mutex> lock(mutex_);
     node.sink->finish_record(node.record_index, node.id, t0, t1,
                              lane.team->size(), ops);
-    if (err && !async_error_) async_error_ = err;
+    // Move (don't copy) so this lane drops its reference here: the thread
+    // that later rethrows the error must be the only one releasing the
+    // exception object, or its teardown races with the consumer's what().
+    if (err && !async_error_) async_error_ = std::move(err);
     if (controller_ != nullptr) controller_->on_complete(lane.index, node.id);
     mark_complete_locked(node.id);
     node.next = free_nodes_;

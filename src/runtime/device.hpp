@@ -330,6 +330,11 @@ public:
   /// The engine warns on stderr when an *explicit* request (ctor argument
   /// or GOTHIC_ASYNC_LANES) was clamped or disables overlap (1 lane).
   static LaneConfig resolve_lanes(int requested, int workers);
+  /// The clamp / single-lane warnings fire once per *process*, not once
+  /// per Device: a session pool constructs many devices under the same
+  /// GOTHIC_ASYNC_LANES setting and must not repeat the identical line.
+  /// This test seam re-arms them.
+  static void reset_lane_warnings();
   /// Lanes this device schedules streams over; materializes the engine on
   /// first call. Always 0 for synchronous devices (no lanes exist).
   [[nodiscard]] int lane_count();

@@ -4,9 +4,12 @@
 #include "util/timer.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
+#include <system_error>
 
 namespace gothic::trace {
 
@@ -168,20 +171,47 @@ void FlightRecorder::write(std::ostream& os, const std::string& reason) const {
      << "\n    ],\n    \"steps\": [\n      " << marks << "\n    ]\n  }\n}\n";
 }
 
+std::string FlightRecorder::resolve_dump_path(const std::string& path) const {
+  if (path == "-" || path == "stderr") return "stderr";
+  const std::size_t slash = path.find_last_of('/');
+  std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    dot = path.size();
+  }
+  const std::string ext = path.substr(dot);
+  std::string base = path.substr(0, dot);
+  if (!dump_tag_.empty()) base += "." + dump_tag_;
+  std::string candidate = base + ext;
+  std::error_code ec;
+  for (int n = 1; std::filesystem::exists(candidate, ec); ++n) {
+    candidate = base + "." + std::to_string(n) + ext;
+  }
+  return candidate;
+}
+
 bool FlightRecorder::dump_to(const std::string& path,
                              const std::string& reason) const {
   if (path == "-" || path == "stderr") {
     write(std::cerr, reason);
+    last_dump_path_ = "stderr";
     return true;
   }
-  std::ofstream os(path);
+  // Serialize resolve + create: two recorders faulting at the same moment
+  // (two sessions of a device pool) must not pick the same candidate.
+  // Incident dumps are cold error paths, so one process-wide lock is fine.
+  static std::mutex dump_mutex;
+  const std::lock_guard<std::mutex> lock(dump_mutex);
+  const std::string dest = resolve_dump_path(path);
+  std::ofstream os(dest);
   if (os) write(os, reason);
   if (!os) {
     std::fprintf(stderr,
                  "gothic: error: could not write flight-recorder dump %s\n",
-                 path.c_str());
+                 dest.c_str());
     return false;
   }
+  last_dump_path_ = dest;
   return true;
 }
 

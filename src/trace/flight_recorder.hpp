@@ -80,13 +80,36 @@ public:
   void write(std::ostream& os, const std::string& reason) const;
 
   /// write() to `path` ("-" or "stderr" = stderr); false on I/O failure
-  /// (reported once to stderr with the path).
+  /// (reported once to stderr with the path). File destinations go through
+  /// resolve_dump_path(), so concurrent faulting simulations never clobber
+  /// each other's incident reports; the path actually written is available
+  /// from last_dump_path().
   bool dump_to(const std::string& path, const std::string& reason) const;
 
   /// dump_to() the GOTHIC_FLIGHT destination captured at construction.
   /// No-op (returns true) when the recorder was built with the variable
   /// unset and no destination was captured.
   bool dump(const std::string& reason) const;
+
+  /// Tag inserted before the path extension of every file dump (e.g. the
+  /// serving-session name): tag "s3" turns "flight.json" into
+  /// "flight.s3.json", so a pool of sessions sharing one GOTHIC_FLIGHT
+  /// destination yields identifiable per-session incident reports.
+  void set_dump_tag(std::string tag) { dump_tag_ = std::move(tag); }
+  [[nodiscard]] const std::string& dump_tag() const { return dump_tag_; }
+
+  /// The collision-free destination dump_to() would write `path` to right
+  /// now: the dump tag (if any) lands before the extension, and a numeric
+  /// suffix bumps the name past any file that already exists — an
+  /// existing dump is never overwritten. "-"/"stderr" resolve to
+  /// "stderr".
+  [[nodiscard]] std::string resolve_dump_path(const std::string& path) const;
+
+  /// Destination of the most recent successful dump ("stderr" for the
+  /// stderr sink; empty when nothing was dumped yet).
+  [[nodiscard]] const std::string& last_dump_path() const {
+    return last_dump_path_;
+  }
 
 private:
   [[nodiscard]] const char* intern(const char* s);
@@ -98,6 +121,8 @@ private:
   /// Recorder-owned label/stream names (std::deque: stable addresses).
   std::deque<std::string> names_;
   std::string dump_path_;
+  std::string dump_tag_;
+  mutable std::string last_dump_path_;
   runtime::RecordListener* next_ = nullptr;
 };
 

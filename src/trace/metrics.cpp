@@ -92,6 +92,22 @@ void MetricsRegistry::observe_device(const runtime::Device& dev) {
   busy_workers_ = std::max(busy_workers_, dev.busy_worker_count());
 }
 
+void MetricsRegistry::record_service(const ServiceSample& s) {
+  service_samples_ += 1;
+  service_.sessions_active =
+      std::max(service_.sessions_active, s.sessions_active);
+  service_.sessions_completed =
+      std::max(service_.sessions_completed, s.sessions_completed);
+  service_.sessions_failed =
+      std::max(service_.sessions_failed, s.sessions_failed);
+  service_.session_busy_seconds_max = std::max(
+      service_.session_busy_seconds_max, s.session_busy_seconds_max);
+  service_.session_busy_seconds_total = std::max(
+      service_.session_busy_seconds_total, s.session_busy_seconds_total);
+  service_.quota_high_water_bytes = std::max(
+      service_.quota_high_water_bytes, s.quota_high_water_bytes);
+}
+
 std::uint64_t MetricsRegistry::launches() const {
   std::uint64_t n = 0;
   for (const KernelStats& k : kernels_) n += k.launches;
@@ -146,6 +162,15 @@ void MetricsRegistry::print(std::ostream& os) const {
     os << "worker busy time: " << busy_workers_ << " busy workers, total "
        << Table::sci(busy_total_seconds_) << " s, busiest "
        << Table::sci(busy_max_seconds_) << " s\n";
+  }
+  if (service_samples_ > 0) {
+    os << "service sessions: active " << service_.sessions_active
+       << ", completed " << service_.sessions_completed << ", failed "
+       << service_.sessions_failed << "; session busy total "
+       << Table::sci(service_.session_busy_seconds_total) << " s, busiest "
+       << Table::sci(service_.session_busy_seconds_max)
+       << " s, quota high-water " << service_.quota_high_water_bytes
+       << " B\n";
   }
 }
 

@@ -67,6 +67,19 @@ private:
   double max_ = 0.0;
 };
 
+/// One observation of a session pool (service::SessionManager::observe
+/// feeds this; defined here so trace stays independent of the service
+/// layer). Counters are absolute at sample time; record_service() keeps
+/// high-water values across samples.
+struct ServiceSample {
+  std::uint64_t sessions_active = 0;    ///< submitted, not yet terminal
+  std::uint64_t sessions_completed = 0; ///< ran all their steps
+  std::uint64_t sessions_failed = 0;    ///< faulted or over quota
+  double session_busy_seconds_max = 0.0;   ///< busiest single session
+  double session_busy_seconds_total = 0.0; ///< across all sessions
+  std::size_t quota_high_water_bytes = 0;  ///< largest per-session charge
+};
+
 /// Aggregates of one kernel across every observed launch.
 struct KernelStats {
   LatencyHistogram latency;
@@ -88,6 +101,9 @@ public:
   void record_step(const runtime::StepMark& mark);
   /// Sample the device's arena gauges; high-water values are kept.
   void observe_device(const runtime::Device& dev);
+  /// Sample a session pool; high-water values are kept per field. The
+  /// print() footer gains a service line once at least one sample landed.
+  void record_service(const ServiceSample& s);
 
   [[nodiscard]] const KernelStats& kernel(Kernel k) const {
     return kernels_[static_cast<std::size_t>(k)];
@@ -160,6 +176,12 @@ public:
   }
   [[nodiscard]] int busy_workers() const { return busy_workers_; }
 
+  // Session-pool gauges (high-water across record_service() samples).
+  [[nodiscard]] std::uint64_t service_samples() const {
+    return service_samples_;
+  }
+  [[nodiscard]] const ServiceSample& service() const { return service_; }
+
   /// Render the per-kernel table plus the step/arena footer.
   void print(std::ostream& os) const;
 
@@ -186,6 +208,8 @@ private:
   double busy_max_seconds_ = 0.0;
   double busy_total_seconds_ = 0.0;
   int busy_workers_ = 0;
+  std::uint64_t service_samples_ = 0;
+  ServiceSample service_;
 };
 
 } // namespace gothic::trace

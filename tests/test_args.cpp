@@ -4,9 +4,11 @@
 // single-line and list the registered names).
 #include "scenario/registry.hpp"
 #include "util/args.hpp"
+#include "util/env.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -138,6 +140,117 @@ TEST(ScenarioSpec, RegisteredNameWinsAndFileFallbackWorks) {
   const scenario::Scenario sc = scenario::scenario_from_spec(f.path);
   EXPECT_EQ(sc.default_n, 256u);
   EXPECT_EQ(sc.law, gravity::ForceLaw::LennardJones);
+}
+
+// --- env_size / env_double rejection semantics ----------------------------
+//
+// Every malformed setting must warn (once per value) and fall back — never
+// silently misparse. Each test uses its own variable name because the
+// warn-once set is keyed per (variable, value) for the process lifetime.
+
+class ScopedEnv {
+public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+private:
+  const char* name_;
+};
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(EnvSize, PlainAndSuffixedValuesParse) {
+  const ScopedEnv plain("GOTHIC_TEST_SZ_PLAIN", "123");
+  const ScopedEnv kilo("GOTHIC_TEST_SZ_K", "8k");
+  const ScopedEnv mega("GOTHIC_TEST_SZ_M", "8M");
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_PLAIN", 7), 123u);
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_K", 7), 8192u);
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_M", 7), 8u * 1024u * 1024u);
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_UNSET", 7), 7u);
+}
+
+TEST(EnvSize, TrailingGarbageAfterSuffixWarnsOnceAndFallsBack) {
+  // "8kb" used to parse as 8 KiB — the 'b' was silently dropped.
+  const ScopedEnv e("GOTHIC_TEST_SZ_KB", "8kb");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_KB", 7), 7u);
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_KB", 7), 7u); // re-read must not spam
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(err, "ignoring GOTHIC_TEST_SZ_KB='8kb'"), 1u)
+      << err;
+}
+
+TEST(EnvSize, NegativeValueDoesNotWrapToHugeSize) {
+  // strtoull would wrap "-1" to SIZE_MAX; the parser must reject the sign.
+  const ScopedEnv e("GOTHIC_TEST_SZ_NEG", "-1");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_NEG", 7), 7u);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("unsigned"),
+            std::string::npos);
+}
+
+TEST(EnvSize, OverflowingValuesFallBack) {
+  // Past ULLONG_MAX (ERANGE)...
+  const ScopedEnv range("GOTHIC_TEST_SZ_RANGE", "99999999999999999999");
+  // ...and within range but overflowing through the multiplier: the old
+  // code computed base * mult in silently-wrapping unsigned arithmetic.
+  const ScopedEnv mult("GOTHIC_TEST_SZ_MULT", "18446744073709551615m");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_RANGE", 7), 7u);
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_MULT", 7), 7u);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(err, "ignoring"), 2u) << err;
+}
+
+TEST(EnvSize, UnknownSuffixAndGarbageFallBack) {
+  const ScopedEnv suffix("GOTHIC_TEST_SZ_SUFFIX", "8q");
+  const ScopedEnv text("GOTHIC_TEST_SZ_TEXT", "lots");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_SUFFIX", 7), 7u);
+  EXPECT_EQ(env_size("GOTHIC_TEST_SZ_TEXT", 7), 7u);
+  (void)testing::internal::GetCapturedStderr();
+}
+
+TEST(ParseSize, ThrowsWhereEnvSizeFallsBack) {
+  EXPECT_EQ(parse_size("8k"), 8192u);
+  EXPECT_EQ(parse_size("64"), 64u);
+  EXPECT_THROW((void)parse_size("8kb"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size("-1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size("junk"), std::invalid_argument);
+}
+
+TEST(EnvDouble, ValidValuesParse) {
+  const ScopedEnv pos("GOTHIC_TEST_DBL_POS", "2.5");
+  const ScopedEnv neg("GOTHIC_TEST_DBL_NEG", "-0.5");
+  EXPECT_DOUBLE_EQ(env_double("GOTHIC_TEST_DBL_POS", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(env_double("GOTHIC_TEST_DBL_NEG", 1.0), -0.5);
+  EXPECT_DOUBLE_EQ(env_double("GOTHIC_TEST_DBL_UNSET", 1.0), 1.0);
+}
+
+TEST(EnvDouble, TrailingGarbageAndNonFiniteFallBack) {
+  // "1.5zzz" used to parse as 1.5; "nan"/"inf" parsed as non-finite
+  // values that poison every downstream tolerance comparison.
+  const ScopedEnv garbage("GOTHIC_TEST_DBL_GARBAGE", "1.5zzz");
+  const ScopedEnv nan_v("GOTHIC_TEST_DBL_NAN", "nan");
+  const ScopedEnv inf_v("GOTHIC_TEST_DBL_INF", "inf");
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(env_double("GOTHIC_TEST_DBL_GARBAGE", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(env_double("GOTHIC_TEST_DBL_NAN", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(env_double("GOTHIC_TEST_DBL_INF", 1.0), 1.0);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(err, "ignoring"), 3u) << err;
 }
 
 } // namespace

@@ -313,6 +313,57 @@ TEST(FlightRecorder, UnwritableDumpPathErrorsToStderrAndReturnsFalse) {
       << "stderr must name the failed destination: " << err;
 }
 
+// --- flight recorder: dump collisions ---------------------------------------
+//
+// Several instances sharing one configured destination (the common case:
+// GOTHIC_FLIGHT is one env variable, a session pool holds many recorders)
+// used to overwrite each other's incident dumps. A dump must never clobber
+// an existing file: the first writer keeps the plain path, later writers
+// get a numeric bump, and a dump tag keys the path by session name.
+
+TEST(FlightRecorder, ConcurrentDumpsToOnePathNeverOverwrite) {
+  const std::string path = "test_flight_collision.json";
+  const std::string bumped = "test_flight_collision.1.json";
+  std::remove(path.c_str());
+  std::remove(bumped.c_str());
+
+  trace::FlightRecorder first(4, 2);
+  trace::FlightRecorder second(4, 2);
+  first.on_record(synthetic_record(1, 0.0, 1e-4));
+  second.on_record(synthetic_record(2, 0.0, 2e-4));
+
+  ASSERT_TRUE(first.dump_to(path, "first incident"));
+  EXPECT_EQ(first.last_dump_path(), path);
+  ASSERT_TRUE(second.dump_to(path, "second incident"));
+  EXPECT_EQ(second.last_dump_path(), bumped);
+
+  // Both incidents survive, each under its own destination.
+  EXPECT_EQ(JsonParser(read_file(path)).parse()
+                .at("flight_recorder").at("reason").str,
+            "first incident");
+  EXPECT_EQ(JsonParser(read_file(bumped)).parse()
+                .at("flight_recorder").at("reason").str,
+            "second incident");
+  std::remove(path.c_str());
+  std::remove(bumped.c_str());
+}
+
+TEST(FlightRecorder, DumpTagKeysTheDestinationBySession) {
+  const std::string tagged = "test_flight_tag.s1.json";
+  std::remove(tagged.c_str());
+
+  trace::FlightRecorder flight(4, 2);
+  flight.set_dump_tag("s1");
+  EXPECT_EQ(flight.dump_tag(), "s1");
+  flight.on_record(synthetic_record(1, 0.0, 1e-4));
+  ASSERT_TRUE(flight.dump_to("test_flight_tag.json", "session incident"));
+  EXPECT_EQ(flight.last_dump_path(), tagged);
+  EXPECT_EQ(JsonParser(read_file(tagged)).parse()
+                .at("flight_recorder").at("reason").str,
+            "session incident");
+  std::remove(tagged.c_str());
+}
+
 // --- telemetry stream --------------------------------------------------------
 
 TEST(Telemetry, StreamKeepsGoldenSchema) {
@@ -522,6 +573,46 @@ TEST(FlightIntegration, ShardFaultDumpsTheRingOnTheErrorPath) {
   EXPECT_FALSE(fr.at("launches").array.empty());
   EXPECT_GT(fr.at("seen_records").number, 0.0);
   std::remove(path.c_str());
+}
+
+TEST(FlightIntegration, TwoFaultingInstancesKeepDistinctDumps) {
+  // Regression: two instances sharing GOTHIC_FLIGHT each dump on their
+  // error path; the second incident must not overwrite the first.
+  const std::string path = "test_flight_two_faults.json";
+  const std::string bumped = "test_flight_two_faults.1.json";
+  std::remove(path.c_str());
+  std::remove(bumped.c_str());
+
+  ASSERT_EQ(setenv("GOTHIC_FLIGHT", path.c_str(), 1), 0);
+  nbody::ShardOptions opt;
+  opt.shards = 2;
+  opt.workers = 2;
+  opt.async = 1;
+  opt.lanes = 2;
+  nbody::ShardedSimulation one(plummer(512, 41), small_config(), opt);
+  nbody::ShardedSimulation two(plummer(512, 43), small_config(), opt);
+  ASSERT_EQ(unsetenv("GOTHIC_FLIGHT"), 0);
+
+  for (nbody::ShardedSimulation* sim : {&one, &two}) {
+    (void)sim->step(); // fault against steady state, not the bootstrap
+    runtime::Device& dev = sim->shard_device(1);
+    testkit::FaultPlan plan;
+    plan.throw_at.push_back(dev.launch_count() + 2);
+    testkit::FaultController ctrl(plan);
+    dev.set_schedule_controller(&ctrl);
+    EXPECT_THROW((void)sim->step(), testkit::InjectedFault);
+    dev.set_schedule_controller(nullptr);
+    ASSERT_GT(ctrl.injected_throws(), 0);
+  }
+
+  EXPECT_EQ(one.flight_recorder()->last_dump_path(), path);
+  EXPECT_EQ(two.flight_recorder()->last_dump_path(), bumped);
+  for (const std::string& p : {path, bumped}) {
+    const JsonValue doc = JsonParser(read_file(p)).parse();
+    EXPECT_FALSE(doc.at("flight_recorder").at("launches").array.empty())
+        << p;
+    std::remove(p.c_str());
+  }
 }
 
 } // namespace

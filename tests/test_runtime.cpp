@@ -801,6 +801,7 @@ TEST(LaneConfig, ResolveLanesClampsEveryBoundary) {
 }
 
 TEST(LaneConfig, RequestAboveWorkerCountClampsWithWarning) {
+  Device::reset_lane_warnings(); // warnings are once-per-process
   Device dev(2, 1, 8);
   testing::internal::CaptureStderr();
   EXPECT_EQ(dev.lane_count(), 2);
@@ -809,6 +810,7 @@ TEST(LaneConfig, RequestAboveWorkerCountClampsWithWarning) {
 }
 
 TEST(LaneConfig, SingleLaneRequestWarnsThatStreamsCannotOverlap) {
+  Device::reset_lane_warnings(); // warnings are once-per-process
   Device dev(2, 1, 1);
   testing::internal::CaptureStderr();
   EXPECT_EQ(dev.lane_count(), 1);
@@ -821,6 +823,7 @@ TEST(LaneConfig, ZeroLaneEnvRequestClampsToOneWithWarning) {
   const std::string saved = old != nullptr ? old : "";
   setenv("GOTHIC_ASYNC_LANES", "0", 1);
   {
+    Device::reset_lane_warnings(); // warnings are once-per-process
     Device dev(2, 1); // lanes from the environment
     testing::internal::CaptureStderr();
     EXPECT_EQ(dev.lane_count(), 1);
@@ -847,6 +850,25 @@ TEST(LaneConfig, DefaultLaneCountNeverWarns) {
 TEST(LaneConfig, SyncDeviceReportsZeroLanes) {
   Device dev(2, 0);
   EXPECT_EQ(dev.lane_count(), 0);
+}
+
+TEST(LaneConfig, ClampWarningPrintsOncePerProcess) {
+  // A pool of misconfigured devices must not repeat the identical clamp
+  // warning once per device — one line per process, period.
+  Device::reset_lane_warnings();
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 3; ++i) {
+    Device dev(2, 1, 8);
+    EXPECT_EQ(dev.lane_count(), 2);
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  const std::string needle = "clamped to 2";
+  std::size_t count = 0;
+  for (std::size_t pos = err.find(needle); pos != std::string::npos;
+       pos = err.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << err;
 }
 
 TEST(LaneConfig, ClampedAndSingleLaneDevicesExecuteCrossStreamDags) {

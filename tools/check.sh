@@ -35,12 +35,20 @@
 # golden-schema BENCH_scenario_<name>.json per scenario before the
 # bench_diff gate promotes them into bench-results/.
 #
-# The TSan stage rebuilds test_runtime, test_walk_tree and gothic_fuzz in
-# a separate build tree (build-tsan/) with GOTHIC_SANITIZE=thread and runs
-# them under both scheduler modes, exercising the lane leaders' queue
-# handshake, the cross-stream event waits, the team fork/join, the
-# per-launch merge locks and the fault-injection paths under a real
-# data-race detector.
+# The service stage runs the session-pool suites (ctest -L service) under
+# both scheduler modes, sweeps the gothic_fuzz service leg (seeded pooled
+# fault plans asserting session isolation + solo bit-identity), smokes
+# gothic_serve end-to-end with per-session telemetry/trace/checkpoint
+# streams, and validates a golden-schema BENCH_service.json through the
+# bench_diff gate.
+#
+# The TSan stage rebuilds test_runtime, test_walk_tree, test_service and
+# gothic_fuzz in a separate build tree (build-tsan/) with
+# GOTHIC_SANITIZE=thread and runs them under both scheduler modes,
+# exercising the lane leaders' queue handshake, the cross-stream event
+# waits, the team fork/join, the per-launch merge locks, the
+# fault-injection paths and the session pool's driver handoff under a
+# real data-race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,7 +83,7 @@ assert n == 0, 'trace dropped %d launch records' % n" &&
         >/dev/null &&
     python3 -m json.tool BENCH_fig04_breakdown_macc.json >/dev/null &&
     rm -f BENCH_fig04_breakdown_macc.json &&
-    rm -f smoke_flight.json &&
+    rm -f smoke_flight*.json &&
     GOTHIC_ASYNC=$mode GOTHIC_FLIGHT=smoke_flight.json \
       ./tools/gothic_fuzz --schedules=0 --enumerate=0 --faults=4 \
         >/dev/null &&
@@ -84,7 +92,7 @@ import json
 d = json.load(open('smoke_flight.json'))['flight_recorder']
 assert d['launches'], 'flight dump holds no launches'
 assert 'injected fault' in d['reason'], d['reason']" &&
-    rm -f smoke_flight.json)
+    rm -f smoke_flight*.json)
 done
 echo "observability smoke passed"
 
@@ -212,6 +220,44 @@ for f in build/BENCH_scenario_*.json; do
 done
 echo "scenario stage passed"
 
+echo "== service stage: session pool (both scheduler modes) =="
+# The multi-tenant session layer: ctest -L service runs the SessionManager
+# suites (solo bit-identity oracle, quota reject-on-exceed, starvation
+# bound, mixed-fault isolation stress) under each ambient scheduler; the
+# gothic_fuzz service leg sweeps seeded pooled fault plans; gothic_serve
+# drives a GOTHIC_SESSIONS-sized registry-cycled batch end-to-end with
+# per-session telemetry / trace / checkpoint streams plus the oracle; and
+# bench_service must emit a golden-schema BENCH_service.json for the
+# bench_diff gate.
+for mode in 1 0; do
+  echo "-- GOTHIC_ASYNC=$mode --"
+  (cd build && GOTHIC_ASYNC=$mode ctest --output-on-failure -L service -j)
+  GOTHIC_ASYNC=$mode ./build/tools/gothic_fuzz --schedules=0 --faults=0 \
+    --service=6 --n=128 --steps=3
+done
+(cd build &&
+  rm -rf smoke_serve && mkdir -p smoke_serve &&
+  GOTHIC_SESSIONS=6 ./tools/gothic_serve --devices=2 --steps=3 --n=256 \
+    --oracle --metrics --telemetry-dir=smoke_serve --trace-dir=smoke_serve \
+    --snapshot-every=2 --snapshot-dir=smoke_serve >/dev/null &&
+  python3 -c "
+import json
+lines = [json.loads(l) for l in open('smoke_serve/s0.jsonl') if l.strip()]
+assert lines and lines[0]['type'] == 'config', 'missing config line'
+steps = [l for l in lines if l['type'] == 'step']
+assert len(steps) == 3, 'expected 3 step records, got %d' % len(steps)
+json.load(open('smoke_serve/s0.trace.json'))" &&
+  test -s smoke_serve/s0.bin &&
+  rm -rf smoke_serve)
+(cd build &&
+  GOTHIC_THREADS=2 GOTHIC_BENCH_N=8192 GOTHIC_BENCH_STEPS=2 \
+    ./bench/bench_service >/dev/null &&
+  python3 -m json.tool BENCH_service.json >/dev/null &&
+  GOTHIC_BENCH_VALIDATE_JSON=BENCH_service.json ./tests/test_bench_support \
+    --gtest_filter='ExternalReport.*' >/dev/null &&
+  mv BENCH_service.json ../bench-fresh/BENCH_service.json)
+echo "service stage passed"
+
 echo "== perf-regression gate: bench_diff over the BENCH trajectory =="
 # Gate the fresh reports against the archived trajectory in
 # bench-results/, then promote them as its newest point
@@ -264,15 +310,19 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== TSan: runtime + walk_tree + fuzz (both scheduler modes) =="
+echo "== TSan: runtime + walk_tree + service + fuzz (both scheduler modes) =="
 cmake -B build-tsan -S . -DGOTHIC_SANITIZE=thread \
       -DGOTHIC_BUILD_BENCH=OFF -DGOTHIC_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target test_runtime test_walk_tree gothic_fuzz
+cmake --build build-tsan -j --target test_runtime test_walk_tree \
+      test_service gothic_fuzz
 (cd build-tsan &&
   GOTHIC_ASYNC=1 ./tests/test_runtime &&
   GOTHIC_ASYNC=1 ./tests/test_walk_tree &&
+  GOTHIC_ASYNC=1 ./tests/test_service &&
   GOTHIC_ASYNC=0 ./tests/test_runtime &&
   GOTHIC_ASYNC=0 ./tests/test_walk_tree &&
-  GOTHIC_ASYNC=1 ./tools/gothic_fuzz --schedules=8 --faults=8 --steps=4)
+  GOTHIC_ASYNC=0 ./tests/test_service &&
+  GOTHIC_ASYNC=1 ./tools/gothic_fuzz --schedules=8 --faults=8 --steps=4 \
+    --service=4 --n=128)
 
 echo "check.sh: all stages passed"

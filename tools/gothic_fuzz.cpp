@@ -19,6 +19,12 @@
 //                   sharded step (devices follow GOTHIC_ASYNC), asserting
 //                   the isolation contract: the fault surfaces from step()
 //                   and every shard device stays reusable.
+//   --service=N     N seeded session-pool runs: each seed builds a
+//                   SessionManager (pool shape, mixed scenario batch and
+//                   fault family from the seed), injects launch throws /
+//                   lane stalls / arena OOM, and asserts the session
+//                   isolation contract — every survivor bit-identical to
+//                   its solo run, every failure carried by one session.
 //   --scenarios=N   N seeded scenario runs: each seed hashes to a
 //                   scenario-registry entry (ICs + force law) and encodes
 //                   walk schedule, async mode, shard count and SIMD
@@ -32,6 +38,7 @@
 // Workload knobs (--n, --steps, --workers, --lanes, --rebuild-interval)
 // must match between a failing sweep and its replay. Exit code 0 iff every
 // leg passed.
+#include "service/fuzz.hpp"
 #include "testkit/fuzz.hpp"
 #include "util/args.hpp"
 
@@ -71,6 +78,7 @@ int run(const gothic::Args& args) {
   const auto shards = static_cast<std::size_t>(args.get_int("shards", 0));
   const auto shard_faults =
       static_cast<std::size_t>(args.get_int("shard-faults", 0));
+  const auto service = static_cast<std::size_t>(args.get_int("service", 0));
   const auto scenarios =
       static_cast<std::size_t>(args.get_int("scenarios", 0));
   const bool replay = args.has("replay");
@@ -189,6 +197,22 @@ int run(const gothic::Args& args) {
         gothic::testkit::sweep_shard_faults(cfg, base_seed, shard_faults);
     std::printf("shard-faults: %zu plans (%zu fired), %zu failures\n",
                 rep.plans, rep.with_throws, rep.failures.size());
+    print_failures(rep.failures);
+    ok = ok && rep.ok();
+  }
+
+  if (service > 0) {
+    gothic::service::ServiceFuzzConfig scfg;
+    scfg.n = cfg.n;
+    scfg.steps = cfg.steps;
+    scfg.workers = cfg.workers;
+    scfg.lanes = cfg.lanes;
+    const auto rep =
+        gothic::service::sweep_service_faults(scfg, base_seed, service);
+    std::printf("service: %zu pooled runs from %s (%zu sessions faulted, "
+                "%zu completed), %zu failures\n",
+                rep.runs, hex_seed(base_seed).c_str(), rep.faulted_sessions,
+                rep.completed_sessions, rep.failures.size());
     print_failures(rep.failures);
     ok = ok && rep.ok();
   }

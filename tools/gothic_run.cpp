@@ -251,8 +251,8 @@ int drive(Sim& sim, runtime::Device& trace_dev, const Args& args) {
       fr != nullptr && flight_dump) {
     if (fr->dump("on demand (gothic_run --flight-dump)")) {
       std::cout << "flight-recorder dump written to "
-                << trace::FlightRecorder::env_flight_path() << " ("
-                << fr->seen_records() << " launches seen)\n";
+                << fr->last_dump_path() << " (" << fr->seen_records()
+                << " launches seen)\n";
     }
   }
   return 0;
